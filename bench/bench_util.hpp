@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared output helpers for the figure-reproduction benches. Each bench
+// prints (a) what the paper reports for this figure, (b) the measured
+// series in aligned columns, and (c) a short verdict on whether the
+// paper's qualitative shape held.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace slowcc::bench {
+
+inline void header(const char* figure, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("================================================================\n");
+}
+
+inline void paper_note(const char* text) {
+  std::printf("paper: %s\n", text);
+}
+
+inline void note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void verdict(bool held, const std::string& what) {
+  std::printf("[%s] %s\n\n", held ? "SHAPE-OK" : "SHAPE-DEVIATION",
+              what.c_str());
+}
+
+}  // namespace slowcc::bench

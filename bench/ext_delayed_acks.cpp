@@ -1,0 +1,72 @@
+// Extension: delayed acknowledgments. The paper's TCPs run without
+// delayed ACKs (the response function's b = 1); with delayed ACKs the
+// congestion window grows roughly half as fast per RTT, costing
+// throughput at a given loss rate. This bench quantifies both effects.
+#include "bench_util.hpp"
+#include "cc/tcp_agent.hpp"
+#include "cc/tcp_sink.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "traffic/loss_script.hpp"
+
+using namespace slowcc;
+
+namespace {
+
+struct Result {
+  double goodput_mbps;
+  double acks_per_data;
+};
+
+Result run(bool delayed) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  net::Node& src = topo.add_node();
+  net::Node& dst = topo.add_node();
+  auto [fwd, rev] = topo.add_duplex(src, dst, 50e6, sim::Time::millis(25),
+                                    300);
+  (void)rev;
+  cc::TcpSink sink(sim, dst);
+  sink.set_delayed_acks(delayed);
+  auto tcp = cc::TcpAgent::make_tcp(sim, src, dst.id(), sink.local_port(), 1);
+  topo.compute_routes();
+
+  // Fixed 1% Bernoulli loss isolates the window-growth effect.
+  auto rng = std::make_shared<sim::Rng>(11);
+  fwd->set_forced_drop_filter([rng](const net::Packet& p) {
+    return p.type == net::PacketType::kData && rng->chance(0.01);
+  });
+
+  tcp->start();
+  sim.run_until(sim::Time::seconds(120.0));
+  Result r;
+  r.goodput_mbps = sink.bytes_received() * 8.0 / 120.0 / 1e6;
+  r.acks_per_data = static_cast<double>(sink.acks_sent()) /
+                    static_cast<double>(sink.packets_received());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension", "delayed acknowledgments vs the paper's TCPs");
+  bench::paper_note(
+      "the paper's TCPs send one ACK per segment; RFC 1122 delayed ACKs "
+      "halve the ACK rate and slow window growth, lowering throughput at "
+      "a fixed loss rate");
+
+  const Result imm = run(false);
+  const Result del = run(true);
+  bench::row("%-18s %14s %16s", "mode", "goodput", "ACKs per segment");
+  bench::row("%-18s %11.2f Mb/s %16.2f", "immediate ACKs", imm.goodput_mbps,
+             imm.acks_per_data);
+  bench::row("%-18s %11.2f Mb/s %16.2f", "delayed ACKs", del.goodput_mbps,
+             del.acks_per_data);
+
+  bench::verdict(del.acks_per_data < 0.75 * imm.acks_per_data &&
+                     del.goodput_mbps < imm.goodput_mbps &&
+                     del.goodput_mbps > 0.4 * imm.goodput_mbps,
+                 "delayed ACKs halve the ACK stream and cost some (but not "
+                 "catastrophic) throughput at fixed loss");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension: empirical responsiveness and aggressiveness (the §3
+// metrics the paper quotes but does not plot). Responsiveness = RTTs of
+// persistent congestion (one loss per RTT) until the sending rate
+// halves; TCP = 1, proposed TFRC = 4-6. Aggressiveness = max per-RTT
+// rate increase absent congestion; for AIMD it is the parameter a.
+#include "analysis/aimd_model.hpp"
+#include "bench_util.hpp"
+#include "cc/window_policy.hpp"
+#include "scenario/responsiveness_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Extension (paper §3)",
+                "empirical responsiveness & aggressiveness");
+  bench::paper_note(
+      "responsiveness of TCP is 1 RTT; currently proposed TFRC is 4-6 "
+      "RTTs; TCP(b)'s analytic responsiveness is log_{1-b}(1/2); AIMD "
+      "aggressiveness is the increase parameter a");
+
+  bench::row("%-12s %16s %18s %18s", "mechanism", "resp (RTTs)",
+             "analytic (RTTs)", "aggr (pkts/RTT)");
+  double tcp_resp = 0, tfrc6_resp = 0;
+  for (const auto& [label, spec, analytic] :
+       std::initializer_list<
+           std::tuple<const char*, scenario::FlowSpec, double>>{
+           {"TCP(1/2)", scenario::FlowSpec::tcp(2),
+            analysis::aimd_responsiveness_rtts(0.5)},
+           {"TCP(1/8)", scenario::FlowSpec::tcp(8),
+            analysis::aimd_responsiveness_rtts(1.0 / 8.0)},
+           {"TCP(1/32)", scenario::FlowSpec::tcp(32),
+            analysis::aimd_responsiveness_rtts(1.0 / 32.0)},
+           {"SQRT(1/2)", scenario::FlowSpec::sqrt(2), -1.0},
+           {"TFRC(6)", scenario::FlowSpec::tfrc(6), -1.0},
+           {"TFRC(32)", scenario::FlowSpec::tfrc(32), -1.0},
+       }) {
+    scenario::ResponsivenessConfig cfg;
+    cfg.spec = spec;
+    const auto out = run_responsiveness(cfg);
+    if (analytic >= 0) {
+      bench::row("%-12s %16.0f %18.2f %18.2f", label,
+                 out.responsiveness_rtts, analytic,
+                 out.aggressiveness_pkts_per_rtt);
+    } else {
+      bench::row("%-12s %16.0f %18s %18.2f", label, out.responsiveness_rtts,
+                 "-", out.aggressiveness_pkts_per_rtt);
+    }
+    if (std::string(label) == "TCP(1/2)") tcp_resp = out.responsiveness_rtts;
+    if (std::string(label) == "TFRC(6)") tfrc6_resp = out.responsiveness_rtts;
+  }
+
+  bench::verdict(tcp_resp <= 4.0 && tfrc6_resp >= tcp_resp &&
+                     tfrc6_resp <= 30.0,
+                 "TCP halves its rate within a few RTTs of persistent "
+                 "congestion; TFRC(6) is slower but bounded");
+  return 0;
+}

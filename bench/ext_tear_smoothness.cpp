@@ -1,0 +1,47 @@
+// Extension: TEAR (TCP Emulation At Receivers) — classified by the
+// paper (§2, Figure 1) as TCP-compatible and slowly responsive. We
+// check its smoothness/throughput position between TCP and TFRC under
+// the mild bursty pattern.
+#include "bench_util.hpp"
+#include "scenario/smoothness_experiment.hpp"
+
+using namespace slowcc;
+
+namespace {
+
+scenario::SmoothnessOutcome run(const scenario::FlowSpec& spec) {
+  scenario::SmoothnessConfig cfg;
+  cfg.spec = spec;
+  cfg.pattern = scenario::LossPattern::kMildlyBursty;
+  return run_smoothness(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension (paper §2)",
+                "TEAR smoothness under the mild bursty pattern");
+  bench::paper_note(
+      "TEAR keeps TCP's window dynamics but averages the window at the "
+      "receiver, so its sending rate should be smoother than TCP's while "
+      "carrying comparable throughput");
+
+  const auto tear = run(scenario::FlowSpec::tear());
+  const auto tcp = run(scenario::FlowSpec::tcp(2));
+  const auto tfrc = run(scenario::FlowSpec::tfrc(6));
+
+  bench::row("%-8s %12s %10s %14s", "flow", "smoothness", "CoV",
+             "mean (Mb/s)");
+  bench::row("%-8s %12.2f %10.2f %14.2f", "TEAR", tear.smoothness, tear.cov,
+             tear.mean_rate_bps / 1e6);
+  bench::row("%-8s %12.2f %10.2f %14.2f", "TCP(1/2)", tcp.smoothness,
+             tcp.cov, tcp.mean_rate_bps / 1e6);
+  bench::row("%-8s %12.2f %10.2f %14.2f", "TFRC(6)", tfrc.smoothness,
+             tfrc.cov, tfrc.mean_rate_bps / 1e6);
+
+  bench::verdict(tear.cov < tcp.cov &&
+                     tear.mean_rate_bps > 0.4 * tcp.mean_rate_bps,
+                 "TEAR's receiver-side averaging yields a smoother rate "
+                 "than TCP at usable throughput");
+  return 0;
+}

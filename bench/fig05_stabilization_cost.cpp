@@ -1,0 +1,59 @@
+// Figure 5: stabilization cost (time x mean loss) vs γ, log scale in
+// the paper. Cost 1 = one full RTT of packets lost.
+#include "bench_util.hpp"
+#include "scenario/stabilization_experiment.hpp"
+
+using namespace slowcc;
+
+namespace {
+
+double stab_cost(const scenario::FlowSpec& spec) {
+  scenario::StabilizationConfig cfg;
+  cfg.spec = spec;
+  cfg.cbr_stop = sim::Time::seconds(60);
+  cfg.cbr_restart = sim::Time::seconds(75);
+  cfg.end = sim::Time::seconds(150);
+  return run_stabilization(cfg).stabilization.stabilization_cost;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 5", "stabilization cost vs slowness parameter γ");
+  bench::paper_note(
+      "for large γ the rate-based mechanisms cost up to two orders of "
+      "magnitude more than the most slowly-responsive TCP(1/γ) or "
+      "SQRT(1/γ); with the proposed deployment range (γ <= 8) every "
+      "mechanism's cost stays small; self-clocking repairs TFRC(256)");
+
+  const double gammas[] = {2, 8, 32, 128, 256};
+  bench::row("%-6s %10s %10s %10s %10s %12s", "γ", "TCP(1/γ)", "RAP(1/γ)",
+             "SQRT(1/γ)", "TFRC(γ)", "TFRC(γ)+SC");
+  double tcp256 = 0, tfrc256 = 0, rap256 = 0, tfrc8 = 0, tcp8 = 0;
+  for (double g : gammas) {
+    const double tcp = stab_cost(scenario::FlowSpec::tcp(g));
+    const double rap = stab_cost(scenario::FlowSpec::rap(g));
+    const double sqrt_v = stab_cost(scenario::FlowSpec::sqrt(g));
+    const double tfrc = stab_cost(scenario::FlowSpec::tfrc(static_cast<int>(g)));
+    const double tfrc_sc =
+        stab_cost(scenario::FlowSpec::tfrc(static_cast<int>(g), true));
+    bench::row("%-6.0f %10.2f %10.2f %10.2f %10.2f %12.2f", g, tcp, rap,
+               sqrt_v, tfrc, tfrc_sc);
+    if (g == 256) {
+      tcp256 = tcp;
+      tfrc256 = tfrc;
+      rap256 = rap;
+    }
+    if (g == 8) {
+      tfrc8 = tfrc;
+      tcp8 = tcp;
+    }
+  }
+
+  bench::verdict(
+      rap256 > 10.0 * tcp256 && tfrc256 > 2.0 * tcp256 && tfrc8 < 5.0 &&
+          tcp8 < 5.0,
+      "rate-based algorithms at γ=256 cost 1-2 orders of magnitude more "
+      "than TCP(1/256); proposed-deployment parameters stay cheap");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6: aggregate throughput of long-running SlowCC background
+// traffic versus a flash crowd of short TCP transfers arriving at
+// t = 25 s (200 flows/sec for 5 s, 10-packet transfers).
+#include "bench_util.hpp"
+#include "scenario/flash_crowd_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 6",
+                "flash crowd of short TCP flows vs long-lived SlowCC");
+  bench::paper_note(
+      "the crowd grabs bandwidth quickly regardless of the background "
+      "(short flows are in slow-start); self-clocking helps TFRC(256) "
+      "yield promptly and recover cleanly afterwards");
+
+  struct Case {
+    const char* label;
+    scenario::FlowSpec spec;
+  };
+  const Case cases[] = {
+      {"TCP(1/2)", scenario::FlowSpec::tcp(2)},
+      {"TFRC(256) no self-clock", scenario::FlowSpec::tfrc(256)},
+      {"TFRC(256) self-clock", scenario::FlowSpec::tfrc(256, true)},
+  };
+
+  std::vector<scenario::FlashCrowdOutcome> outs;
+  for (const auto& c : cases) {
+    scenario::FlashCrowdExperimentConfig cfg;
+    cfg.background = c.spec;
+    outs.push_back(run_flash_crowd(cfg));
+  }
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& o = outs[i];
+    bench::note("-- background: %s --", cases[i].label);
+    bench::row("  crowd flows: %zu started, %zu completed, mean fct %.2f s",
+               o.crowd_flows_started, o.crowd_flows_completed,
+               o.crowd_mean_completion_s);
+    bench::row("  background during crowd: %.2f Mb/s; after crowd: %.2f Mb/s",
+               o.background_during_crowd_bps / 1e6,
+               o.background_after_crowd_bps / 1e6);
+    bench::row("  %-8s %-14s %-14s", "t (s)", "background", "crowd (Mb/s)");
+    for (std::size_t bin = 40; bin < o.background_bps.size() && bin < 90;
+         bin += 4) {
+      bench::row("  %-8.1f %-14.2f %-14.2f", o.times_s[bin],
+                 o.background_bps[bin] / 1e6, o.crowd_bps[bin] / 1e6);
+    }
+  }
+
+  // Shape checks: the crowd completes most flows under every background,
+  // and backgrounds recover after the crowd subsides.
+  bool crowd_served = true;
+  bool recovery = true;
+  for (const auto& o : outs) {
+    crowd_served = crowd_served &&
+                   o.crowd_flows_completed > 0.8 * o.crowd_flows_started;
+    recovery = recovery && o.background_after_crowd_bps >
+                               0.5 * o.background_during_crowd_bps;
+  }
+  bench::verdict(crowd_served && recovery,
+                 "the flash crowd gets served under every background type "
+                 "and the background traffic recovers afterwards");
+  return 0;
+}

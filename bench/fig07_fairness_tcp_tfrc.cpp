@@ -1,0 +1,51 @@
+// Figure 7: long-term fairness of TCP vs TFRC under a 3:1 square-wave
+// oscillation in the available bandwidth, as a function of the CBR
+// period.
+#include "bench_util.hpp"
+#include "scenario/fairness_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 7",
+                "TCP vs TFRC throughput under 3:1 oscillating bandwidth");
+  bench::paper_note(
+      "with CBR periods between ~1 and ~10 s, TCP flows receive more "
+      "throughput than TFRC; utilization is high for very short periods "
+      "and dips around a period of 0.2 s (4 RTTs); TFRC never beats TCP "
+      "in the long run");
+
+  bench::row("%-10s %10s %10s %12s", "period(s)", "TCP mean", "TFRC mean",
+             "utilization");
+  bool tcp_wins_midrange = true;
+  bool tfrc_never_wins_big = true;
+  double util_short = 0, util_4rtt = 0;
+  for (double period : {0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    scenario::FairnessConfig cfg;
+    cfg.group_a = scenario::FlowSpec::tcp(2);
+    cfg.group_b = scenario::FlowSpec::tfrc(6);
+    cfg.cbr_period = sim::Time::seconds(period);
+    cfg.measure = sim::Time::seconds(std::max(120.0, 15.0 * period));
+    const auto out = run_fairness(cfg);
+    bench::row("%-10.2f %10.2f %10.2f %12.2f", period, out.group_a_mean,
+               out.group_b_mean, out.utilization);
+    if (period >= 1.0 && period <= 8.0 &&
+        out.group_a_mean <= out.group_b_mean) {
+      tcp_wins_midrange = false;
+    }
+    if (out.group_b_mean > 1.15 * out.group_a_mean) {
+      tfrc_never_wins_big = false;
+    }
+    if (period == 0.1) util_short = out.utilization;
+    if (period == 0.2) util_4rtt = out.utilization;
+  }
+  bench::note("(throughput normalized by each flow's fair share of the "
+              "average available bandwidth)");
+
+  bench::verdict(tcp_wins_midrange && tfrc_never_wins_big,
+                 "TCP receives more than TFRC at mid-range periods and "
+                 "TFRC never significantly beats TCP");
+  bench::note("utilization at period 0.1s=%.2f vs 0.2s (4 RTTs)=%.2f",
+              util_short, util_4rtt);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 9: long-term fairness of TCP vs SQRT(1/2) under 3:1
+// oscillating bandwidth.
+#include "bench_util.hpp"
+#include "scenario/fairness_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 9",
+                "TCP vs SQRT(1/2) throughput under 3:1 oscillating bandwidth");
+  bench::paper_note(
+      "like the other SlowCCs, SQRT is slower at increasing into freed "
+      "bandwidth, so TCP is at least competitive at every period and "
+      "SQRT never wins in the long term");
+
+  bench::row("%-10s %10s %12s %12s", "period(s)", "TCP mean",
+             "SQRT(1/2) mean", "utilization");
+  bool sqrt_never_wins_big = true;
+  for (double period : {0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    scenario::FairnessConfig cfg;
+    cfg.group_a = scenario::FlowSpec::tcp(2);
+    cfg.group_b = scenario::FlowSpec::sqrt(2);
+    cfg.cbr_period = sim::Time::seconds(period);
+    cfg.measure = sim::Time::seconds(std::max(120.0, 15.0 * period));
+    const auto out = run_fairness(cfg);
+    bench::row("%-10.2f %10.2f %12.2f %12.2f", period, out.group_a_mean,
+               out.group_b_mean, out.utilization);
+    if (out.group_b_mean > 1.2 * out.group_a_mean) {
+      sqrt_never_wins_big = false;
+    }
+  }
+
+  bench::verdict(sqrt_never_wins_big,
+                 "SQRT never takes significantly more than TCP under "
+                 "oscillating bandwidth");
+  return 0;
+}

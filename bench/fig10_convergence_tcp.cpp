@@ -1,0 +1,47 @@
+// Figure 10: time for two TCP(b) flows to reach a 0.1-fair allocation,
+// the second flow starting from ~1 packet per RTT against an
+// established flow.
+#include "bench_util.hpp"
+#include "scenario/convergence_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 10",
+                "0.1-fair convergence time for two TCP(b) flows vs b");
+  bench::paper_note(
+      "convergence is quick for b >= ~0.2 and grows steeply (exponentially "
+      "in the analysis) as b shrinks; very slow TCP(1/b) variants take "
+      "hundreds of seconds");
+
+  bench::row("%-8s %-10s %14s %14s", "γ (1/b)", "b", "time (s)",
+             "final shares");
+  double t2 = 0, t64 = 0;
+  for (double gamma : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    scenario::ConvergenceConfig cfg;
+    cfg.spec = scenario::FlowSpec::tcp(gamma);
+    cfg.first_flow_head_start = sim::Time::seconds(20.0);
+    cfg.horizon =
+        sim::Time::seconds(gamma >= 32 ? 900.0 : 300.0);
+    const auto out = run_convergence(cfg);
+    char shares[48];
+    std::snprintf(shares, sizeof(shares), "%.2f/%.2f", out.flow1_final_share,
+                  out.flow2_final_share);
+    if (out.result.converged) {
+      bench::row("%-8.0f %-10.4f %14.1f %14s", gamma, 1.0 / gamma,
+                 out.result.convergence_time_s, shares);
+    } else {
+      bench::row("%-8.0f %-10.4f %14s %14s", gamma, 1.0 / gamma,
+                 "> horizon", shares);
+    }
+    if (gamma == 2) t2 = out.result.convergence_time_s;
+    if (gamma == 64) {
+      t64 = out.result.converged ? out.result.convergence_time_s : 1e9;
+    }
+  }
+
+  bench::verdict(t2 < 60.0 && t64 > 3.0 * t2,
+                 "standard TCP converges in seconds; TCP(1/64) takes far "
+                 "longer (growing steeply with 1/b)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 12: 0.1-fair convergence time for two TFRC(k) flows vs k.
+#include "bench_util.hpp"
+#include "scenario/convergence_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 12",
+                "0.1-fair convergence time for two TFRC(k) flows vs k");
+  bench::paper_note(
+      "unlike TCP(b), TFRC's convergence time grows only mildly with its "
+      "slowness parameter: the equation adjusts to the loss-interval "
+      "average rather than by repeated multiplicative steps");
+
+  bench::row("%-8s %14s %14s", "k", "time (s)", "final shares");
+  double t2 = 0, t64 = 0;
+  for (int k : {2, 4, 8, 16, 32, 64, 128}) {
+    scenario::ConvergenceConfig cfg;
+    cfg.spec = scenario::FlowSpec::tfrc(k);
+    cfg.first_flow_head_start = sim::Time::seconds(20.0);
+    cfg.horizon = sim::Time::seconds(300.0);
+    const auto out = run_convergence(cfg);
+    char shares[48];
+    std::snprintf(shares, sizeof(shares), "%.2f/%.2f", out.flow1_final_share,
+                  out.flow2_final_share);
+    if (out.result.converged) {
+      bench::row("%-8d %14.1f %14s", k, out.result.convergence_time_s,
+                 shares);
+    } else {
+      bench::row("%-8d %14s %14s", k, "> horizon", shares);
+    }
+    if (k == 2) t2 = out.result.convergence_time_s;
+    if (k == 64) t64 = out.result.converged ? out.result.convergence_time_s
+                                            : 300.0;
+  }
+
+  bench::verdict(
+      t64 < 20.0 * std::max(t2, 1.0),
+      "TFRC convergence grows far slower in k than TCP(b) does in 1/b "
+      "(compare Figure 10: TCP(1/64) vs TCP(1/2) spans a much wider range)");
+  return 0;
+}

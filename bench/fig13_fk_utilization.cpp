@@ -1,0 +1,61 @@
+// Figure 13: link utilization f(20) and f(200) after the available
+// bandwidth doubles (five of ten flows stop), for TCP(1/b), SQRT(1/b),
+// and TFRC(b). TFRC runs with history discounting off, as in the paper.
+#include "bench_util.hpp"
+#include "scenario/fk_experiment.hpp"
+
+using namespace slowcc;
+
+namespace {
+
+scenario::FkOutcome run(const scenario::FlowSpec& spec) {
+  scenario::FkConfig cfg;
+  cfg.spec = spec;
+  cfg.stop_time = sim::Time::seconds(120.0);
+  return run_fk(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 13",
+                "f(20) and f(200) after the available bandwidth doubles");
+  bench::paper_note(
+      "paper: TCP ~0.86 at f(20); TCP(1/8) ~0.75; TFRC(8) ~0.65; "
+      "TCP(1/256)/TFRC(256) only ~0.60 at f(20) and 0.65-0.70 even after "
+      "200 RTTs — slower mechanisms waste newly-available bandwidth");
+
+  bench::row("%-12s %10s %10s %14s", "mechanism", "f(20)", "f(200)",
+             "util before");
+  double tcp_f20 = 0, tcp256_f20 = 0, tfrc8_f20 = 0, tcp256_f200 = 0;
+  for (double g : {2.0, 8.0, 64.0, 256.0}) {
+    const auto out = run(scenario::FlowSpec::tcp(g));
+    bench::row("TCP(1/%-4.0f) %10.2f %10.2f %14.2f", g, out.f_values[0],
+               out.f_values[1], out.utilization_before_stop);
+    if (g == 2) tcp_f20 = out.f_values[0];
+    if (g == 256) {
+      tcp256_f20 = out.f_values[0];
+      tcp256_f200 = out.f_values[1];
+    }
+  }
+  for (double g : {2.0, 8.0, 64.0, 256.0}) {
+    const auto out = run(scenario::FlowSpec::sqrt(g));
+    bench::row("SQRT(1/%-3.0f) %10.2f %10.2f %14.2f", g, out.f_values[0],
+               out.f_values[1], out.utilization_before_stop);
+  }
+  for (int k : {6, 8, 64, 256}) {
+    auto spec = scenario::FlowSpec::tfrc(k);
+    spec.tfrc_history_discounting = false;
+    const auto out = run(spec);
+    bench::row("TFRC(%-5d) %10.2f %10.2f %14.2f", k, out.f_values[0],
+               out.f_values[1], out.utilization_before_stop);
+    if (k == 8) tfrc8_f20 = out.f_values[0];
+  }
+
+  bench::verdict(tcp_f20 > 0.8 && tcp_f20 > tfrc8_f20 + 0.1 &&
+                     tcp_f20 > tcp256_f20 + 0.2 && tcp256_f200 < 0.95,
+                 "fast TCP reclaims the doubled bandwidth; TFRC(8) and the "
+                 "very slow variants lag, the slowest still below full "
+                 "utilization after 200 RTTs");
+  return 0;
+}

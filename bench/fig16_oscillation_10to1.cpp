@@ -1,0 +1,45 @@
+// Figure 16: utilization under an extreme 10:1 bandwidth oscillation.
+#include "bench_util.hpp"
+#include "scenario/oscillation_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 16",
+                "throughput fraction vs ON/OFF length, 10:1 oscillation");
+  bench::paper_note(
+      "none of the mechanisms do well; at certain change frequencies "
+      "TFRC performs particularly badly relative to TCP — an environment "
+      "with varying load yields lower utilization with SlowCC than TCP");
+
+  bench::row("%-12s %10s %10s %10s", "on/off (s)", "TCP(1/8)", "TCP",
+             "TFRC(6)");
+  bool tfrc_suffers_somewhere = false;
+  bool nobody_great = true;
+  for (double len : {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4}) {
+    double vals[3];
+    int i = 0;
+    for (const auto& spec :
+         {scenario::FlowSpec::tcp(8), scenario::FlowSpec::tcp(2),
+          scenario::FlowSpec::tfrc(6)}) {
+      scenario::OscillationConfig cfg;
+      cfg.spec = spec;
+      cfg.on_off_length = sim::Time::seconds(len);
+      cfg.cbr_peak_fraction = 0.9;  // 15 <-> 1.5 Mb/s available
+      const auto out = run_oscillation(cfg);
+      vals[i++] = out.aggregate_fraction;
+    }
+    bench::row("%-12.2f %10.2f %10.2f %10.2f", len, vals[0], vals[1],
+               vals[2]);
+    if (vals[2] < vals[1] - 0.08) tfrc_suffers_somewhere = true;
+    if (len >= 0.2 && len <= 3.2 &&
+        std::max({vals[0], vals[1], vals[2]}) > 0.97) {
+      nobody_great = false;
+    }
+  }
+
+  bench::verdict(tfrc_suffers_somewhere && nobody_great,
+                 "10:1 oscillations hurt everyone; TFRC falls clearly "
+                 "behind TCP at some change frequencies");
+  return 0;
+}

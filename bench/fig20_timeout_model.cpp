@@ -1,0 +1,47 @@
+// Figure 20 / Appendix A: throughput-equation curves — Reno (Padhye),
+// pure AIMD, and the "AIMD with timeouts" extension.
+#include <cmath>
+
+#include "analysis/timeout_model.hpp"
+#include "bench_util.hpp"
+#include "cc/response_function.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Figure 20",
+                "response-function models with and without timeouts");
+  bench::paper_note(
+      "pure AIMD sqrt(1.5/p) applies for p < ~1/3; the 'AIMD with "
+      "timeouts' line extends the model to rates below one packet/RTT "
+      "(2/3 pkts/RTT at p = 1/2) and upper-bounds Reno, whose Padhye "
+      "formula is the lower bound");
+
+  bench::row("%-10s %14s %16s %14s", "p", "pure AIMD", "AIMD w/ timeouts",
+             "Reno (Padhye)");
+  bool bounds_hold = true;
+  for (double p : {0.01, 0.05, 0.1, 0.2, 1.0 / 3.0, 0.5, 0.6, 0.7, 0.8,
+                   0.9}) {
+    const double pure =
+        p <= 1.0 / 3.0 ? cc::simple_response_pkts_per_rtt(p) : std::nan("");
+    const double with_to =
+        p >= 0.5 ? analysis::aimd_with_timeouts_pkts_per_rtt(p)
+                 : std::nan("");
+    const double reno = cc::padhye_pkts_per_rtt(p);
+    bench::row("%-10.3f %14.3f %16.3f %14.3f", p, pure, with_to, reno);
+    // Upper-bound property checked over the figure's plotted range
+    // (p <= ~0.8): beyond that the Padhye formula leaves its own
+    // validity range and the curves cross.
+    if (p >= 0.5 && p <= 0.8 && !(with_to > reno)) bounds_hold = false;
+  }
+  bench::note("spot check: p=1/2 timeout model = %.4f (paper: 2/3)",
+              analysis::aimd_with_timeouts_pkts_per_rtt(0.5));
+
+  bench::verdict(
+      bounds_hold &&
+          std::abs(analysis::aimd_with_timeouts_pkts_per_rtt(0.5) -
+                   2.0 / 3.0) < 1e-9,
+      "timeout model reproduces the 2/3 pkts/RTT point at p=1/2 and "
+      "upper-bounds the Reno curve in its validity range");
+  return 0;
+}

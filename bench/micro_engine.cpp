@@ -1,0 +1,102 @@
+// Engine micro-benchmarks (google-benchmark): raw event throughput,
+// queue disciplines, link forwarding, and a full dumbbell in flight.
+#include <benchmark/benchmark.h>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/red_queue.hpp"
+#include "scenario/dumbbell.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+using namespace slowcc;
+
+static void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(sim::Time::micros(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(q.schedule(sim::Time::micros(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) (void)q.pop(nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+static void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q(64);
+  net::Packet p;
+  for (auto _ : state) {
+    net::Packet copy = p;
+    benchmark::DoNotOptimize(q.enqueue(std::move(copy)));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+static void BM_RedEnqueueDequeue(benchmark::State& state) {
+  sim::Simulator sim;
+  net::RedConfig cfg;
+  cfg.limit_packets = 64;
+  cfg.min_thresh = 5;
+  cfg.max_thresh = 15;
+  net::RedQueue q(sim, cfg);
+  net::Packet p;
+  for (auto _ : state) {
+    net::Packet copy = p;
+    benchmark::DoNotOptimize(q.enqueue(std::move(copy)));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+static void BM_DumbbellTcpSecond(benchmark::State& state) {
+  // Cost of simulating one second of a loaded dumbbell (10 TCP flows at
+  // 10 Mb/s): the workhorse configuration of every experiment.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    scenario::DumbbellConfig cfg;
+    cfg.reverse_tcp_flows = 0;
+    scenario::Dumbbell net(sim, cfg);
+    for (int i = 0; i < 10; ++i) net.add_flow(scenario::FlowSpec::tcp());
+    net.start_flows();
+    net.finalize();
+    sim.run_until(sim::Time::seconds(1.0));
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_DumbbellTcpSecond)->Unit(benchmark::kMillisecond);
+
+static void BM_DumbbellTfrcSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    scenario::DumbbellConfig cfg;
+    cfg.reverse_tcp_flows = 0;
+    scenario::Dumbbell net(sim, cfg);
+    for (int i = 0; i < 10; ++i) net.add_flow(scenario::FlowSpec::tfrc(6));
+    net.start_flows();
+    net.finalize();
+    sim.run_until(sim::Time::seconds(1.0));
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_DumbbellTfrcSecond)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

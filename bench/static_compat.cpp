@@ -1,0 +1,42 @@
+// Static TCP-compatibility baseline (the premise of the paper's §2):
+// goodput under steady Bernoulli loss vs the Padhye prediction.
+#include "bench_util.hpp"
+#include "scenario/static_compat_experiment.hpp"
+
+using namespace slowcc;
+
+int main() {
+  bench::header("Static compatibility",
+                "goodput under steady loss vs the TCP response function");
+  bench::paper_note(
+      "under a fixed loss rate every TCP-compatible mechanism obtains "
+      "roughly the throughput of the TCP response function — the static "
+      "condition all the dynamic experiments start from");
+
+  const double losses[] = {0.005, 0.01, 0.02, 0.05};
+  bench::row("%-12s %8s %12s %12s %8s", "mechanism", "p", "goodput",
+             "predicted", "ratio");
+  bool all_close = true;
+  for (const auto& spec :
+       {scenario::FlowSpec::tcp(2), scenario::FlowSpec::tcp(8),
+        scenario::FlowSpec::sqrt(2), scenario::FlowSpec::tfrc(6),
+        scenario::FlowSpec::rap(2)}) {
+    for (double p : losses) {
+      scenario::StaticCompatConfig cfg;
+      cfg.spec = spec;
+      cfg.loss_rate = p;
+      const auto out = run_static_compat(cfg);
+      bench::row("%-12s %8.3f %9.2f Mb/s %9.2f Mb/s %8.2f",
+                 spec.label().c_str(), p, out.goodput_bps / 1e6,
+                 out.padhye_prediction_bps / 1e6, out.ratio_to_prediction);
+      if (out.ratio_to_prediction < 0.33 || out.ratio_to_prediction > 3.5) {
+        all_close = false;
+      }
+    }
+  }
+
+  bench::verdict(all_close,
+                 "every mechanism stays within a small factor of the TCP "
+                 "response function under static loss");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Quickstart: build a dumbbell, run a TCP flow against a TFRC flow, and
+// print their throughputs. Mirrors the README's first example.
+#include <cstdio>
+
+#include "scenario/dumbbell.hpp"
+
+int main() {
+  using namespace slowcc;
+
+  sim::Simulator sim;
+  scenario::DumbbellConfig cfg;   // 10 Mb/s bottleneck, 50 ms RTT, RED
+  scenario::Dumbbell net(sim, cfg);
+
+  auto& tcp = net.add_flow(scenario::FlowSpec::tcp());
+  auto& tfrc = net.add_flow(scenario::FlowSpec::tfrc(6));
+  net.add_reverse_traffic();
+  net.start_flows();
+  net.finalize();
+
+  const sim::Time horizon = sim::Time::seconds(120.0);
+  sim.run_until(horizon);
+
+  std::printf("slowcc quickstart: 120 s on a 10 Mb/s, 50 ms RTT dumbbell\n");
+  std::printf("  %-10s %8.2f Mb/s\n", tcp.spec.label().c_str(),
+              net.flow_goodput_bps(tcp, horizon) / 1e6);
+  std::printf("  %-10s %8.2f Mb/s\n", tfrc.spec.label().c_str(),
+              net.flow_goodput_bps(tfrc, horizon) / 1e6);
+  std::printf("  events executed: %llu\n",
+              static_cast<unsigned long long>(sim.events_executed()));
+  return 0;
+}

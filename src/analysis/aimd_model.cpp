@@ -1,0 +1,29 @@
+#include "analysis/aimd_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slowcc::analysis {
+
+double aimd_aggressiveness(double a) {
+  if (a <= 0.0) throw std::invalid_argument("aggressiveness: a must be > 0");
+  return a;
+}
+
+double aimd_responsiveness_rtts(double b) {
+  if (b <= 0.0 || b >= 1.0) {
+    throw std::invalid_argument("responsiveness: b must be in (0, 1)");
+  }
+  // After n decreases the rate is (1-b)^n of the original; solve
+  // (1-b)^n = 1/2.
+  return std::log(0.5) / std::log(1.0 - b);
+}
+
+double aimd_smoothness(double b) {
+  if (b <= 0.0 || b >= 1.0) {
+    throw std::invalid_argument("smoothness: b must be in (0, 1)");
+  }
+  return 1.0 - b;
+}
+
+}  // namespace slowcc::analysis

@@ -1,0 +1,20 @@
+#pragma once
+
+namespace slowcc::analysis {
+
+/// §4.2.2's analytical model: for two pure AIMD(a, b) flows in an
+/// ECN-style environment with mark probability p, the expected window
+/// difference contracts by (1 - bp) per ACK, so the expected number of
+/// ACKs to reach a δ-fair allocation from a fully skewed start is
+/// log_{1-bp} δ.
+[[nodiscard]] double expected_acks_to_fairness(double b, double p,
+                                               double delta);
+
+/// The same quantity converted to RTTs given an average combined window
+/// of `total_window_pkts` (both flows together ACK that many packets
+/// per RTT).
+[[nodiscard]] double expected_rtts_to_fairness(double b, double p,
+                                               double delta,
+                                               double total_window_pkts);
+
+}  // namespace slowcc::analysis

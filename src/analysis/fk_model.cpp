@@ -1,0 +1,19 @@
+#include "analysis/fk_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slowcc::analysis {
+
+double fk_aimd_approximation(int k, double a, sim::Time rtt,
+                             double lambda_pps) {
+  if (k < 1) throw std::invalid_argument("fk model: k must be >= 1");
+  if (a <= 0.0 || lambda_pps <= 0.0 || rtt <= sim::Time()) {
+    throw std::invalid_argument("fk model: parameters must be positive");
+  }
+  const double f = 0.5 + static_cast<double>(k) * a /
+                             (4.0 * rtt.as_seconds() * lambda_pps);
+  return std::min(1.0, f);
+}
+
+}  // namespace slowcc::analysis

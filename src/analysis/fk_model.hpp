@@ -1,0 +1,15 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace slowcc::analysis {
+
+/// §4.2.3's approximation of the post-doubling utilization for
+/// AIMD(a, b): after the available bandwidth jumps from λ to 2λ
+/// packets/sec, f(k) ≈ 1/2 + k·a/(4·R·λ), capped at 1.
+///
+/// `rtt` is R, `lambda_pps` the pre-doubling bandwidth in packets/sec.
+[[nodiscard]] double fk_aimd_approximation(int k, double a, sim::Time rtt,
+                                           double lambda_pps);
+
+}  // namespace slowcc::analysis

@@ -1,0 +1,33 @@
+#include "analysis/timeout_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cc/response_function.hpp"
+
+namespace slowcc::analysis {
+
+double aimd_with_timeouts_pkts_per_rtt(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("timeout model: p must be in (0, 1)");
+  }
+  const double inv = 1.0 / (1.0 - p);
+  return inv / (std::pow(2.0, inv) - 1.0);
+}
+
+double combined_model_pkts_per_rtt(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("combined model: p must be in (0, 1)");
+  }
+  constexpr double kPureLimit = 1.0 / 3.0;
+  constexpr double kTimeoutStart = 0.5;
+  if (p < kPureLimit) return cc::simple_response_pkts_per_rtt(p);
+  if (p >= kTimeoutStart) return aimd_with_timeouts_pkts_per_rtt(p);
+
+  const double lo = std::log(cc::simple_response_pkts_per_rtt(kPureLimit));
+  const double hi = std::log(aimd_with_timeouts_pkts_per_rtt(kTimeoutStart));
+  const double t = (p - kPureLimit) / (kTimeoutStart - kPureLimit);
+  return std::exp(lo + t * (hi - lo));
+}
+
+}  // namespace slowcc::analysis

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace slowcc::analysis {
+
+/// Appendix A of the paper: extending the pure-AIMD model to sending
+/// rates below one packet per RTT by treating the exponential backoff
+/// of the retransmit timer as continued rate-halving.
+
+/// "AIMD with timeouts" sending rate in packets/RTT for a steady-state
+/// drop rate p ≥ 1/2 (the model's validity range):
+///
+///   rate = (1/(1-p)) / (2^{1/(1-p)} − 1)
+///
+/// For p = 1/2 the sender delivers 2 packets every 3 RTTs (2/3).
+[[nodiscard]] double aimd_with_timeouts_pkts_per_rtt(double p);
+
+/// Piecewise model combining pure AIMD (p < 1/3) with the timeout model
+/// (p ≥ 1/2); in between, interpolate linearly in log-rate — the paper
+/// notes the two curves bound TCP's behavior in that region.
+[[nodiscard]] double combined_model_pkts_per_rtt(double p);
+
+}  // namespace slowcc::analysis

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::cc {
+
+/// Counters every sending agent maintains.
+struct AgentStats {
+  std::uint64_t packets_sent = 0;    // includes retransmissions
+  std::int64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;        // retransmit-timer expirations
+  std::uint64_t acks_received = 0;   // ack/feedback packets processed
+  std::uint64_t congestion_events = 0;  // window/rate reductions
+};
+
+/// Base class for sending transport endpoints.
+///
+/// An agent lives on a node, owns a local port, and exchanges packets
+/// with a peer endpoint (a sink) identified by node + port. Subclasses
+/// implement the congestion control algorithm; this class provides
+/// addressing, packet construction, and the injection path (packets are
+/// handed to the local node, which routes them).
+class Agent : public net::PacketHandler {
+ public:
+  Agent(sim::Simulator& sim, net::Node& local, net::NodeId peer_node,
+        net::PortId peer_port, net::FlowId flow);
+  ~Agent() override;
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Begin transmitting. Idempotent.
+  virtual void start() = 0;
+
+  /// Stop transmitting and cancel timers. The agent stays attached so
+  /// late packets are absorbed quietly. Idempotent.
+  virtual void stop() = 0;
+
+  [[nodiscard]] const AgentStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::FlowId flow() const noexcept { return flow_; }
+  [[nodiscard]] net::PortId local_port() const noexcept { return local_port_; }
+  [[nodiscard]] net::Node& local_node() noexcept { return local_; }
+
+  /// Data segment size used by this flow, bytes (default 1000).
+  void set_packet_size(std::int64_t bytes) noexcept { packet_size_ = bytes; }
+  [[nodiscard]] std::int64_t packet_size() const noexcept {
+    return packet_size_;
+  }
+
+ protected:
+  /// Build a packet addressed to the peer with this agent's identity
+  /// stamped on it.
+  [[nodiscard]] net::Packet make_packet(net::PacketType type) const;
+
+  /// Hand a packet to the local node for routing/delivery.
+  void inject(net::Packet&& p);
+
+  sim::Simulator& sim_;
+  net::Node& local_;
+  net::NodeId peer_node_;
+  net::PortId peer_port_;
+  net::PortId local_port_;
+  net::FlowId flow_;
+  std::int64_t packet_size_ = 1000;
+  AgentStats stats_;
+
+ private:
+  static std::uint64_t next_uid_;
+};
+
+/// Base class for receiving endpoints; counts goodput so experiments
+/// can measure per-flow throughput where the paper does (at the
+/// receiver).
+class SinkBase : public net::PacketHandler {
+ public:
+  SinkBase(sim::Simulator& sim, net::Node& local);
+  ~SinkBase() override;
+
+  SinkBase(const SinkBase&) = delete;
+  SinkBase& operator=(const SinkBase&) = delete;
+
+  [[nodiscard]] net::PortId local_port() const noexcept { return local_port_; }
+  [[nodiscard]] net::Node& local_node() noexcept { return local_; }
+  [[nodiscard]] std::int64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+  [[nodiscard]] std::uint64_t packets_received() const noexcept {
+    return packets_received_;
+  }
+
+ protected:
+  void note_received(const net::Packet& p) {
+    bytes_received_ += p.size_bytes;
+    ++packets_received_;
+  }
+
+  sim::Simulator& sim_;
+  net::Node& local_;
+  net::PortId local_port_;
+
+ private:
+  std::int64_t bytes_received_ = 0;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace slowcc::cc

@@ -1,0 +1,47 @@
+#include "cc/response_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slowcc::cc {
+
+double simple_response_pkts_per_rtt(double loss_rate) {
+  return aimd_response_pkts_per_rtt(1.0, 0.5, loss_rate);
+}
+
+double aimd_response_pkts_per_rtt(double a, double b, double loss_rate) {
+  if (loss_rate <= 0.0) {
+    throw std::invalid_argument("aimd_response: loss rate must be > 0");
+  }
+  // Deterministic sawtooth: window oscillates between (1-b)W and W with
+  // 1/p packets per cycle; average window sqrt(a(2-b)/(2b p)).
+  return std::sqrt(a * (2.0 - b) / (2.0 * b * loss_rate));
+}
+
+double padhye_rate_bytes_per_sec(double loss_event_rate, sim::Time rtt,
+                                 std::int64_t packet_size_bytes,
+                                 sim::Time t_rto) {
+  if (loss_event_rate <= 0.0) {
+    throw std::invalid_argument("padhye_rate: loss rate must be > 0");
+  }
+  const double p = std::min(1.0, loss_event_rate);
+  const double r = rtt.as_seconds();
+  const double s = static_cast<double>(packet_size_bytes);
+  const double rto = t_rto.is_zero() ? 4.0 * r : t_rto.as_seconds();
+
+  const double term_ca = r * std::sqrt(2.0 * p / 3.0);
+  const double term_to =
+      rto * std::min(1.0, 3.0 * std::sqrt(3.0 * p / 8.0)) * p *
+      (1.0 + 32.0 * p * p);
+  return s / (term_ca + term_to);
+}
+
+double padhye_pkts_per_rtt(double loss_event_rate) {
+  // Rate in packets/RTT is independent of s and R when t_RTO = 4R:
+  // evaluate with unit packet size and unit RTT.
+  const sim::Time unit_rtt = sim::Time::seconds(1.0);
+  return padhye_rate_bytes_per_sec(loss_event_rate, unit_rtt, 1);
+}
+
+}  // namespace slowcc::cc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace slowcc::cc {
+
+/// TCP response functions: steady-state sending rate as a function of
+/// the loss (event) rate. These are the "TCP-friendly formulas" the
+/// TCP-compatible paradigm is built on (paper §1–2, Figure 20).
+
+/// Simple "pure AIMD" form, sqrt(3/(2bp))·(1/..)… specialised to TCP's
+/// b = 1/2 this is the classic sqrt(1.5/p) packets per RTT. Valid for
+/// p ≲ 1/3. Returns packets per RTT.
+[[nodiscard]] double simple_response_pkts_per_rtt(double loss_rate);
+
+/// Pure AIMD(a, b) deterministic-model response: sqrt(a(2-b)/(2b p))
+/// packets per RTT (reduces to sqrt(1.5/p) for a=1, b=1/2).
+[[nodiscard]] double aimd_response_pkts_per_rtt(double a, double b,
+                                                double loss_rate);
+
+/// Padhye et al. (1998) full TCP Reno response function including
+/// retransmit timeouts:
+///
+///   X = s / ( R·sqrt(2bp/3) + t_RTO · min(1, 3·sqrt(3bp/8)) · p·(1+32p²) )
+///
+/// with b the number of packets acknowledged per ACK (1 here: the
+/// paper's TCPs run without delayed acknowledgments). Returns the rate
+/// in bytes per second. `t_rto` defaults to 4·rtt when zero, the TFRC
+/// convention.
+[[nodiscard]] double padhye_rate_bytes_per_sec(double loss_event_rate,
+                                               sim::Time rtt,
+                                               std::int64_t packet_size_bytes,
+                                               sim::Time t_rto = sim::Time());
+
+/// Padhye response expressed in packets per RTT (for Figure 20).
+[[nodiscard]] double padhye_pkts_per_rtt(double loss_event_rate);
+
+}  // namespace slowcc::cc

@@ -1,0 +1,73 @@
+#include "cc/tcp_sink.hpp"
+
+namespace slowcc::cc {
+
+TcpSink::TcpSink(sim::Simulator& sim, net::Node& local)
+    : SinkBase(sim, local), delack_timer_(sim, [this] { on_delack_timer(); }) {}
+
+void TcpSink::handle_packet(net::Packet&& p) {
+  if (p.type != net::PacketType::kData) return;
+  note_received(p);
+
+  peer_node_ = p.src_node;
+  peer_port_ = p.src_port;
+  flow_ = p.flow;
+  last_stamp_ = p.sent_at;
+  last_ecn_ = p.ecn_marked;
+
+  bool in_order = false;
+  if (p.seq == next_expected_) {
+    in_order = true;
+    ++next_expected_;
+    // Drain any previously buffered out-of-order segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == next_expected_) {
+      ++next_expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.seq > next_expected_) {
+    out_of_order_.insert(p.seq);
+  }
+  // p.seq < next_expected_: spurious retransmission; still ACKed (a
+  // duplicate cumulative ACK), as real TCP does.
+
+  if (delayed_acks_ && in_order && out_of_order_.empty()) {
+    if (ack_pending_) {
+      // Second in-order segment: acknowledge both now.
+      send_ack();
+    } else {
+      ack_pending_ = true;
+      delack_timer_.schedule_in(delack_timeout_);
+    }
+    return;
+  }
+  // Immediate-ACK mode, out-of-order data, or a hole just filled:
+  // acknowledge right away so the sender's loss detection stays sharp.
+  send_ack();
+}
+
+void TcpSink::on_delack_timer() {
+  if (ack_pending_) send_ack();
+}
+
+void TcpSink::send_ack() {
+  ack_pending_ = false;
+  delack_timer_.cancel();
+
+  net::Packet ack;
+  ack.type = net::PacketType::kAck;
+  ack.src_node = local_.id();
+  ack.src_port = local_port_;
+  ack.dst_node = peer_node_;
+  ack.dst_port = peer_port_;
+  ack.flow = flow_;
+  ack.size_bytes = ack_size_;
+  ack.seq = next_expected_;
+  ack.sent_at = sim_.now();
+  ack.echo = last_stamp_;
+  ack.ecn_marked = last_ecn_;
+  ++acks_sent_;
+  local_.deliver(std::move(ack));
+}
+
+}  // namespace slowcc::cc

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "cc/agent.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::cc {
+
+/// TCP receiver: generates cumulative ACKs for data segments.
+///
+/// By default every segment is acknowledged immediately (the paper's
+/// TCPs run without delayed acknowledgments). With
+/// `set_delayed_acks(true)` the sink follows RFC 1122 delayed-ACK
+/// rules: acknowledge every second in-order segment, or after
+/// `delack_timeout` (default 200 ms), and immediately on out-of-order
+/// arrivals (so fast retransmit still sees prompt dup ACKs).
+///
+/// Tracks out-of-order segments so the cumulative ACK advances over
+/// holes filled by retransmissions. ACKs echo the data packet's
+/// timestamp for RTT sampling and its ECN mark for congestion echo.
+class TcpSink final : public SinkBase {
+ public:
+  TcpSink(sim::Simulator& sim, net::Node& local);
+
+  void handle_packet(net::Packet&& p) override;
+
+  /// Next sequence number expected in order.
+  [[nodiscard]] std::int64_t next_expected() const noexcept {
+    return next_expected_;
+  }
+
+  /// ACK size on the wire, bytes (default 40).
+  void set_ack_size(std::int64_t bytes) noexcept { ack_size_ = bytes; }
+
+  /// Enable RFC 1122 delayed acknowledgments (default off, matching
+  /// the paper: "TCP without delayed acknowledgments").
+  void set_delayed_acks(bool on) noexcept { delayed_acks_ = on; }
+  void set_delack_timeout(sim::Time t) noexcept { delack_timeout_ = t; }
+  [[nodiscard]] std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+
+ private:
+  void send_ack();
+  void on_delack_timer();
+
+  std::int64_t next_expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+  std::int64_t ack_size_ = 40;
+
+  bool delayed_acks_ = false;
+  sim::Time delack_timeout_ = sim::Time::millis(200);
+  sim::Timer delack_timer_;
+  bool ack_pending_ = false;   // one unacknowledged in-order segment held
+  std::uint64_t acks_sent_ = 0;
+
+  // Identity of the peer, learned from data packets, used by the
+  // delayed-ACK timer path.
+  net::NodeId peer_node_ = net::kInvalidNode;
+  net::PortId peer_port_ = 0;
+  net::FlowId flow_ = 0;
+  sim::Time last_stamp_;
+  bool last_ecn_ = false;
+};
+
+}  // namespace slowcc::cc

@@ -1,0 +1,100 @@
+#include "cc/tfrc_sink.hpp"
+
+#include <algorithm>
+
+namespace slowcc::cc {
+
+TfrcSink::TfrcSink(sim::Simulator& sim, net::Node& local, int history_n)
+    : SinkBase(sim, local),
+      history_(history_n),
+      feedback_timer_(sim, [this] { on_feedback_timer(); }) {}
+
+sim::Time TfrcSink::rate_window() const {
+  // Measure the receive rate over about one RTT, but never less than
+  // 50 ms so a handful of back-to-back packets can't fake a huge rate.
+  return std::max(sender_rtt_, sim::Time::millis(50));
+}
+
+double TfrcSink::receive_rate_bytes_per_sec() const {
+  if (window_.empty()) return 0.0;
+  const sim::Time w = rate_window();
+  std::int64_t bytes = 0;
+  for (const auto& [t, b] : window_) {
+    if (sim_.now() - t <= w) bytes += b;
+  }
+  return static_cast<double>(bytes) / w.as_seconds();
+}
+
+void TfrcSink::handle_packet(net::Packet&& p) {
+  if (p.type != net::PacketType::kTfrcData) return;
+  note_received(p);
+
+  sender_node_ = p.src_node;
+  sender_port_ = p.src_port;
+  flow_ = p.flow;
+  last_packet_stamp_ = p.sent_at;
+  sender_rtt_ = p.rtt_estimate;
+  data_since_feedback_ = true;
+
+  window_.emplace_back(sim_.now(), p.size_bytes);
+  const sim::Time horizon = rate_window() * 2.0;
+  while (!window_.empty() && sim_.now() - window_.front().first > horizon) {
+    window_.pop_front();
+  }
+
+  const bool new_event = history_.on_packet(p.seq, sim_.now(), p.rtt_estimate);
+  if (new_event) loss_since_feedback_ = true;
+
+  if (!saw_packet_) {
+    saw_packet_ = true;
+    // First packet: report immediately so the sender learns the RTT.
+    send_feedback();
+  } else if (new_event) {
+    // Expedited feedback on a fresh loss event.
+    send_feedback();
+  }
+}
+
+void TfrcSink::on_feedback_timer() {
+  if (!saw_packet_) return;
+  if (!data_since_feedback_) {
+    // Nothing arrived: a report now would carry X_recv ~ 0 and starve
+    // the sender permanently. Stay silent; the sender's no-feedback
+    // timer handles a genuinely dead path.
+    feedback_timer_.schedule_in(rate_window());
+    return;
+  }
+  send_feedback();
+}
+
+void TfrcSink::send_feedback() {
+  net::Packet fb;
+  fb.type = net::PacketType::kTfrcFeedback;
+  fb.src_node = local_.id();
+  fb.src_port = local_port_;
+  fb.dst_node = sender_node_;
+  fb.dst_port = sender_port_;
+  fb.flow = flow_;
+  fb.size_bytes = feedback_size_;
+  fb.sent_at = sim_.now();
+  fb.echo = last_packet_stamp_;
+  fb.feedback.loss_event_rate = history_.loss_event_rate();
+  fb.feedback.receive_rate = receive_rate_bytes_per_sec();
+  // "Loss reported" means a loss event began within the last RTT — not
+  // merely since the previous report. Expedited reports would otherwise
+  // consume the flag and let the very next periodic report claim a
+  // loss-free RTT in the middle of persistent congestion, defeating the
+  // conservative option's receive-rate cap.
+  fb.feedback.loss_seen =
+      history_.loss_events() > 0 &&
+      sim_.now() - history_.last_event_start() <= rate_window();
+  local_.deliver(std::move(fb));
+
+  data_since_feedback_ = false;
+  loss_since_feedback_ = false;
+
+  // Next periodic report one (sender-estimated) RTT from now.
+  feedback_timer_.schedule_in(rate_window());
+}
+
+}  // namespace slowcc::cc

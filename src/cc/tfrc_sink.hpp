@@ -1,0 +1,62 @@
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "cc/agent.hpp"
+#include "cc/tfrc_loss_history.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::cc {
+
+/// TFRC receiver.
+///
+/// Maintains the loss-event history, measures the receive rate, and
+/// reports {loss event rate, receive rate, echoed timestamp, whether a
+/// new loss event occurred} back to the sender — once per RTT, plus an
+/// immediate report whenever a new loss event starts (so the sender
+/// reacts within one RTT of congestion, per the TFRC specification).
+class TfrcSink final : public SinkBase {
+ public:
+  /// `history_n` is the k of TFRC(k): loss intervals averaged.
+  TfrcSink(sim::Simulator& sim, net::Node& local, int history_n);
+
+  void handle_packet(net::Packet&& p) override;
+
+  [[nodiscard]] const TfrcLossHistory& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] TfrcLossHistory& history() noexcept { return history_; }
+
+  void set_feedback_size(std::int64_t bytes) noexcept {
+    feedback_size_ = bytes;
+  }
+
+ private:
+  void send_feedback();
+  void on_feedback_timer();
+
+  TfrcLossHistory history_;
+  sim::Timer feedback_timer_;
+  std::int64_t feedback_size_ = 40;
+
+  bool saw_packet_ = false;
+  net::NodeId sender_node_ = net::kInvalidNode;
+  net::PortId sender_port_ = 0;
+  net::FlowId flow_ = 0;
+
+  sim::Time last_packet_stamp_;   // sent_at of the latest data packet
+  sim::Time sender_rtt_;          // sender's RTT estimate, from packets
+  bool data_since_feedback_ = false;
+  bool loss_since_feedback_ = false;
+
+  // Rolling window of arrivals for the receive-rate estimate. Rate is
+  // measured over (roughly) the last RTT regardless of when feedback
+  // fires, so expedited loss reports don't inflate X_recv by measuring
+  // over a near-zero interval.
+  std::deque<std::pair<sim::Time, std::int64_t>> window_;
+  [[nodiscard]] double receive_rate_bytes_per_sec() const;
+  [[nodiscard]] sim::Time rate_window() const;
+};
+
+}  // namespace slowcc::cc

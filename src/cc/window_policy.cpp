@@ -1,0 +1,78 @@
+#include "cc/window_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace slowcc::cc {
+
+AimdPolicy::AimdPolicy(double a, double b) : a_(a), b_(b) {
+  if (a <= 0.0) throw std::invalid_argument("AimdPolicy: a must be > 0");
+  if (b <= 0.0 || b >= 1.0) {
+    throw std::invalid_argument("AimdPolicy: b must be in (0, 1)");
+  }
+}
+
+double AimdPolicy::increase_per_rtt(double /*w*/) const { return a_; }
+
+double AimdPolicy::decrease_to(double w) const {
+  return std::max(1.0, (1.0 - b_) * w);
+}
+
+std::string AimdPolicy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "AIMD(a=%.4g,b=%.4g)", a_, b_);
+  return buf;
+}
+
+double AimdPolicy::compatible_a(double b) {
+  if (b <= 0.0 || b >= 1.0) {
+    throw std::invalid_argument("compatible_a: b must be in (0, 1)");
+  }
+  return 4.0 * (2.0 * b - b * b) / 3.0;
+}
+
+AimdPolicy AimdPolicy::tcp_compatible(double b) {
+  return AimdPolicy(compatible_a(b), b);
+}
+
+BinomialPolicy::BinomialPolicy(double k, double l, double a, double b)
+    : k_(k), l_(l), a_(a), b_(b) {
+  if (a <= 0.0) throw std::invalid_argument("BinomialPolicy: a must be > 0");
+  if (b <= 0.0) throw std::invalid_argument("BinomialPolicy: b must be > 0");
+  if (l > 1.0) {
+    throw std::invalid_argument(
+        "BinomialPolicy: l must be <= 1 for convergence to fairness");
+  }
+}
+
+double BinomialPolicy::increase_per_rtt(double w) const {
+  return a_ / std::pow(std::max(1.0, w), k_);
+}
+
+double BinomialPolicy::decrease_to(double w) const {
+  const double dec = b_ * std::pow(std::max(1.0, w), l_);
+  return std::max(1.0, w - dec);
+}
+
+std::string BinomialPolicy::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Binomial(k=%.3g,l=%.3g,a=%.4g,b=%.4g)", k_,
+                l_, a_, b_);
+  return buf;
+}
+
+BinomialPolicy BinomialPolicy::sqrt_policy(double b) {
+  // For k + l = 1 the fluid steady state is W = sqrt(a/(b p)) regardless
+  // of the (k, l) split, so the AIMD compatibility constant carries
+  // over: a = 4(2b - b^2)/3 keeps SQRT(b) on TCP's response function.
+  return BinomialPolicy(0.5, 0.5, AimdPolicy::compatible_a(b), b);
+}
+
+BinomialPolicy BinomialPolicy::iiad_policy(double b) {
+  return BinomialPolicy(1.0, 0.0, AimdPolicy::compatible_a(std::min(b, 0.99)),
+                        b);
+}
+
+}  // namespace slowcc::cc

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace slowcc::cc {
+
+/// Pluggable congestion-avoidance increase/decrease rules.
+///
+/// `TcpAgent` owns the loss-detection, retransmission, and
+/// self-clocking machinery and delegates only the window arithmetic to
+/// a policy. This mirrors the paper's framing: TCP(1/γ) and SQRT(1/γ)
+/// share every TCP mechanism except the increase/decrease rules.
+class WindowPolicy {
+ public:
+  virtual ~WindowPolicy() = default;
+
+  /// Window growth per congestion-avoidance RTT at window `w` (the
+  /// agent divides by `w` to apply it per ACK).
+  [[nodiscard]] virtual double increase_per_rtt(double w) const = 0;
+
+  /// New window after one congestion event at window `w`.
+  /// Implementations must return a value in [1, w).
+  [[nodiscard]] virtual double decrease_to(double w) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// AIMD(a, b): w += a per RTT; w -= b·w on congestion.
+class AimdPolicy final : public WindowPolicy {
+ public:
+  AimdPolicy(double a, double b);
+
+  [[nodiscard]] double increase_per_rtt(double w) const override;
+  [[nodiscard]] double decrease_to(double w) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double a() const noexcept { return a_; }
+  [[nodiscard]] double b() const noexcept { return b_; }
+
+  /// The paper's TCP-compatibility relation: a = 4(2b − b²)/3, so
+  /// AIMD(a(b), b) matches TCP(1, 1/2)'s response function. b = 1/2
+  /// yields a = 1 (standard TCP).
+  [[nodiscard]] static double compatible_a(double b);
+
+  /// AIMD(a(b), b) — the TCP-compatible instance for decrease factor b.
+  [[nodiscard]] static AimdPolicy tcp_compatible(double b);
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// Binomial(k, l, a, b): w += a/w^k per RTT; w -= b·w^l on congestion
+/// (Bansal & Balakrishnan 2001). TCP-compatible iff k + l = 1, l <= 1.
+class BinomialPolicy final : public WindowPolicy {
+ public:
+  BinomialPolicy(double k, double l, double a, double b);
+
+  [[nodiscard]] double increase_per_rtt(double w) const override;
+  [[nodiscard]] double decrease_to(double w) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double k() const noexcept { return k_; }
+  [[nodiscard]] double l() const noexcept { return l_; }
+
+  /// SQRT(b): k = l = 1/2 with decrease factor b and the TCP-compatible
+  /// increase constant.
+  [[nodiscard]] static BinomialPolicy sqrt_policy(double b);
+
+  /// IIAD: k = 1, l = 0 (inverse-increase, additive-decrease).
+  [[nodiscard]] static BinomialPolicy iiad_policy(double b = 1.0);
+
+ private:
+  double k_;
+  double l_;
+  double a_;
+  double b_;
+};
+
+}  // namespace slowcc::cc

@@ -1,0 +1,49 @@
+#include "metrics/convergence.hpp"
+
+#include <algorithm>
+
+namespace slowcc::metrics {
+
+namespace {
+double trailing_sum(const std::vector<std::int64_t>& v, std::size_t i,
+                    std::size_t window) {
+  const std::size_t end = std::min(i + 1, v.size());
+  const std::size_t begin = end >= window ? end - window : 0;
+  double s = 0.0;
+  for (std::size_t j = begin; j < end; ++j) {
+    s += static_cast<double>(v[j]);
+  }
+  return s;
+}
+}  // namespace
+
+ConvergenceResult compute_convergence(
+    const std::vector<std::int64_t>& flow1_bytes,
+    const std::vector<std::int64_t>& flow2_bytes, sim::Time bin,
+    sim::Time start, double delta, std::size_t smooth, std::size_t hold) {
+  ConvergenceResult result;
+  const std::size_t n = std::min(flow1_bytes.size(), flow2_bytes.size());
+  const std::size_t start_bin =
+      static_cast<std::size_t>(start.as_nanos() / bin.as_nanos());
+  const double target = (1.0 - delta) / 2.0;
+
+  std::size_t run = 0;
+  for (std::size_t i = start_bin; i < n; ++i) {
+    const double x1 = trailing_sum(flow1_bytes, i, smooth);
+    const double x2 = trailing_sum(flow2_bytes, i, smooth);
+    const double total = x1 + x2;
+    const bool fair = total > 0.0 && std::min(x1, x2) / total >= target;
+    run = fair ? run + 1 : 0;
+    if (run >= hold) {
+      result.converged = true;
+      const std::size_t first_fair_bin = i + 1 - hold;
+      result.convergence_time_s =
+          (static_cast<double>(first_fair_bin - start_bin) + 1.0) *
+          bin.as_seconds();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace slowcc::metrics {
+
+/// δ-fair convergence (paper §3/§4.2.2): the time for two flows to go
+/// from a skewed allocation (B - b0, b0) to ((1+δ)/2 B, (1-δ)/2 B).
+struct ConvergenceResult {
+  bool converged = false;
+  double convergence_time_s = 0.0;  // from `start` to the δ-fair point
+};
+
+/// Determine the δ-fair convergence time from two per-bin throughput
+/// series (bytes per bin, aligned, bin width `bin`).
+///
+/// The allocation is δ-fair when the disadvantaged flow holds at least
+/// (1-δ)/2 of the two flows' combined throughput. Throughput is
+/// smoothed over `smooth` trailing bins, and the condition must hold
+/// for `hold` consecutive (smoothed) bins; the reported time is the
+/// first bin of that run, relative to `start`.
+[[nodiscard]] ConvergenceResult compute_convergence(
+    const std::vector<std::int64_t>& flow1_bytes,
+    const std::vector<std::int64_t>& flow2_bytes, sim::Time bin,
+    sim::Time start, double delta, std::size_t smooth = 10,
+    std::size_t hold = 5);
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,36 @@
+#include "metrics/fairness.hpp"
+
+namespace slowcc::metrics {
+
+double jain_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+std::vector<double> normalized_shares(const std::vector<double>& allocations,
+                                      double total) {
+  std::vector<double> out;
+  out.reserve(allocations.size());
+  const double share =
+      allocations.empty() ? 1.0 : total / static_cast<double>(allocations.size());
+  for (double x : allocations) {
+    out.push_back(share > 0.0 ? x / share : 0.0);
+  }
+  return out;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace slowcc::metrics

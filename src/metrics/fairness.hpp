@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+namespace slowcc::metrics {
+
+/// Jain's fairness index: (Σx)² / (n·Σx²). 1 = perfectly equitable,
+/// 1/n = one flow has everything.
+[[nodiscard]] double jain_index(const std::vector<double>& allocations);
+
+/// Throughputs normalized by the equal share of `total` across
+/// `allocations.size()` flows — the y-axis of Figures 7-9.
+[[nodiscard]] std::vector<double> normalized_shares(
+    const std::vector<double>& allocations, double total);
+
+/// Mean of a vector (0 for empty input).
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+}  // namespace slowcc::metrics

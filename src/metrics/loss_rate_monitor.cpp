@@ -1,0 +1,76 @@
+#include "metrics/loss_rate_monitor.hpp"
+
+#include <stdexcept>
+
+namespace slowcc::metrics {
+
+LossRateMonitor::LossRateMonitor(sim::Simulator& sim, net::Link& link,
+                                 sim::Time bin_width)
+    : sim_(sim), bin_width_(bin_width) {
+  if (bin_width <= sim::Time()) {
+    throw std::invalid_argument("LossRateMonitor: bin width must be > 0");
+  }
+  link.add_observer(this);
+}
+
+std::size_t LossRateMonitor::bin_index(sim::Time t) const noexcept {
+  return static_cast<std::size_t>(t.as_nanos() / bin_width_.as_nanos());
+}
+
+void LossRateMonitor::ensure_bin(std::size_t i) {
+  if (i >= arrivals_.size()) {
+    arrivals_.resize(i + 1, 0);
+    drops_.resize(i + 1, 0);
+  }
+}
+
+void LossRateMonitor::on_arrival(const net::Packet& /*p*/) {
+  const std::size_t i = bin_index(sim_.now());
+  ensure_bin(i);
+  ++arrivals_[i];
+  ++total_arrivals_;
+}
+
+void LossRateMonitor::on_drop(const net::Packet& /*p*/,
+                              net::DropReason /*reason*/) {
+  const std::size_t i = bin_index(sim_.now());
+  ensure_bin(i);
+  ++drops_[i];
+  ++total_drops_;
+}
+
+double LossRateMonitor::loss_rate_in_bin(std::size_t i) const noexcept {
+  if (i >= arrivals_.size() || arrivals_[i] == 0) return 0.0;
+  return static_cast<double>(drops_[i]) / static_cast<double>(arrivals_[i]);
+}
+
+double LossRateMonitor::trailing_loss_rate(std::size_t i,
+                                           std::size_t window) const noexcept {
+  if (arrivals_.empty() || window == 0) return 0.0;
+  const std::size_t end = std::min(i + 1, arrivals_.size());
+  const std::size_t begin = end >= window ? end - window : 0;
+  std::uint64_t a = 0;
+  std::uint64_t d = 0;
+  for (std::size_t j = begin; j < end; ++j) {
+    a += arrivals_[j];
+    d += drops_[j];
+  }
+  if (a == 0) return 0.0;
+  return static_cast<double>(d) / static_cast<double>(a);
+}
+
+double LossRateMonitor::loss_rate_between(sim::Time t0, sim::Time t1) const {
+  if (t1 <= t0) return 0.0;
+  const std::size_t first = bin_index(t0);
+  const std::size_t last = bin_index(t1);
+  std::uint64_t a = 0;
+  std::uint64_t d = 0;
+  for (std::size_t i = first; i < last && i < arrivals_.size(); ++i) {
+    a += arrivals_[i];
+    d += drops_[i];
+  }
+  if (a == 0) return 0.0;
+  return static_cast<double>(d) / static_cast<double>(a);
+}
+
+}  // namespace slowcc::metrics

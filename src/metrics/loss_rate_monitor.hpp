@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::metrics {
+
+/// Bins packet arrivals and drops at a link into fixed-width time bins
+/// and reports loss rates, including the paper's trailing-window
+/// average ("we calculate the loss rate as an average over the previous
+/// ten RTT periods").
+class LossRateMonitor final : public net::LinkObserver {
+ public:
+  LossRateMonitor(sim::Simulator& sim, net::Link& link, sim::Time bin_width);
+
+  void on_arrival(const net::Packet& p) override;
+  void on_drop(const net::Packet& p, net::DropReason reason) override;
+
+  [[nodiscard]] sim::Time bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return arrivals_.size();
+  }
+
+  /// Loss fraction in a single bin; 0 when no arrivals.
+  [[nodiscard]] double loss_rate_in_bin(std::size_t i) const noexcept;
+
+  /// Loss fraction over the `window` bins ending at (and including)
+  /// bin `i` — the paper's trailing 10-RTT average when bin width = RTT
+  /// and window = 10.
+  [[nodiscard]] double trailing_loss_rate(std::size_t i,
+                                          std::size_t window) const noexcept;
+
+  /// Loss fraction over whole bins spanning [t0, t1).
+  [[nodiscard]] double loss_rate_between(sim::Time t0, sim::Time t1) const;
+
+  [[nodiscard]] std::size_t bin_index(sim::Time t) const noexcept;
+
+  [[nodiscard]] std::uint64_t total_arrivals() const noexcept {
+    return total_arrivals_;
+  }
+  [[nodiscard]] std::uint64_t total_drops() const noexcept {
+    return total_drops_;
+  }
+
+ private:
+  void ensure_bin(std::size_t i);
+
+  sim::Simulator& sim_;
+  sim::Time bin_width_;
+  std::vector<std::uint64_t> arrivals_;
+  std::vector<std::uint64_t> drops_;
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t total_drops_ = 0;
+};
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,45 @@
+#include "metrics/rate_sampler.hpp"
+
+#include <stdexcept>
+
+namespace slowcc::metrics {
+
+RateSampler::RateSampler(sim::Simulator& sim, sim::Time interval,
+                         Counter counter)
+    : sim_(sim),
+      interval_(interval),
+      counter_(std::move(counter)),
+      timer_(sim, [this] { on_tick(); }) {
+  if (interval <= sim::Time()) {
+    throw std::invalid_argument("RateSampler: interval must be > 0");
+  }
+  if (!counter_) {
+    throw std::invalid_argument("RateSampler: counter required");
+  }
+}
+
+void RateSampler::start_at(sim::Time at) {
+  running_ = true;
+  sim_.schedule_at(at, [this] {
+    if (!running_) return;
+    last_value_ = counter_();
+    timer_.schedule_in(interval_);
+  });
+}
+
+void RateSampler::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void RateSampler::on_tick() {
+  if (!running_) return;
+  const std::int64_t v = counter_();
+  rates_.push_back(static_cast<double>(v - last_value_) * 8.0 /
+                   interval_.as_seconds());
+  stamps_.push_back(sim_.now());
+  last_value_ = v;
+  timer_.schedule_in(interval_);
+}
+
+}  // namespace slowcc::metrics

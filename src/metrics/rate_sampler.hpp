@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::metrics {
+
+/// Samples a monotone byte counter (e.g. a sink's `bytes_received`)
+/// every `interval` and exposes the per-interval rate series. This is
+/// how the smoothness figures' "sending rate averaged over 0.2-second
+/// intervals" traces are produced.
+class RateSampler {
+ public:
+  using Counter = std::function<std::int64_t()>;
+
+  RateSampler(sim::Simulator& sim, sim::Time interval, Counter counter);
+
+  /// Begin sampling at absolute time `at`.
+  void start_at(sim::Time at);
+  void stop();
+
+  [[nodiscard]] sim::Time interval() const noexcept { return interval_; }
+
+  /// Rates in bits/sec, one entry per elapsed interval.
+  [[nodiscard]] const std::vector<double>& rates_bps() const noexcept {
+    return rates_;
+  }
+
+  /// Sample timestamps (end of each interval), aligned with rates.
+  [[nodiscard]] const std::vector<sim::Time>& timestamps() const noexcept {
+    return stamps_;
+  }
+
+ private:
+  void on_tick();
+
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  Counter counter_;
+  sim::Timer timer_;
+  std::int64_t last_value_ = 0;
+  bool running_ = false;
+  std::vector<double> rates_;
+  std::vector<sim::Time> stamps_;
+};
+
+}  // namespace slowcc::metrics

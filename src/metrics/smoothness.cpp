@@ -1,0 +1,47 @@
+#include "metrics/smoothness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace slowcc::metrics {
+
+namespace {
+constexpr double kIdleThreshold = 1.0;  // bps: below this a bin is idle
+}
+
+double smoothness_metric(const std::vector<double>& rates) {
+  double worst = 1.0;
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    const double a = rates[i - 1];
+    const double b = rates[i];
+    if (a < kIdleThreshold && b < kIdleThreshold) continue;
+    if (a < kIdleThreshold || b < kIdleThreshold) {
+      // A transition to/from silence is the worst possible ratio.
+      worst = 0.0;
+      continue;
+    }
+    worst = std::min(worst, std::min(a, b) / std::max(a, b));
+  }
+  return worst;
+}
+
+double coefficient_of_variation(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  double mean = 0.0;
+  for (double r : rates) mean += r;
+  mean /= static_cast<double>(rates.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double r : rates) var += (r - mean) * (r - mean);
+  var /= static_cast<double>(rates.size());
+  return std::sqrt(var) / mean;
+}
+
+double worst_rate_change(const std::vector<double>& rates) {
+  const double s = smoothness_metric(rates);
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / s;
+}
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+namespace slowcc::metrics {
+
+/// The paper's smoothness metric over a per-RTT rate series: the worst
+/// (smallest) ratio between the sending rates of two consecutive
+/// samples, expressed as smaller/larger. A perfectly smooth sender
+/// scores 1; TCP(b) scores about (1-b) in steady state (its rate drops
+/// by the factor b on each loss).
+///
+/// Bins where both samples are ~0 (idle) are skipped so that startup
+/// silence does not dominate.
+[[nodiscard]] double smoothness_metric(const std::vector<double>& rates);
+
+/// Coefficient of variation of a rate series (stddev/mean), a secondary
+/// smoothness measure the literature also uses. 0 for constant rates.
+[[nodiscard]] double coefficient_of_variation(const std::vector<double>& rates);
+
+/// Largest rate ratio between consecutive samples (larger/smaller),
+/// i.e. 1/smoothness, convenient for log-scale reporting.
+[[nodiscard]] double worst_rate_change(const std::vector<double>& rates);
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,63 @@
+#include "metrics/stabilization.hpp"
+
+#include <algorithm>
+
+namespace slowcc::metrics {
+
+StabilizationResult compute_stabilization(const LossRateMonitor& monitor,
+                                          sim::Time steady_from,
+                                          sim::Time steady_to, sim::Time onset,
+                                          sim::Time horizon,
+                                          std::size_t window, double factor,
+                                          std::size_t hold) {
+  StabilizationResult result;
+  result.steady_loss_rate = monitor.loss_rate_between(steady_from, steady_to);
+
+  // Guard against a zero steady-state rate (e.g. too-light calibration
+  // traffic): fall back to an absolute 1% threshold so the comparison
+  // stays meaningful.
+  const double threshold =
+      std::max(factor * result.steady_loss_rate, 0.01);
+
+  const std::size_t onset_bin = monitor.bin_index(onset);
+  const std::size_t horizon_bin =
+      std::min(monitor.bin_index(horizon), monitor.bin_count());
+  const double bin_s = monitor.bin_width().as_seconds();
+
+  // Skip the first `window` bins after onset: the trailing average
+  // still mixes in pre-onset (idle) bins there, which would let the
+  // metric "stabilize" before congestion has even registered.
+  std::size_t run = 0;
+  for (std::size_t i = onset_bin + window; i < horizon_bin; ++i) {
+    run = monitor.trailing_loss_rate(i, window) <= threshold ? run + 1 : 0;
+    if (run >= hold) {
+      result.stabilized = true;
+      const std::size_t first = i + 1 - hold;
+      const double stab_s =
+          (static_cast<double>(first - onset_bin) + 1.0) * bin_s;
+      result.stabilization_time_s = stab_s;
+      result.stabilization_time_rtts = stab_s / bin_s;
+      result.mean_loss_during_stabilization = monitor.loss_rate_between(
+          onset, onset + sim::Time::seconds(stab_s));
+      result.stabilization_cost =
+          result.stabilization_time_rtts *
+          result.mean_loss_during_stabilization;
+      return result;
+    }
+  }
+
+  // Never stabilized within the horizon: report the horizon-clamped
+  // values (still useful for ranking pathological algorithms).
+  const double stab_s =
+      (static_cast<double>(horizon_bin) - static_cast<double>(onset_bin)) *
+      bin_s;
+  result.stabilization_time_s = stab_s;
+  result.stabilization_time_rtts = stab_s / bin_s;
+  result.mean_loss_during_stabilization =
+      monitor.loss_rate_between(onset, horizon);
+  result.stabilization_cost =
+      result.stabilization_time_rtts * result.mean_loss_during_stabilization;
+  return result;
+}
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "metrics/loss_rate_monitor.hpp"
+
+namespace slowcc::metrics {
+
+/// Result of the paper's §4.1 stabilization analysis.
+struct StabilizationResult {
+  bool stabilized = false;       // loss rate returned to near steady state
+  double steady_loss_rate = 0.0; // calibrated steady-state loss fraction
+  double stabilization_time_s = 0.0;
+  double stabilization_time_rtts = 0.0;
+  /// Paper's stabilization cost: stabilization time (in RTTs) times the
+  /// average loss *fraction* during the stabilization interval. A cost
+  /// of 1 = one full RTT's worth of packets dropped.
+  double stabilization_cost = 0.0;
+  double mean_loss_during_stabilization = 0.0;
+};
+
+/// Compute stabilization time and cost from a loss monitor binned at
+/// one RTT per bin.
+///
+/// `steady_from`/`steady_to` delimit the calibration interval whose
+/// average loss rate defines "steady state"; `onset` is when the
+/// sustained congestion begins. The network counts as stabilized at the
+/// first bin where the trailing `window`-bin (default 10-RTT) average
+/// loss rate is within `factor` (default 1.5) of the steady-state rate
+/// and stays there for `hold` consecutive bins (noise guard).
+[[nodiscard]] StabilizationResult compute_stabilization(
+    const LossRateMonitor& monitor, sim::Time steady_from, sim::Time steady_to,
+    sim::Time onset, sim::Time horizon, std::size_t window = 10,
+    double factor = 1.5, std::size_t hold = 10);
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::metrics {
+
+/// Bins bytes departing a link into fixed-width time bins, optionally
+/// filtered (per flow, per packet type, ...).
+///
+/// The natural measurement point for "throughput" in the paper's sense
+/// is departures from the bottleneck link; attach one monitor per
+/// quantity of interest.
+class ThroughputMonitor final : public net::LinkObserver {
+ public:
+  using Filter = std::function<bool(const net::Packet&)>;
+
+  /// Attaches itself to `link`. Must outlive the link's traffic.
+  ThroughputMonitor(sim::Simulator& sim, net::Link& link, sim::Time bin_width,
+                    Filter filter = {});
+
+  void on_depart(const net::Packet& p) override;
+
+  [[nodiscard]] sim::Time bin_width() const noexcept { return bin_width_; }
+
+  /// Bytes counted in bin `i` (0 if never touched).
+  [[nodiscard]] std::int64_t bytes_in_bin(std::size_t i) const noexcept;
+
+  /// Number of bins spanned so far.
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+
+  /// Total bytes in [t0, t1), using whole bins (t0/t1 rounded down to
+  /// bin boundaries).
+  [[nodiscard]] std::int64_t bytes_between(sim::Time t0, sim::Time t1) const;
+
+  /// Average rate in bits/sec over [t0, t1).
+  [[nodiscard]] double rate_bps_between(sim::Time t0, sim::Time t1) const;
+
+  /// Rate series (bits/sec per bin) over [t0, t1).
+  [[nodiscard]] std::vector<double> rate_series_bps(sim::Time t0,
+                                                    sim::Time t1) const;
+
+  [[nodiscard]] std::int64_t total_bytes() const noexcept { return total_; }
+
+ private:
+  [[nodiscard]] std::size_t bin_index(sim::Time t) const noexcept;
+
+  sim::Simulator& sim_;
+  sim::Time bin_width_;
+  Filter filter_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace slowcc::metrics

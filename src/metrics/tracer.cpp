@@ -1,0 +1,64 @@
+#include "metrics/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace slowcc::metrics {
+
+TimeSeriesTracer::TimeSeriesTracer(sim::Simulator& sim, sim::Time interval,
+                                   Probe probe)
+    : sim_(sim),
+      interval_(interval),
+      probe_(std::move(probe)),
+      timer_(sim, [this] { on_tick(); }) {
+  if (interval <= sim::Time()) {
+    throw std::invalid_argument("TimeSeriesTracer: interval must be > 0");
+  }
+  if (!probe_) {
+    throw std::invalid_argument("TimeSeriesTracer: probe required");
+  }
+}
+
+void TimeSeriesTracer::start_at(sim::Time at) {
+  running_ = true;
+  sim_.schedule_at(at, [this] {
+    if (running_) on_tick();
+  });
+}
+
+void TimeSeriesTracer::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void TimeSeriesTracer::on_tick() {
+  if (!running_) return;
+  values_.push_back(probe_());
+  stamps_.push_back(sim_.now());
+  timer_.schedule_in(interval_);
+}
+
+bool write_csv(const std::string& path, const std::vector<sim::Time>& times,
+               const std::vector<CsvColumn>& columns) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fprintf(f, "time_s");
+  for (const auto& c : columns) std::fprintf(f, ",%s", c.name.c_str());
+  std::fprintf(f, "\n");
+
+  std::size_t rows = times.size();
+  for (const auto& c : columns) rows = std::min(rows, c.values->size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::fprintf(f, "%.6f", times[i].as_seconds());
+    for (const auto& c : columns) {
+      std::fprintf(f, ",%.9g", (*c.values)[i]);
+    }
+    std::fprintf(f, "\n");
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace slowcc::metrics

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::metrics {
+
+/// Samples an arbitrary scalar (cwnd, rate, queue depth, ...) at a
+/// fixed interval — the general-purpose companion to `RateSampler`,
+/// which is specialized for monotone byte counters.
+class TimeSeriesTracer {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeriesTracer(sim::Simulator& sim, sim::Time interval, Probe probe);
+
+  void start_at(sim::Time at);
+  void stop();
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<sim::Time>& timestamps() const noexcept {
+    return stamps_;
+  }
+  [[nodiscard]] sim::Time interval() const noexcept { return interval_; }
+
+ private:
+  void on_tick();
+
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  Probe probe_;
+  sim::Timer timer_;
+  bool running_ = false;
+  std::vector<double> values_;
+  std::vector<sim::Time> stamps_;
+};
+
+/// One named column of a CSV export.
+struct CsvColumn {
+  std::string name;
+  const std::vector<double>* values;
+};
+
+/// Write aligned series to a CSV file with a leading time column (rows
+/// are truncated to the shortest column). Returns false on I/O error.
+bool write_csv(const std::string& path, const std::vector<sim::Time>& times,
+               const std::vector<CsvColumn>& columns);
+
+}  // namespace slowcc::metrics

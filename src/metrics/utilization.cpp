@@ -1,0 +1,20 @@
+#include "metrics/utilization.hpp"
+
+#include <algorithm>
+
+namespace slowcc::metrics {
+
+double f_of_k(const ThroughputMonitor& monitor, sim::Time event, int k,
+              sim::Time rtt, double capacity_bps) {
+  const sim::Time end = event + rtt * static_cast<std::int64_t>(k);
+  return utilization_between(monitor, event, end, capacity_bps);
+}
+
+double utilization_between(const ThroughputMonitor& monitor, sim::Time t0,
+                           sim::Time t1, double capacity_bps) {
+  if (t1 <= t0 || capacity_bps <= 0.0) return 0.0;
+  const double achieved_bps = monitor.rate_bps_between(t0, t1);
+  return std::min(1.5, achieved_bps / capacity_bps);
+}
+
+}  // namespace slowcc::metrics

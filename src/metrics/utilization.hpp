@@ -1,0 +1,21 @@
+#pragma once
+
+#include "metrics/throughput_monitor.hpp"
+
+namespace slowcc::metrics {
+
+/// f(k): average link utilization over the first k RTTs after an
+/// increase in the available bandwidth (paper §4.2.3).
+///
+/// `monitor` must observe the bottleneck link departures (optionally
+/// filtered to the flows of interest); `event` is when the bandwidth
+/// increased; `capacity_bps` is the bandwidth the flows could now use.
+[[nodiscard]] double f_of_k(const ThroughputMonitor& monitor, sim::Time event,
+                            int k, sim::Time rtt, double capacity_bps);
+
+/// Mean utilization over an arbitrary interval against a capacity.
+[[nodiscard]] double utilization_between(const ThroughputMonitor& monitor,
+                                         sim::Time t0, sim::Time t1,
+                                         double capacity_bps);
+
+}  // namespace slowcc::metrics

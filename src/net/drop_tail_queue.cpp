@@ -1,0 +1,28 @@
+#include "net/drop_tail_queue.hpp"
+
+#include <stdexcept>
+
+namespace slowcc::net {
+
+DropTailQueue::DropTailQueue(std::size_t limit_packets) : limit_(limit_packets) {
+  if (limit_packets == 0) {
+    throw std::invalid_argument("DropTailQueue: limit must be >= 1 packet");
+  }
+}
+
+std::optional<DropReason> DropTailQueue::enqueue(Packet&& p) {
+  if (buffer_.size() >= limit_) return DropReason::kOverflow;
+  bytes_ += p.size_bytes;
+  buffer_.push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (buffer_.empty()) return std::nullopt;
+  Packet p = std::move(buffer_.front());
+  buffer_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+}  // namespace slowcc::net

@@ -1,0 +1,86 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace slowcc::net {
+
+Link::Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
+           sim::Time propagation_delay, std::unique_ptr<Queue> queue)
+    : sim_(sim),
+      from_(from),
+      to_(to),
+      bandwidth_(bandwidth_bps),
+      delay_(propagation_delay),
+      queue_(std::move(queue)) {
+  if (bandwidth_ <= 0.0) {
+    throw std::invalid_argument("Link: bandwidth must be positive");
+  }
+  if (delay_.is_negative()) {
+    throw std::invalid_argument("Link: propagation delay must be >= 0");
+  }
+  if (queue_ == nullptr) {
+    throw std::invalid_argument("Link: queue is required");
+  }
+}
+
+void Link::send(Packet&& p) {
+  ++stats_.arrivals;
+  for (auto* o : observers_) o->on_arrival(p);
+
+  if (forced_drop_ && forced_drop_(p)) {
+    ++stats_.drops_forced;
+    for (auto* o : observers_) o->on_drop(p, DropReason::kForced);
+    return;
+  }
+
+  if (auto reason = queue_->enqueue(std::move(p))) {
+    switch (*reason) {
+      case DropReason::kOverflow:
+        ++stats_.drops_overflow;
+        break;
+      case DropReason::kEarly:
+        ++stats_.drops_early;
+        break;
+      case DropReason::kForced:
+        ++stats_.drops_forced;
+        break;
+    }
+    // NOTE: `p` was moved into enqueue, but Queue implementations only
+    // consume the packet on success; on failure they return before
+    // moving. To keep the observer payload valid regardless, queues
+    // must not touch the packet when rejecting it. DropTail and RED
+    // both reject before moving.
+    for (auto* o : observers_) o->on_drop(p, *reason);
+    return;
+  }
+
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  auto head = queue_->dequeue();
+  if (!head) return;
+  busy_ = true;
+  const sim::Time tx = sim::transmission_time(head->size_bytes, bandwidth_);
+  sim_.schedule_in(tx, [this, p = std::move(*head)]() mutable {
+    on_transmit_complete(std::move(p));
+  });
+}
+
+void Link::on_transmit_complete(Packet&& p) {
+  ++stats_.departures;
+  stats_.bytes_delivered += p.size_bytes;
+  for (auto* o : observers_) o->on_depart(p);
+
+  sim_.schedule_in(delay_, [this, p = std::move(p)]() mutable {
+    to_.deliver(std::move(p));
+  });
+
+  busy_ = false;
+  if (!queue_->empty()) start_transmission();
+}
+
+}  // namespace slowcc::net

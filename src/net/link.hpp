@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+
+class Node;
+
+/// Observer hooks for per-link instrumentation (loss monitors,
+/// throughput monitors, traces). Observers must outlive the link.
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  /// A packet arrived at the link (before the admission decision).
+  virtual void on_arrival(const Packet& /*p*/) {}
+  /// The packet was rejected (queue drop or scripted loss).
+  virtual void on_drop(const Packet& /*p*/, DropReason /*reason*/) {}
+  /// The packet finished serialization and left toward the peer.
+  virtual void on_depart(const Packet& /*p*/) {}
+};
+
+/// Running totals a link keeps about itself.
+struct LinkStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t drops_overflow = 0;
+  std::uint64_t drops_early = 0;
+  std::uint64_t drops_forced = 0;
+  std::int64_t bytes_delivered = 0;
+
+  [[nodiscard]] std::uint64_t drops_total() const noexcept {
+    return drops_overflow + drops_early + drops_forced;
+  }
+};
+
+/// A unidirectional serial link: queue -> transmitter -> wire.
+///
+/// Serialization takes `size * 8 / bandwidth`; the packet then
+/// propagates for `delay` before being delivered to the destination
+/// node. Self-clocking of window-based transports emerges from these
+/// two stages, exactly as on a real path.
+class Link {
+ public:
+  Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
+       sim::Time propagation_delay, std::unique_ptr<Queue> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offer a packet for transmission (called by the upstream node).
+  void send(Packet&& p);
+
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
+  [[nodiscard]] sim::Time propagation_delay() const noexcept { return delay_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const Queue& queue() const noexcept { return *queue_; }
+  [[nodiscard]] Node& from() noexcept { return from_; }
+  [[nodiscard]] Node& to() noexcept { return to_; }
+
+  void add_observer(LinkObserver* observer) { observers_.push_back(observer); }
+
+  /// Install a deterministic drop filter, used by the smoothness
+  /// experiments to impose scripted loss patterns. Returning true
+  /// drops the packet before it reaches the queue.
+  void set_forced_drop_filter(std::function<bool(const Packet&)> filter) {
+    forced_drop_ = std::move(filter);
+  }
+
+ private:
+  void start_transmission();
+  void on_transmit_complete(Packet&& p);
+
+  sim::Simulator& sim_;
+  Node& from_;
+  Node& to_;
+  double bandwidth_;
+  sim::Time delay_;
+  std::unique_ptr<Queue> queue_;
+  std::vector<LinkObserver*> observers_;
+  std::function<bool(const Packet&)> forced_drop_;
+  LinkStats stats_;
+  bool busy_ = false;
+};
+
+}  // namespace slowcc::net

@@ -1,0 +1,39 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+
+#include "net/link.hpp"
+
+namespace slowcc::net {
+
+void Node::attach(PortId port, PacketHandler& handler) {
+  auto [it, inserted] = handlers_.emplace(port, &handler);
+  if (!inserted) {
+    throw std::logic_error("Node::attach: port " + std::to_string(port) +
+                           " already bound on node " + std::to_string(id_));
+  }
+}
+
+void Node::detach(PortId port) { handlers_.erase(port); }
+
+void Node::set_route(NodeId dst, Link& out) { routes_[dst] = &out; }
+
+void Node::deliver(Packet&& p) {
+  if (p.dst_node == id_) {
+    auto it = handlers_.find(p.dst_port);
+    if (it == handlers_.end()) {
+      ++undeliverable_;
+      return;
+    }
+    it->second->handle_packet(std::move(p));
+    return;
+  }
+  auto it = routes_.find(p.dst_node);
+  if (it == routes_.end()) {
+    ++undeliverable_;
+    return;
+  }
+  it->second->send(std::move(p));
+}
+
+}  // namespace slowcc::net

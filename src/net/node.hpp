@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace slowcc::net {
+
+class Link;
+
+/// Anything that terminates packets at a node: transport agents, sinks,
+/// traffic generators' receivers.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle_packet(Packet&& p) = 0;
+};
+
+/// A network node: hosts local handlers (keyed by port) and forwards
+/// transit packets via a static forwarding table (keyed by destination
+/// node).
+///
+/// Routing is static and computed once by `Topology::compute_routes`;
+/// the paper's scenarios never change topology mid-run (bandwidth
+/// changes are modeled by competing traffic, as in the paper).
+class Node {
+ public:
+  explicit Node(NodeId id, std::string name = {})
+      : id_(id), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Bind `handler` to a local port. Packets addressed to this node and
+  /// port are handed to it. Throws if the port is taken.
+  void attach(PortId port, PacketHandler& handler);
+
+  /// Release a port binding (used when short flows finish).
+  void detach(PortId port);
+
+  /// Install/replace the outgoing link for packets destined to `dst`.
+  void set_route(NodeId dst, Link& out);
+
+  /// Accept a packet arriving at this node: dispatch locally if it is
+  /// addressed here, otherwise forward along the route. Packets with no
+  /// local handler or no route are counted and discarded (this happens
+  /// legitimately when a short web flow has already torn down).
+  void deliver(Packet&& p);
+
+  /// Allocate a node-unique port (monotonically increasing).
+  [[nodiscard]] PortId allocate_port() noexcept { return next_port_++; }
+
+  [[nodiscard]] std::uint64_t undeliverable_count() const noexcept {
+    return undeliverable_;
+  }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  std::unordered_map<PortId, PacketHandler*> handlers_;
+  std::unordered_map<NodeId, Link*> routes_;
+  PortId next_port_ = 1;
+  std::uint64_t undeliverable_ = 0;
+};
+
+}  // namespace slowcc::net

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace slowcc::net {
+
+/// Why a queue rejected a packet (reported to drop monitors).
+enum class DropReason : std::uint8_t {
+  kOverflow,   // hard buffer limit
+  kEarly,      // active queue management (RED) early drop
+  kForced,     // scripted/deterministic drop injected by an experiment
+};
+
+/// Abstract router queue discipline.
+///
+/// A queue buffers packets awaiting transmission on a link. `enqueue`
+/// either accepts the packet or reports a drop reason; the link turns
+/// accepted packets into transmissions in FIFO order via `dequeue`.
+/// Implementations must be FIFO in packet order (the paper's scenarios
+/// all use FIFO scheduling; RED only decides *admission*).
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Try to admit `p`. On success the queue takes ownership and returns
+  /// nullopt; on failure returns the drop reason (packet discarded).
+  [[nodiscard]] virtual std::optional<DropReason> enqueue(Packet&& p) = 0;
+
+  /// Remove and return the head packet, or nullopt when empty.
+  [[nodiscard]] virtual std::optional<Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t length_packets() const noexcept = 0;
+  [[nodiscard]] virtual std::int64_t length_bytes() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return length_packets() == 0; }
+};
+
+}  // namespace slowcc::net

@@ -1,0 +1,116 @@
+#include "net/red_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slowcc::net {
+
+RedConfig RedConfig::for_bdp(double bdp_packets) {
+  RedConfig cfg;
+  cfg.min_thresh = 0.25 * bdp_packets;
+  cfg.max_thresh = 1.25 * bdp_packets;
+  cfg.limit_packets =
+      static_cast<std::size_t>(std::max(2.5 * bdp_packets, 4.0));
+  return cfg;
+}
+
+RedQueue::RedQueue(sim::Simulator& sim, const RedConfig& config)
+    : sim_(sim), config_(config), rng_(config.seed) {
+  if (config_.limit_packets == 0) {
+    throw std::invalid_argument("RedQueue: limit must be >= 1 packet");
+  }
+  if (!(config_.min_thresh < config_.max_thresh)) {
+    throw std::invalid_argument("RedQueue: requires min_thresh < max_thresh");
+  }
+  if (config_.max_p <= 0.0 || config_.max_p > 1.0) {
+    throw std::invalid_argument("RedQueue: max_p must be in (0, 1]");
+  }
+  idle_since_ = sim_.now();
+}
+
+void RedQueue::update_average() {
+  const double q = static_cast<double>(buffer_.size());
+  if (idle_) {
+    // The queue has been empty: decay the average as if `m` packets of
+    // mean size had drained during the idle period at an assumed
+    // service rate of one mean packet per (mean_pkt_size / typical
+    // capacity). We follow the common simplification of using the EWMA
+    // applied m times with q = 0, where m is the idle time divided by a
+    // nominal per-packet service time derived from the mean packet size
+    // at 10 Mb/s. Precision here barely matters: the purpose is only
+    // that a long-idle queue forgets its history.
+    const double service_time_s = config_.mean_packet_size * 8.0 / 10e6;
+    const double idle_s = (sim_.now() - idle_since_).as_seconds();
+    const double m = std::max(0.0, idle_s / service_time_s);
+    avg_ *= std::pow(1.0 - config_.weight, m);
+    idle_ = false;
+  }
+  avg_ = (1.0 - config_.weight) * avg_ + config_.weight * q;
+}
+
+double RedQueue::drop_probability() const noexcept {
+  const double min_t = config_.min_thresh;
+  const double max_t = config_.max_thresh;
+  if (avg_ < min_t) return 0.0;
+  if (avg_ < max_t) {
+    return config_.max_p * (avg_ - min_t) / (max_t - min_t);
+  }
+  if (config_.gentle && avg_ < 2.0 * max_t) {
+    // Gentle RED: ramp linearly from max_p to 1 over (max_t, 2 max_t].
+    return config_.max_p + (1.0 - config_.max_p) * (avg_ - max_t) / max_t;
+  }
+  return 1.0;
+}
+
+std::optional<DropReason> RedQueue::enqueue(Packet&& p) {
+  update_average();
+
+  if (buffer_.size() >= config_.limit_packets) {
+    count_ = 0;
+    return DropReason::kOverflow;
+  }
+
+  const double p_b = drop_probability();
+  bool drop_or_mark = false;
+  if (p_b >= 1.0) {
+    drop_or_mark = true;
+    count_ = 0;
+  } else if (p_b > 0.0) {
+    ++count_;
+    // Spread drops uniformly across the inter-drop interval.
+    const double denom = 1.0 - static_cast<double>(count_) * p_b;
+    const double p_a = denom <= 0.0 ? 1.0 : std::min(1.0, p_b / denom);
+    if (rng_.chance(p_a)) {
+      drop_or_mark = true;
+      count_ = 0;
+    }
+  } else {
+    count_ = -1;
+  }
+
+  if (drop_or_mark) {
+    if (config_.ecn_marking && p.ecn_capable) {
+      p.ecn_marked = true;  // mark instead of dropping
+    } else {
+      return DropReason::kEarly;
+    }
+  }
+
+  bytes_ += p.size_bytes;
+  buffer_.push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Packet> RedQueue::dequeue() {
+  if (buffer_.empty()) return std::nullopt;
+  Packet p = std::move(buffer_.front());
+  buffer_.pop_front();
+  bytes_ -= p.size_bytes;
+  if (buffer_.empty()) {
+    idle_ = true;
+    idle_since_ = sim_.now();
+  }
+  return p;
+}
+
+}  // namespace slowcc::net

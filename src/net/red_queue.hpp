@@ -1,0 +1,73 @@
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+
+/// Configuration for Random Early Detection (Floyd & Jacobson 1993).
+///
+/// The paper's scenarios set `min_thresh` / `max_thresh` to 0.25 / 1.25
+/// of the bandwidth-delay product and the hard limit to 2.5 BDP; the
+/// scenario layer computes those values and fills this struct.
+struct RedConfig {
+  std::size_t limit_packets = 60;   // hard buffer limit
+  double min_thresh = 5.0;          // packets
+  double max_thresh = 15.0;         // packets
+  double max_p = 0.10;              // drop probability at max_thresh
+  double weight = 0.002;            // EWMA weight w_q
+  bool gentle = true;               // ramp max_p..1 over (max, 2*max]
+  bool ecn_marking = false;         // mark ECN-capable packets instead
+  double mean_packet_size = 1000.0; // bytes, for idle-period estimation
+  std::uint64_t seed = 42;          // RNG stream for drop decisions
+
+  /// Fill thresholds from a bandwidth-delay product expressed in
+  /// packets, using the paper's 0.25/1.25/2.5 multipliers.
+  static RedConfig for_bdp(double bdp_packets);
+};
+
+/// RED active queue management over a FIFO buffer.
+///
+/// Implements the 1993 algorithm: an EWMA of the instantaneous queue
+/// (with the idle-time correction that decays the average as if `m`
+/// small packets had been transmitted), early drop probability
+/// `p_b = max_p (avg - min)/(max - min)` spread out by the inter-drop
+/// count `p_a = p_b / (1 - count * p_b)`, the "gentle" extension above
+/// `max_thresh`, and optional ECN marking.
+class RedQueue final : public Queue {
+ public:
+  RedQueue(sim::Simulator& sim, const RedConfig& config);
+
+  [[nodiscard]] std::optional<DropReason> enqueue(Packet&& p) override;
+  [[nodiscard]] std::optional<Packet> dequeue() override;
+  [[nodiscard]] std::size_t length_packets() const noexcept override {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::int64_t length_bytes() const noexcept override {
+    return bytes_;
+  }
+
+  /// Current EWMA of the queue length in packets (for tests/monitors).
+  [[nodiscard]] double average_queue() const noexcept { return avg_; }
+  [[nodiscard]] const RedConfig& config() const noexcept { return config_; }
+
+ private:
+  void update_average();
+  [[nodiscard]] double drop_probability() const noexcept;
+
+  sim::Simulator& sim_;
+  RedConfig config_;
+  sim::Rng rng_;
+  std::deque<Packet> buffer_;
+  std::int64_t bytes_ = 0;
+
+  double avg_ = 0.0;        // EWMA of queue length (packets)
+  int count_ = -1;          // packets since last early drop
+  sim::Time idle_since_;    // when the queue went empty
+  bool idle_ = true;        // queue is empty and link idle
+};
+
+}  // namespace slowcc::net

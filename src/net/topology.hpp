@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/red_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+
+/// Owner of a simulated network graph.
+///
+/// Builds nodes and (unidirectional) links, then computes static
+/// shortest-path routes with BFS. All experiments in this library use
+/// dumbbell topologies, but the builder is general.
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_(sim) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Create a node; the returned reference is stable for the lifetime
+  /// of the topology.
+  Node& add_node(std::string name = {});
+
+  /// Create a unidirectional link `from -> to`.
+  Link& add_link(Node& from, Node& to, double bandwidth_bps,
+                 sim::Time propagation_delay, std::unique_ptr<Queue> queue);
+
+  /// Create a pair of links with identical parameters and independent
+  /// drop-tail queues of `queue_limit` packets. Returns {forward,
+  /// reverse}.
+  std::pair<Link*, Link*> add_duplex(Node& a, Node& b, double bandwidth_bps,
+                                     sim::Time propagation_delay,
+                                     std::size_t queue_limit);
+
+  /// Populate every node's forwarding table with BFS shortest paths
+  /// (hop count metric). Must be called after the graph is final and
+  /// before traffic starts. Unreachable pairs simply get no route.
+  void compute_routes();
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace slowcc::net

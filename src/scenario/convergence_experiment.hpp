@@ -1,0 +1,35 @@
+#pragma once
+
+#include "metrics/convergence.hpp"
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.2.2 scenario (Figures 10, 12): two flows of the same mechanism,
+/// the first owning the whole 10 Mb/s link, the second starting from
+/// one packet per RTT; measure the δ-fair convergence time.
+struct ConvergenceConfig {
+  FlowSpec spec = FlowSpec::tcp();
+  DumbbellConfig net;
+  sim::Time first_flow_head_start = sim::Time::seconds(30.0);
+  sim::Time horizon = sim::Time::seconds(600.0);  // give-up point
+  double delta = 0.1;
+
+  ConvergenceConfig() {
+    net.bottleneck_bps = 10e6;
+    // Convergence is between exactly two flows; extra reverse traffic
+    // would perturb the tiny second flow disproportionately.
+    net.reverse_tcp_flows = 0;
+  }
+};
+
+struct ConvergenceOutcome {
+  metrics::ConvergenceResult result;
+  double flow1_final_share = 0.0;  // over the last 10 RTTs
+  double flow2_final_share = 0.0;
+};
+
+[[nodiscard]] ConvergenceOutcome run_convergence(
+    const ConvergenceConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+#include "traffic/onoff_pattern.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.2.1 scenario (Figures 7-9): five flows of `group_a` and five of
+/// `group_b` share a 15 Mb/s RED bottleneck with a square-wave CBR
+/// source that uses 10 Mb/s when ON (3:1 oscillation in available
+/// bandwidth; set `cbr_peak_fraction` to 0.9 for the 10:1 variant).
+struct FairnessConfig {
+  FlowSpec group_a = FlowSpec::tcp();
+  FlowSpec group_b = FlowSpec::tfrc(6);
+  int flows_per_group = 5;
+  DumbbellConfig net;
+  traffic::PatternKind pattern = traffic::PatternKind::kSquare;
+  sim::Time cbr_period = sim::Time::seconds(2.0);  // combined ON+OFF length
+  double cbr_peak_fraction = 2.0 / 3.0;  // of bottleneck (10 of 15 Mb/s)
+  sim::Time warmup = sim::Time::seconds(20.0);
+  sim::Time measure = sim::Time::seconds(200.0);
+
+  FairnessConfig() { net.bottleneck_bps = 15e6; }
+};
+
+struct FairnessOutcome {
+  /// Per-flow throughput normalized by the fair share of the average
+  /// available bandwidth (the y-axis of Figures 7-9).
+  std::vector<double> group_a_normalized;
+  std::vector<double> group_b_normalized;
+  double group_a_mean = 0.0;
+  double group_b_mean = 0.0;
+  /// Aggregate link utilization of the congestion-controlled traffic
+  /// against the average available bandwidth.
+  double utilization = 0.0;
+  double mean_available_bps = 0.0;
+};
+
+[[nodiscard]] FairnessOutcome run_fairness(const FairnessConfig& config);
+
+}  // namespace slowcc::scenario

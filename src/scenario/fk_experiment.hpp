@@ -1,0 +1,35 @@
+#pragma once
+
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.2.3 scenario (Figure 13): ten identical flows share a 10 Mb/s
+/// bottleneck; at `stop_time` five of them stop, doubling the bandwidth
+/// available to the rest. f(k) is the remaining flows' link utilization
+/// over the first k RTTs.
+struct FkConfig {
+  FlowSpec spec = FlowSpec::tcp();
+  int num_flows = 10;
+  int flows_to_stop = 5;
+  DumbbellConfig net;
+  sim::Time stop_time = sim::Time::seconds(120.0);
+  std::vector<int> ks = {20, 200};
+
+  FkConfig() {
+    net.bottleneck_bps = 10e6;
+    // Keep the bottleneck's byte budget exactly for the measured flows
+    // so f(k) is crisp (the paper's ten flows are also alone).
+    net.reverse_tcp_flows = 0;
+  }
+};
+
+struct FkOutcome {
+  std::vector<int> ks;
+  std::vector<double> f_values;            // f(k), aligned with ks
+  double utilization_before_stop = 0.0;    // sanity: should be ~1
+};
+
+[[nodiscard]] FkOutcome run_fk(const FkConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+#include "traffic/flash_crowd.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.1.2 scenario (Figure 6): long-lived background flows of one
+/// SlowCC type face a flash crowd of short TCP transfers (10 packets
+/// each) arriving at 200 flows/sec for 5 seconds starting at t=25 s.
+struct FlashCrowdExperimentConfig {
+  FlowSpec background = FlowSpec::tfrc(256);
+  int background_flows = 10;
+  DumbbellConfig net;
+  traffic::FlashCrowdConfig crowd;
+  sim::Time crowd_start = sim::Time::seconds(25.0);
+  sim::Time end = sim::Time::seconds(75.0);
+  sim::Time bin = sim::Time::seconds(0.5);  // throughput trace bin width
+
+  FlashCrowdExperimentConfig() { net.bottleneck_bps = 10e6; }
+};
+
+struct FlashCrowdOutcome {
+  /// Aggregate throughput traces (bits/sec per bin) at the bottleneck.
+  std::vector<double> background_bps;
+  std::vector<double> crowd_bps;
+  std::vector<double> times_s;
+
+  std::size_t crowd_flows_started = 0;
+  std::size_t crowd_flows_completed = 0;
+  double crowd_mean_completion_s = 0.0;
+  /// Mean aggregate background throughput during the crowd (bps) and
+  /// after it subsided — how much the background yielded and how fast
+  /// it recovered.
+  double background_during_crowd_bps = 0.0;
+  double background_after_crowd_bps = 0.0;
+  double crowd_total_mbytes = 0.0;
+};
+
+[[nodiscard]] FlashCrowdOutcome run_flash_crowd(
+    const FlashCrowdExperimentConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,61 @@
+#include "scenario/oscillation_experiment.hpp"
+
+#include "metrics/loss_rate_monitor.hpp"
+#include "metrics/throughput_monitor.hpp"
+
+namespace slowcc::scenario {
+
+OscillationOutcome run_oscillation(const OscillationConfig& config) {
+  sim::Simulator sim;
+  Dumbbell net(sim, config.net);
+
+  std::vector<net::FlowId> ids;
+  for (int i = 0; i < config.num_flows; ++i) {
+    ids.push_back(net.add_flow(config.spec).id);
+  }
+  net.add_reverse_traffic();
+
+  const double cbr_peak = config.net.bottleneck_bps * config.cbr_peak_fraction;
+  traffic::CbrSource& cbr = net.add_cbr(cbr_peak);
+  traffic::OnOffPattern pattern(sim, cbr, traffic::PatternKind::kSquare,
+                                cbr_peak, config.on_off_length,
+                                config.on_off_length);
+
+  metrics::ThroughputMonitor data_tp(
+      sim, net.bottleneck(), sim::Time::millis(100),
+      [](const net::Packet& p) {
+        return p.type == net::PacketType::kData ||
+               p.type == net::PacketType::kTfrcData ||
+               p.type == net::PacketType::kTearData;
+      });
+  std::vector<std::unique_ptr<metrics::ThroughputMonitor>> per_flow;
+  for (auto id : ids) {
+    per_flow.push_back(std::make_unique<metrics::ThroughputMonitor>(
+        sim, net.bottleneck(), sim::Time::millis(100),
+        [id](const net::Packet& p) { return p.flow == id; }));
+  }
+  metrics::LossRateMonitor losses(sim, net.bottleneck(),
+                                  config.net.base_rtt());
+
+  net.start_flows();
+  net.finalize();
+  pattern.start_at(sim::Time());
+
+  const sim::Time t0 = config.warmup;
+  const sim::Time t1 = config.warmup + config.measure;
+  sim.run_until(t1);
+
+  OscillationOutcome out;
+  out.mean_available_bps = config.net.bottleneck_bps - cbr_peak / 2.0;
+  out.aggregate_fraction =
+      data_tp.rate_bps_between(t0, t1) / out.mean_available_bps;
+  const double fair_share =
+      out.mean_available_bps / static_cast<double>(config.num_flows);
+  for (auto& m : per_flow) {
+    out.per_flow_fraction.push_back(m->rate_bps_between(t0, t1) / fair_share);
+  }
+  out.drop_rate = losses.loss_rate_between(t0, t1);
+  return out;
+}
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+#include "traffic/onoff_pattern.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.2.4 scenario (Figures 14-16): ten identical flows compete with an
+/// ON/OFF CBR source on a 15 Mb/s bottleneck. The available bandwidth
+/// oscillates 15 <-> 5 Mb/s (3:1) or 15 <-> 1.5 Mb/s (10:1) with the
+/// given ON/OFF length. Reported: aggregate throughput of the flows as
+/// a fraction of the average available bandwidth, per-flow shares, and
+/// the overall packet drop rate (Figure 15).
+struct OscillationConfig {
+  FlowSpec spec = FlowSpec::tcp();
+  int num_flows = 10;
+  DumbbellConfig net;
+  sim::Time on_off_length = sim::Time::seconds(0.2);  // each of ON and OFF
+  double cbr_peak_fraction = 2.0 / 3.0;  // 10/15 => 3:1; 0.9 => 10:1
+  sim::Time warmup = sim::Time::seconds(10.0);
+  sim::Time measure = sim::Time::seconds(100.0);
+
+  OscillationConfig() { net.bottleneck_bps = 15e6; }
+};
+
+struct OscillationOutcome {
+  double aggregate_fraction = 0.0;       // of mean available bandwidth
+  std::vector<double> per_flow_fraction; // of per-flow fair share
+  double drop_rate = 0.0;                // bottleneck loss fraction
+  double mean_available_bps = 0.0;
+};
+
+[[nodiscard]] OscillationOutcome run_oscillation(
+    const OscillationConfig& config);
+
+}  // namespace slowcc::scenario

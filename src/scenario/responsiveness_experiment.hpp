@@ -1,0 +1,43 @@
+#pragma once
+
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+
+/// Empirical measurement of the paper's §3 transient metrics:
+///
+/// * **responsiveness** — RTTs of persistent congestion (one packet
+///   loss per RTT) until the sending rate halves. TCP's is 1; the
+///   paper quotes 4-6 RTTs for the proposed TFRC.
+/// * **aggressiveness** — the maximum per-RTT increase of the sending
+///   rate absent congestion, in packets per RTT (for AIMD this is the
+///   parameter a).
+struct ResponsivenessConfig {
+  FlowSpec spec = FlowSpec::tfrc(6);
+  DumbbellConfig net;
+  sim::Time warmup = sim::Time::seconds(30.0);
+  sim::Time horizon = sim::Time::seconds(120.0);
+
+  ResponsivenessConfig() {
+    net.bottleneck_bps = 10e6;
+    net.reverse_tcp_flows = 0;
+  }
+};
+
+struct ResponsivenessOutcome {
+  bool halved = false;
+  double responsiveness_rtts = 0.0;   // RTTs until rate <= half
+  double pre_loss_rate_bps = 0.0;     // operating point before the test
+  double aggressiveness_pkts_per_rtt = 0.0;
+};
+
+[[nodiscard]] ResponsivenessOutcome run_responsiveness(
+    const ResponsivenessConfig& config);
+
+/// The aggressiveness half of `run_responsiveness`, exposed separately:
+/// slope (packets per RTT per RTT) of an unsaturated congestion-
+/// avoidance ramp. Returns 0 when the ramp is too fast to resolve.
+[[nodiscard]] double measure_aggressiveness(
+    const ResponsivenessConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "scenario/dumbbell.hpp"
+#include "traffic/loss_script.hpp"
+
+namespace slowcc::scenario {
+
+/// Which of the paper's scripted loss patterns to impose.
+enum class LossPattern {
+  /// Figure 17/19: repeating {3 losses each after 50 packet arrivals,
+  /// 3 losses each after 400 arrivals} — tuned to sit inside TFRC's
+  /// averaging window.
+  kMildlyBursty,
+  /// Figure 18: repeating {6 s with every 200th packet dropped, 1 s
+  /// with every 4th dropped} — tuned to defeat TFRC's averaging.
+  kMoreBursty,
+};
+
+/// §4.3 scenario (Figures 17-19): a single flow subjected to a
+/// deterministic loss pattern at the bottleneck; we record its
+/// receive-rate trace at two averaging intervals and compute smoothness
+/// and throughput.
+struct SmoothnessConfig {
+  FlowSpec spec = FlowSpec::tfrc(6);
+  LossPattern pattern = LossPattern::kMildlyBursty;
+  DumbbellConfig net;
+  sim::Time warmup = sim::Time::seconds(10.0);
+  sim::Time measure = sim::Time::seconds(40.0);
+  sim::Time fine_bin = sim::Time::millis(200);
+  sim::Time coarse_bin = sim::Time::seconds(1.0);
+
+  SmoothnessConfig() {
+    net.bottleneck_bps = 10e6;
+    net.reverse_tcp_flows = 0;  // a lone flow, as in the paper's traces
+  }
+};
+
+struct SmoothnessOutcome {
+  std::vector<double> fine_rate_bps;    // 0.2 s bins (solid line)
+  std::vector<double> coarse_rate_bps;  // 1 s bins (dashed line)
+  double smoothness = 0.0;              // paper metric on fine bins
+  double cov = 0.0;                     // coefficient of variation
+  double mean_rate_bps = 0.0;
+  std::int64_t scripted_drops = 0;
+};
+
+[[nodiscard]] SmoothnessOutcome run_smoothness(const SmoothnessConfig& config);
+
+}  // namespace slowcc::scenario

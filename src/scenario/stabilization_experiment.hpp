@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "metrics/stabilization.hpp"
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+
+/// §4.1.1 scenario (Figures 3, 4, 5): twenty long-lived SlowCC flows
+/// share a RED bottleneck with an ON/OFF CBR source that uses half the
+/// link when ON. The CBR source runs from t=0, stops at `cbr_stop`,
+/// and restarts at `cbr_restart`; the restart is the sudden bandwidth
+/// reduction whose aftermath we measure.
+struct StabilizationConfig {
+  FlowSpec spec = FlowSpec::tfrc(6);
+  int num_flows = 20;
+  DumbbellConfig net;
+  sim::Time cbr_stop = sim::Time::seconds(150.0);
+  sim::Time cbr_restart = sim::Time::seconds(180.0);
+  sim::Time end = sim::Time::seconds(240.0);
+
+  StabilizationConfig() {
+    // 24 Mb/s puts the steady-state loss rate near the paper's Figure 3
+    // regime (~4%) with per-flow windows of a few packets when the CBR
+    // source occupies half the link.
+    net.bottleneck_bps = 24e6;
+  }
+};
+
+struct StabilizationOutcome {
+  metrics::StabilizationResult stabilization;
+  /// Trailing 10-RTT loss rate, one sample per RTT bin, for the whole
+  /// run (Figure 3's drop-rate trace).
+  std::vector<double> loss_rate_series;
+  std::vector<double> series_times_s;
+  double steady_loss_rate = 0.0;
+  double peak_loss_rate_after_restart = 0.0;
+};
+
+[[nodiscard]] StabilizationOutcome run_stabilization(
+    const StabilizationConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+
+/// Static TCP-compatibility check (the paper's §2 premise, and our
+/// sanity baseline): a single flow crosses a link that drops each data
+/// packet independently with probability `loss_rate`; measure its
+/// long-run goodput and compare with the Padhye prediction and with an
+/// actual TCP run under identical conditions.
+struct StaticCompatConfig {
+  FlowSpec spec = FlowSpec::tfrc(6);
+  double loss_rate = 0.01;
+  DumbbellConfig net;
+  sim::Time warmup = sim::Time::seconds(20.0);
+  sim::Time measure = sim::Time::seconds(200.0);
+  std::uint64_t drop_seed = 99;
+
+  StaticCompatConfig() {
+    // A fat pipe so the imposed Bernoulli loss, not the queue, is the
+    // binding constraint.
+    net.bottleneck_bps = 50e6;
+    net.reverse_tcp_flows = 0;
+  }
+};
+
+struct StaticCompatOutcome {
+  double goodput_bps = 0.0;
+  double padhye_prediction_bps = 0.0;
+  double ratio_to_prediction = 0.0;
+};
+
+[[nodiscard]] StaticCompatOutcome run_static_compat(
+    const StaticCompatConfig& config);
+
+}  // namespace slowcc::scenario

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace slowcc::sim {
+
+/// Opaque handle to a scheduled event, used for cancellation.
+class EventId {
+ public:
+  constexpr EventId() noexcept : id_(0) {}
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_;
+};
+
+/// Priority queue of timestamped callbacks.
+///
+/// Events with equal timestamps fire in insertion order, which keeps
+/// simulations deterministic. Cancellation is O(1): cancelled ids are
+/// remembered and the corresponding heap entries discarded when popped.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`. Returns a handle usable with
+  /// `cancel`.
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired
+  /// or already-cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Pop and return the earliest pending event's callback.
+  /// Precondition: !empty().
+  [[nodiscard]] Callback pop(Time* fire_time);
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void purge_cancelled();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace slowcc::sim

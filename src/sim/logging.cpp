@@ -1,0 +1,33 @@
+#include "sim/logging.hpp"
+
+namespace slowcc::sim {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, Time now, const char* component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s %s] %s: %s\n", level_name(level),
+               now.to_string().c_str(), component, message.c_str());
+}
+
+}  // namespace slowcc::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace slowcc::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger for simulation diagnostics.
+///
+/// Logging defaults to `kWarn` so experiment binaries stay quiet; tests
+/// raise verbosity locally when debugging. Not thread-safe — the
+/// simulator is single-threaded by design.
+class Logger {
+ public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+
+  static void log(LogLevel level, Time now, const char* component,
+                  const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+#define SLOWCC_LOG(level, now, component, msg)                       \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::slowcc::sim::Logger::level())) {          \
+      ::slowcc::sim::Logger::log(level, now, component, msg);        \
+    }                                                                \
+  } while (0)
+
+}  // namespace slowcc::sim

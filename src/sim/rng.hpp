@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace slowcc::sim {
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Every stochastic element of a scenario draws from one seeded `Rng`
+/// so experiments are reproducible bit-for-bit across runs and
+/// platforms. We implement the generator ourselves rather than using
+/// `std::mt19937` + distributions because libstdc++'s distribution
+/// implementations are not specified and would make cross-toolchain
+/// reproducibility accidental.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability) noexcept;
+
+  /// Derive an independent child generator (for per-flow streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace slowcc::sim

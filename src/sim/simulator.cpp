@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace slowcc::sim {
+
+EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past (" +
+                                at.to_string() + " < " + now_.to_string() + ")");
+  }
+  return queue_.schedule(at, std::move(cb));
+}
+
+EventId Simulator::schedule_in(Time delay, EventQueue::Callback cb) {
+  if (delay.is_negative()) {
+    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+void Simulator::run() { run_until(Time::max()); }
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Time t = queue_.next_time();
+    if (t > deadline) break;
+    Time fire_time;
+    auto cb = queue_.pop(&fire_time);
+    assert(fire_time >= now_);
+    now_ = fire_time;
+    ++events_executed_;
+    cb();
+  }
+  if (deadline != Time::max() && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace slowcc::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace slowcc::sim {
+
+/// Discrete-event simulation driver.
+///
+/// A `Simulator` owns the event queue and the simulation clock. All
+/// simulation components (links, agents, monitors) hold a reference to
+/// one `Simulator` and schedule their work through it. The clock only
+/// advances when `run*` pops events, so callbacks observe a consistent
+/// `now()`.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, EventQueue::Callback cb);
+
+  /// Schedule `cb` to run `delay` from now.
+  EventId schedule_in(Time delay, EventQueue::Callback cb);
+
+  /// Cancel a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run until the queue drains or the clock passes `deadline`.
+  /// Events at exactly `deadline` are executed. After returning, the
+  /// clock is at `deadline` (or at the last event if the queue drained
+  /// earlier), so subsequent `run_until` calls continue seamlessly.
+  void run_until(Time deadline);
+
+  /// Number of events executed so far (for micro-benchmarks and tests).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  EventQueue queue_;
+  Time now_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace slowcc::sim

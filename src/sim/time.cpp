@@ -1,0 +1,17 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace slowcc::sim {
+
+std::string Time::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6fs", as_seconds());
+  return buf;
+}
+
+Time transmission_time(std::int64_t bytes, double bits_per_second) noexcept {
+  return Time::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace slowcc::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace slowcc::sim {
+
+/// Simulation time, stored as integer nanoseconds.
+///
+/// Integer storage makes event ordering exact and simulations
+/// bit-for-bit reproducible: there is no floating-point drift when
+/// accumulating per-packet serialization delays. Construct values with
+/// the named factories (`Time::seconds`, `Time::millis`, ...) rather
+/// than raw integers so call sites carry their unit.
+class Time {
+ public:
+  /// Zero time (simulation epoch).
+  constexpr Time() noexcept : ns_(0) {}
+
+  [[nodiscard]] static constexpr Time nanos(std::int64_t ns) noexcept {
+    return Time(ns);
+  }
+  [[nodiscard]] static constexpr Time micros(std::int64_t us) noexcept {
+    return Time(us * 1'000);
+  }
+  [[nodiscard]] static constexpr Time millis(std::int64_t ms) noexcept {
+    return Time(ms * 1'000'000);
+  }
+  [[nodiscard]] static Time seconds(double s) noexcept {
+    return Time(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  [[nodiscard]] static constexpr Time max() noexcept {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_nanos() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double as_seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double as_millis() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+
+  constexpr Time& operator+=(Time rhs) noexcept {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) noexcept {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) noexcept {
+    return Time(a.ns_ + b.ns_);
+  }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) noexcept {
+    return Time(a.ns_ - b.ns_);
+  }
+  /// Scale a duration. A single double overload avoids int/int64
+  /// ambiguity at call sites; integral factors convert exactly.
+  [[nodiscard]] friend Time operator*(Time a, double k) noexcept {
+    return Time::seconds(a.as_seconds() * k);
+  }
+  /// Ratio of two durations.
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) noexcept {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Render as a human-readable string, e.g. "1.250s".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_;
+};
+
+/// Duration of transmitting `bytes` at `bits_per_second` on a serial link.
+[[nodiscard]] Time transmission_time(std::int64_t bytes, double bits_per_second) noexcept;
+
+}  // namespace slowcc::sim

@@ -1,0 +1,5 @@
+#include "sim/timer.hpp"
+
+// Timer is header-only today; this translation unit exists so the build
+// has a home for future out-of-line additions without touching every
+// dependent target.

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace slowcc::sim {
+
+/// A restartable one-shot timer.
+///
+/// Wraps the schedule/cancel dance that transport agents perform
+/// constantly (retransmit timers, send timers, feedback timers). The
+/// timer owns at most one pending event; re-scheduling cancels the
+/// previous one. Destroying the timer cancels any pending event, so a
+/// timer member can never fire into a destroyed agent.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_(&sim), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arm the timer to fire `delay` from now.
+  void schedule_in(Time delay) {
+    cancel();
+    id_ = sim_->schedule_in(delay, [this] {
+      id_ = EventId{};
+      on_fire_();
+    });
+  }
+
+  /// (Re)arm the timer to fire at absolute time `at`.
+  void schedule_at(Time at) {
+    cancel();
+    id_ = sim_->schedule_at(at, [this] {
+      id_ = EventId{};
+      on_fire_();
+    });
+  }
+
+  /// Disarm; no-op when idle.
+  void cancel() {
+    if (id_.valid()) {
+      sim_->cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  [[nodiscard]] bool pending() const noexcept { return id_.valid(); }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_fire_;
+  EventId id_;
+};
+
+}  // namespace slowcc::sim

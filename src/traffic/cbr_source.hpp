@@ -1,0 +1,50 @@
+#pragma once
+
+#include "cc/agent.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::traffic {
+
+/// Constant-bit-rate source with no congestion control (a UDP blast).
+///
+/// Used as the "orchestrator" of dynamic bandwidth in the paper's
+/// scenarios: an ON/OFF CBR source occupying a fraction of the
+/// bottleneck makes the bandwidth available to the congestion-
+/// controlled flows oscillate. The rate can be changed while running
+/// (sawtooth patterns do this continuously).
+class CbrSource final : public cc::Agent {
+ public:
+  CbrSource(sim::Simulator& sim, net::Node& local, net::NodeId peer_node,
+            net::PortId peer_port, net::FlowId flow, double rate_bps);
+
+  void start() override;
+  void stop() override;
+  void handle_packet(net::Packet&& p) override;
+
+  /// Change the sending rate; takes effect from the next packet.
+  /// A rate of 0 pauses transmission until the rate becomes positive.
+  void set_rate_bps(double rate_bps);
+
+  [[nodiscard]] double rate_bps() const noexcept { return rate_bps_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void on_send_timer();
+  void schedule_next_send();
+
+  sim::Timer send_timer_;
+  double rate_bps_;
+  bool running_ = false;
+  std::int64_t next_seq_ = 0;
+};
+
+/// Minimal receiver for CBR traffic: counts bytes, no feedback.
+class CbrSink final : public cc::SinkBase {
+ public:
+  CbrSink(sim::Simulator& sim, net::Node& local) : SinkBase(sim, local) {}
+  void handle_packet(net::Packet&& p) override {
+    if (p.type == net::PacketType::kCbr) note_received(p);
+  }
+};
+
+}  // namespace slowcc::traffic

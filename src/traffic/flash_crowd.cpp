@@ -1,0 +1,79 @@
+#include "traffic/flash_crowd.hpp"
+
+namespace slowcc::traffic {
+
+FlashCrowd::FlashCrowd(sim::Simulator& sim, net::Node& src, net::Node& dst,
+                       const FlashCrowdConfig& config)
+    : sim_(sim),
+      src_(src),
+      dst_(dst),
+      config_(config),
+      rng_(config.seed),
+      arrival_timer_(sim, [this] {
+        spawn_flow();
+        schedule_next_arrival();
+      }) {}
+
+void FlashCrowd::start_at(sim::Time at) {
+  active_ = true;
+  end_time_ = at + config_.duration;
+  sim_.schedule_at(at, [this] {
+    if (!active_) return;
+    spawn_flow();
+    schedule_next_arrival();
+  });
+}
+
+void FlashCrowd::schedule_next_arrival() {
+  if (!active_) return;
+  const double mean_gap = 1.0 / config_.arrival_rate_fps;
+  const double gap_s = config_.poisson_arrivals
+                           ? rng_.exponential(mean_gap)
+                           : mean_gap;
+  const sim::Time next = sim_.now() + sim::Time::seconds(gap_s);
+  if (next > end_time_) {
+    active_ = false;
+    return;
+  }
+  arrival_timer_.schedule_in(sim::Time::seconds(gap_s));
+}
+
+void FlashCrowd::spawn_flow() {
+  const net::FlowId id =
+      config_.first_flow_id + static_cast<net::FlowId>(flows_.size());
+
+  auto flow = std::make_unique<ShortFlow>();
+  flow->sink = std::make_unique<cc::TcpSink>(sim_, dst_);
+  flow->agent = cc::TcpAgent::make_tcp(sim_, src_, dst_.id(),
+                                       flow->sink->local_port(), id);
+  flow->agent->set_packet_size(config_.packet_size);
+  flow->agent->set_data_limit(config_.transfer_packets);
+  flow->started_at = sim_.now();
+
+  ShortFlow* raw = flow.get();
+  flow->agent->set_completion_callback([this, raw] {
+    raw->done = true;
+    raw->completed_at = sim_.now();
+    ++completed_;
+  });
+
+  flow->agent->start();
+  flows_.push_back(std::move(flow));
+}
+
+std::int64_t FlashCrowd::total_bytes_received() const {
+  std::int64_t total = 0;
+  for (const auto& f : flows_) total += f->sink->bytes_received();
+  return total;
+}
+
+double FlashCrowd::mean_completion_seconds() const {
+  if (completed_ == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : flows_) {
+    if (f->done) sum += (f->completed_at - f->started_at).as_seconds();
+  }
+  return sum / static_cast<double>(completed_);
+}
+
+}  // namespace slowcc::traffic

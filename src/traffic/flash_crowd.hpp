@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/tcp_agent.hpp"
+#include "cc/tcp_sink.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::traffic {
+
+/// Parameters of a web flash crowd (paper §4.1.2: 200 flows/sec for
+/// 5 seconds, 10-packet transfers).
+struct FlashCrowdConfig {
+  double arrival_rate_fps = 200.0;  // new flows per second
+  sim::Time duration = sim::Time::seconds(5.0);
+  std::int64_t transfer_packets = 10;
+  std::int64_t packet_size = 1000;
+  bool poisson_arrivals = true;     // exponential vs deterministic spacing
+  std::uint64_t seed = 7;
+  net::FlowId first_flow_id = 100000;  // reserved id range for crowd flows
+};
+
+/// Generates a crowd of short TCP transfers between two nodes.
+///
+/// Each arrival creates a fresh TCP(1/2) flow limited to
+/// `transfer_packets` segments; flows spend their whole life in
+/// slow-start, which is why a flash crowd grabs bandwidth quickly no
+/// matter what the long-lived background traffic runs (paper §4.1.2).
+class FlashCrowd {
+ public:
+  FlashCrowd(sim::Simulator& sim, net::Node& src, net::Node& dst,
+             const FlashCrowdConfig& config = {});
+
+  /// Begin arrivals at absolute time `at`.
+  void start_at(sim::Time at);
+
+  [[nodiscard]] std::size_t flows_started() const noexcept {
+    return flows_.size();
+  }
+  [[nodiscard]] std::size_t flows_completed() const noexcept {
+    return completed_;
+  }
+
+  /// Aggregate bytes received across all crowd flows.
+  [[nodiscard]] std::int64_t total_bytes_received() const;
+
+  /// Flow ids of crowd flows fall in
+  /// [first_flow_id, first_flow_id + flows_started()).
+  [[nodiscard]] bool owns_flow(net::FlowId id) const noexcept {
+    return id >= config_.first_flow_id &&
+           id < config_.first_flow_id + static_cast<net::FlowId>(flows_.size());
+  }
+  [[nodiscard]] const FlashCrowdConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Mean flow completion time over completed flows (seconds);
+  /// 0 when none completed.
+  [[nodiscard]] double mean_completion_seconds() const;
+
+ private:
+  struct ShortFlow {
+    std::unique_ptr<cc::TcpSink> sink;
+    std::unique_ptr<cc::TcpAgent> agent;
+    sim::Time started_at;
+    sim::Time completed_at;
+    bool done = false;
+  };
+
+  void spawn_flow();
+  void schedule_next_arrival();
+
+  sim::Simulator& sim_;
+  net::Node& src_;
+  net::Node& dst_;
+  FlashCrowdConfig config_;
+  sim::Rng rng_;
+  sim::Timer arrival_timer_;
+  sim::Time end_time_;
+  bool active_ = false;
+
+  std::vector<std::unique_ptr<ShortFlow>> flows_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace slowcc::traffic

@@ -1,0 +1,104 @@
+#include "traffic/loss_script.hpp"
+
+#include <stdexcept>
+
+namespace slowcc::traffic {
+
+bool LossScript::is_data(const net::Packet& p) noexcept {
+  switch (p.type) {
+    case net::PacketType::kData:
+    case net::PacketType::kTfrcData:
+    case net::PacketType::kTearData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void LossScript::install(net::Link& link) {
+  link.set_forced_drop_filter([this](const net::Packet& p) {
+    if (!is_data(p)) return false;
+    return should_drop(p);
+  });
+}
+
+CountedLossScript::CountedLossScript(std::vector<std::int64_t> spacings)
+    : spacings_(std::move(spacings)) {
+  if (spacings_.empty()) {
+    throw std::invalid_argument("CountedLossScript: spacings required");
+  }
+  for (auto s : spacings_) {
+    if (s < 1) {
+      throw std::invalid_argument("CountedLossScript: spacings must be >= 1");
+    }
+  }
+}
+
+bool CountedLossScript::should_drop(const net::Packet& /*p*/) {
+  if (admitted_in_phase_ < spacings_[phase_]) {
+    ++admitted_in_phase_;
+    return false;
+  }
+  // This packet is the one right after `spacing` admissions: drop it
+  // and move to the next spacing.
+  admitted_in_phase_ = 0;
+  phase_ = (phase_ + 1) % spacings_.size();
+  ++drops_;
+  return true;
+}
+
+IntervalLossScript::IntervalLossScript(sim::Simulator& sim,
+                                       sim::Time interval, sim::Time start)
+    : sim_(sim), interval_(interval), next_drop_at_(start) {
+  if (interval <= sim::Time()) {
+    throw std::invalid_argument("IntervalLossScript: interval must be > 0");
+  }
+}
+
+bool IntervalLossScript::should_drop(const net::Packet& /*p*/) {
+  if (sim_.now() < next_drop_at_) return false;
+  // Drop this packet and arm the next interval from now (not from the
+  // nominal boundary: with a sparse sender there may be no packet to
+  // drop exactly at the boundary).
+  next_drop_at_ = sim_.now() + interval_;
+  ++drops_;
+  return true;
+}
+
+TimedPhaseLossScript::TimedPhaseLossScript(sim::Simulator& sim,
+                                           std::vector<Phase> phases)
+    : sim_(sim), phases_(std::move(phases)) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("TimedPhaseLossScript: phases required");
+  }
+  for (const auto& ph : phases_) {
+    if (ph.drop_every < 1 || ph.duration <= sim::Time()) {
+      throw std::invalid_argument("TimedPhaseLossScript: invalid phase");
+    }
+  }
+}
+
+void TimedPhaseLossScript::advance_phase_if_needed() {
+  if (!started_) {
+    started_ = true;
+    phase_start_ = sim_.now();
+  }
+  while (sim_.now() - phase_start_ >= phases_[phase_].duration) {
+    phase_start_ += phases_[phase_].duration;
+    phase_ = (phase_ + 1) % phases_.size();
+    counter_ = 0;
+  }
+}
+
+bool TimedPhaseLossScript::should_drop(const net::Packet& /*p*/) {
+  advance_phase_if_needed();
+  ++counter_;
+  if (counter_ >= phases_[phase_].drop_every) {
+    counter_ = 0;
+    ++drops_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace slowcc::traffic

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::traffic {
+
+/// Deterministic loss scripts for the smoothness experiments
+/// (paper §4.3, Figures 17-19). A script decides, per *data* packet
+/// offered to a link, whether to force-drop it; control packets (ACKs,
+/// feedback) are never touched.
+///
+/// Scripts are stateful: construct one per link and install it with
+/// `install`. The object must outlive the link's traffic.
+class LossScript {
+ public:
+  virtual ~LossScript() = default;
+
+  /// True if this data packet should be dropped.
+  [[nodiscard]] virtual bool should_drop(const net::Packet& p) = 0;
+
+  /// Wire the script into `link` as its forced-drop filter.
+  void install(net::Link& link);
+
+  [[nodiscard]] static bool is_data(const net::Packet& p) noexcept;
+};
+
+/// Count-spaced losses: cycles through `spacings`; after admitting
+/// spacings[i] data packets, the next data packet is dropped.
+///
+/// Figure 17's "mildly bursty" pattern is {50, 50, 50, 400, 400, 400}:
+/// three losses each after 50 packet arrivals, then three more each
+/// after 400 arrivals, repeating.
+class CountedLossScript final : public LossScript {
+ public:
+  explicit CountedLossScript(std::vector<std::int64_t> spacings);
+
+  [[nodiscard]] bool should_drop(const net::Packet& p) override;
+
+  [[nodiscard]] std::int64_t drops() const noexcept { return drops_; }
+
+ private:
+  std::vector<std::int64_t> spacings_;
+  std::size_t phase_ = 0;
+  std::int64_t admitted_in_phase_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+/// Drops exactly one data packet per `interval` of simulated time —
+/// the paper's definition of *persistent congestion* ("the loss of one
+/// packet per round-trip time") used by the responsiveness metric.
+class IntervalLossScript final : public LossScript {
+ public:
+  IntervalLossScript(sim::Simulator& sim, sim::Time interval,
+                     sim::Time start = sim::Time());
+
+  [[nodiscard]] bool should_drop(const net::Packet& p) override;
+
+  [[nodiscard]] std::int64_t drops() const noexcept { return drops_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  sim::Time next_drop_at_;
+  std::int64_t drops_ = 0;
+};
+
+/// Time-phased periodic losses: cycles through phases, each lasting
+/// `duration` and dropping every `drop_every`-th data packet.
+///
+/// Figure 18's "more bursty" pattern is {(6 s, 200), (1 s, 4)}: six
+/// seconds of light loss (every 200th packet) then one second of heavy
+/// loss (every 4th packet), repeating.
+class TimedPhaseLossScript final : public LossScript {
+ public:
+  struct Phase {
+    sim::Time duration;
+    std::int64_t drop_every;  // drop one packet in every `drop_every`
+  };
+
+  TimedPhaseLossScript(sim::Simulator& sim, std::vector<Phase> phases);
+
+  [[nodiscard]] bool should_drop(const net::Packet& p) override;
+
+  [[nodiscard]] std::int64_t drops() const noexcept { return drops_; }
+
+ private:
+  void advance_phase_if_needed();
+
+  sim::Simulator& sim_;
+  std::vector<Phase> phases_;
+  std::size_t phase_ = 0;
+  sim::Time phase_start_;
+  std::int64_t counter_ = 0;
+  std::int64_t drops_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace slowcc::traffic

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "sim/timer.hpp"
+#include "traffic/cbr_source.hpp"
+
+namespace slowcc::traffic {
+
+/// Shape of the available-bandwidth oscillation (paper §3, Figure 2 and
+/// the sawtooth variants of §4.2.1).
+enum class PatternKind {
+  kSquare,           // full rate for on_time, silent for off_time
+  kSawtooth,         // ramp 0 -> peak over on_time, then silent
+  kReverseSawtooth,  // jump to peak, ramp down to 0 over on_time, then silent
+};
+
+/// Drives a `CbrSource` through a repeating ON/OFF pattern.
+///
+/// With kSquare and equal ON/OFF times this is exactly the square-wave
+/// scenario of Figure 2. Ramps are approximated with
+/// `ramp_steps` rate updates per ON period.
+class OnOffPattern {
+ public:
+  OnOffPattern(sim::Simulator& sim, CbrSource& source, PatternKind kind,
+               double peak_rate_bps, sim::Time on_time, sim::Time off_time,
+               int ramp_steps = 16);
+
+  /// Begin the pattern at `at` (the source is started if needed).
+  void start_at(sim::Time at);
+
+  /// Freeze the pattern and silence the source.
+  void stop();
+
+  /// One-shot helpers for scenarios that script CBR activity manually
+  /// (e.g. Figure 3's "on 0-150 s, off 150-180 s, on from 180 s").
+  void force_on();
+  void force_off();
+
+  [[nodiscard]] PatternKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool in_on_phase() const noexcept { return on_phase_; }
+
+ private:
+  void begin_on_phase();
+  void begin_off_phase();
+  void ramp_step(int step);
+
+  sim::Simulator& sim_;
+  CbrSource& source_;
+  PatternKind kind_;
+  double peak_rate_bps_;
+  sim::Time on_time_;
+  sim::Time off_time_;
+  int ramp_steps_;
+
+  sim::Timer phase_timer_;
+  sim::Timer ramp_timer_;
+  bool active_ = false;
+  bool on_phase_ = false;
+  int current_step_ = 0;
+};
+
+}  // namespace slowcc::traffic

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc::scenario {
+namespace {
+
+TEST(DumbbellConfig, PaperDefaults) {
+  DumbbellConfig cfg;
+  // RTT ~ 50 ms: 2 * (1 + 23 + 1) ms.
+  EXPECT_EQ(cfg.base_rtt(), sim::Time::millis(50));
+  // BDP at 10 Mb/s, 50 ms, 1000 B packets = 62.5 packets.
+  EXPECT_NEAR(cfg.bdp_packets(), 62.5, 1e-9);
+}
+
+TEST(FlowSpec, LabelsAreHumanReadable) {
+  EXPECT_EQ(FlowSpec::tcp(2).label(), "TCP(1/2)");
+  EXPECT_EQ(FlowSpec::tcp(256).label(), "TCP(1/256)");
+  EXPECT_EQ(FlowSpec::tfrc(6).label(), "TFRC(6)");
+  EXPECT_EQ(FlowSpec::tfrc(256, true).label(), "TFRC(256)+SC");
+  EXPECT_EQ(FlowSpec::sqrt(8).label(), "SQRT(1/8)");
+  EXPECT_EQ(FlowSpec::rap(2).label(), "RAP(1/2)");
+  EXPECT_EQ(FlowSpec::iiad().label(), "IIAD");
+}
+
+TEST(Dumbbell, EveryAlgorithmKindMovesData) {
+  for (const FlowSpec& spec :
+       {FlowSpec::tcp(), FlowSpec::tcp(8), FlowSpec::sqrt(), FlowSpec::iiad(),
+        FlowSpec::rap(), FlowSpec::tfrc(6), FlowSpec::tfrc(6, true)}) {
+    sim::Simulator sim;
+    DumbbellConfig cfg;
+    cfg.reverse_tcp_flows = 0;
+    Dumbbell net(sim, cfg);
+    auto& flow = net.add_flow(spec);
+    net.finalize();
+    sim.schedule_at(sim::Time(), [&] { flow.agent->start(); });
+    sim.run_until(sim::Time::seconds(15.0));
+    EXPECT_GT(flow.sink->bytes_received(), 1'000'000)
+        << "spec=" << spec.label();
+  }
+}
+
+TEST(Dumbbell, TearFlowMovesData) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 0;
+  Dumbbell net(sim, cfg);
+  FlowSpec spec;
+  spec.kind = CcKind::kTear;
+  auto& flow = net.add_flow(spec);
+  net.finalize();
+  sim.schedule_at(sim::Time(), [&] { flow.agent->start(); });
+  sim.run_until(sim::Time::seconds(20.0));
+  EXPECT_GT(flow.sink->bytes_received(), 1'000'000);
+}
+
+TEST(Dumbbell, ReverseTrafficFlowsAgainstGrain) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 2;
+  Dumbbell net(sim, cfg);
+  net.add_reverse_traffic();
+  net.finalize();
+  sim.run_until(sim::Time::seconds(10.0));
+  std::int64_t reverse_bytes = 0;
+  for (auto& f : net.flows()) {
+    if (!f.forward) reverse_bytes += f.sink->bytes_received();
+  }
+  EXPECT_GT(reverse_bytes, 1'000'000);
+  EXPECT_GT(net.reverse_bottleneck().stats().departures, 1000u);
+}
+
+TEST(Dumbbell, DropTailVariantWorks) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.red = false;
+  cfg.reverse_tcp_flows = 0;
+  Dumbbell net(sim, cfg);
+  auto& flow = net.add_flow(FlowSpec::tcp());
+  net.finalize();
+  sim.schedule_at(sim::Time(), [&] { flow.agent->start(); });
+  sim.run_until(sim::Time::seconds(10.0));
+  EXPECT_GT(flow.sink->bytes_received(), 3'000'000);
+}
+
+TEST(Dumbbell, AddFlowAfterFinalizeThrows) {
+  sim::Simulator sim;
+  Dumbbell net(sim, DumbbellConfig{});
+  net.finalize();
+  EXPECT_THROW(net.add_flow(FlowSpec::tcp()), std::logic_error);
+  EXPECT_THROW(net.add_cbr(1e6), std::logic_error);
+}
+
+TEST(Dumbbell, FlowReferencesStableAcrossAdds) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 0;
+  Dumbbell net(sim, cfg);
+  auto& first = net.add_flow(FlowSpec::tcp());
+  cc::Agent* agent_before = first.agent;
+  for (int i = 0; i < 50; ++i) net.add_flow(FlowSpec::tcp());
+  EXPECT_EQ(first.agent, agent_before)
+      << "references returned by add_flow must remain valid";
+  EXPECT_EQ(first.id, 1);
+}
+
+TEST(Dumbbell, StaggeredStartIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    DumbbellConfig cfg;
+    cfg.seed = seed;
+    cfg.reverse_tcp_flows = 0;
+    Dumbbell net(sim, cfg);
+    auto& f1 = net.add_flow(FlowSpec::tcp());
+    auto& f2 = net.add_flow(FlowSpec::tcp());
+    net.start_flows();
+    net.finalize();
+    sim.run_until(sim::Time::seconds(5.0));
+    return std::pair{f1.sink->bytes_received(), f2.sink->bytes_received()};
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+}  // namespace
+}  // namespace slowcc::scenario

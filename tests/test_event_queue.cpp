@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(Time::millis(30), [&] { fired.push_back(3); });
+  q.schedule(Time::millis(10), [&] { fired.push_back(1); });
+  q.schedule(Time::millis(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::millis(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop(nullptr)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ReportsFireTime) {
+  EventQueue q;
+  q.schedule(Time::millis(42), [] {});
+  Time t;
+  (void)q.pop(&t);
+  EXPECT_EQ(t, Time::millis(42));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(Time::millis(1), [&] { ran = true; });
+  q.schedule(Time::millis(2), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  EventId id = q.schedule(Time::millis(1), [] {});
+  (void)q.pop(nullptr);
+  q.cancel(id);  // must not corrupt bookkeeping
+  EXPECT_TRUE(q.empty());
+  q.schedule(Time::millis(2), [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelIsNoOp) {
+  EventQueue q;
+  EventId id = q.schedule(Time::millis(1), [] {});
+  q.schedule(Time::millis(2), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DefaultEventIdIsInvalid) {
+  EventId id;
+  EXPECT_FALSE(id.valid());
+  EventQueue q;
+  q.cancel(id);  // harmless
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  EventId early = q.schedule(Time::millis(1), [] {});
+  q.schedule(Time::millis(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), Time::millis(5));
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(Time::micros(i), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 1000; i += 2) q.cancel(ids[static_cast<size_t>(i)]);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace slowcc::sim

@@ -1,0 +1,213 @@
+// Tests for the extension features: delayed ACKs, Limited Transmit,
+// the IntervalLossScript, tracer/CSV export, and the responsiveness
+// experiment.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cc/tcp_agent.hpp"
+#include "cc/tcp_sink.hpp"
+#include "metrics/tracer.hpp"
+#include "net/topology.hpp"
+#include "scenario/responsiveness_experiment.hpp"
+#include "traffic/loss_script.hpp"
+
+namespace slowcc {
+namespace {
+
+struct DelAckRig {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Node& src{topo.add_node()};
+  net::Node& dst{topo.add_node()};
+  net::Link* fwd;
+  cc::TcpSink sink{sim, dst};
+  std::unique_ptr<cc::TcpAgent> tcp;
+
+  explicit DelAckRig(bool delayed, cc::TcpConfig cfg = {}) {
+    auto [f, r] = topo.add_duplex(src, dst, 10e6, sim::Time::millis(10), 100);
+    fwd = f;
+    (void)r;
+    sink.set_delayed_acks(delayed);
+    tcp = std::make_unique<cc::TcpAgent>(
+        sim, src, dst.id(), sink.local_port(), 1,
+        std::make_unique<cc::AimdPolicy>(cc::AimdPolicy::tcp_compatible(0.5)),
+        cfg);
+    topo.compute_routes();
+  }
+};
+
+TEST(DelayedAcks, RoughlyHalvesAckCount) {
+  DelAckRig imm(false), del(true);
+  imm.tcp->start();
+  del.tcp->start();
+  imm.sim.run_until(sim::Time::seconds(10.0));
+  del.sim.run_until(sim::Time::seconds(10.0));
+  const double imm_ratio = static_cast<double>(imm.sink.acks_sent()) /
+                           static_cast<double>(imm.sink.packets_received());
+  const double del_ratio = static_cast<double>(del.sink.acks_sent()) /
+                           static_cast<double>(del.sink.packets_received());
+  EXPECT_NEAR(imm_ratio, 1.0, 0.01);
+  EXPECT_LT(del_ratio, 0.65);
+  EXPECT_GT(del_ratio, 0.4);
+}
+
+TEST(DelayedAcks, StillMovesBulkData) {
+  DelAckRig del(true);
+  del.tcp->start();
+  del.sim.run_until(sim::Time::seconds(15.0));
+  EXPECT_GT(del.sink.bytes_received(), 5'000'000);
+}
+
+TEST(DelayedAcks, OutOfOrderDataAckedImmediately) {
+  // With a forced drop, dup ACKs must not be delayed — fast retransmit
+  // depends on them.
+  DelAckRig del(true);
+  del.tcp->start();
+  del.sim.run_until(sim::Time::seconds(5.0));
+  const auto timeouts_before = del.tcp->stats().timeouts;
+  bool dropped = false;
+  del.fwd->set_forced_drop_filter([&dropped](const net::Packet& p) {
+    if (!dropped && p.type == net::PacketType::kData) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  del.sim.run_until(sim::Time::seconds(7.0));
+  EXPECT_EQ(del.tcp->stats().timeouts, timeouts_before)
+      << "dup ACKs arrived promptly enough for fast retransmit";
+  EXPECT_GE(del.tcp->stats().retransmits, 1u);
+}
+
+TEST(LimitedTransmit, SendsNewDataOnFirstTwoDupAcks) {
+  cc::TcpConfig cfg;
+  cfg.limited_transmit = true;
+  cfg.initial_ssthresh = 4.0;  // keep the window tiny
+  DelAckRig rig(false, cfg);
+  rig.tcp->start();
+  rig.sim.run_until(sim::Time::seconds(2.0));
+  const auto next_before = rig.tcp->next_seq();
+  // Drop one packet; with a ~4-packet window only ~3 dup ACKs can
+  // arrive. Limited transmit keeps the clock alive.
+  bool dropped = false;
+  rig.fwd->set_forced_drop_filter([&dropped](const net::Packet& p) {
+    if (!dropped && p.type == net::PacketType::kData) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  rig.sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_GT(rig.tcp->next_seq(), next_before);
+  EXPECT_EQ(rig.tcp->stats().timeouts, 0u)
+      << "limited transmit avoided an RTO on a small window";
+}
+
+TEST(IntervalLossScript, DropsOnePacketPerInterval) {
+  sim::Simulator sim;
+  traffic::IntervalLossScript script(sim, sim::Time::millis(100));
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  int drops = 0;
+  // 10 packets at t=0: only the first is dropped.
+  for (int i = 0; i < 10; ++i) {
+    if (script.should_drop(p)) ++drops;
+  }
+  EXPECT_EQ(drops, 1);
+  // Advance past the interval: exactly one more.
+  sim.schedule_at(sim::Time::millis(150), [] {});
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    if (script.should_drop(p)) ++drops;
+  }
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(script.drops(), 2);
+}
+
+TEST(IntervalLossScript, StartDelaysFirstDrop) {
+  sim::Simulator sim;
+  traffic::IntervalLossScript script(sim, sim::Time::millis(50),
+                                     sim::Time::seconds(1.0));
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  EXPECT_FALSE(script.should_drop(p));
+  sim.schedule_at(sim::Time::seconds(1.5), [] {});
+  sim.run();
+  EXPECT_TRUE(script.should_drop(p));
+}
+
+TEST(Tracer, SamplesProbeAtInterval) {
+  sim::Simulator sim;
+  double value = 1.0;
+  metrics::TimeSeriesTracer tracer(sim, sim::Time::millis(100),
+                                   [&value] { return value; });
+  tracer.start_at(sim::Time());
+  sim.schedule_at(sim::Time::millis(250), [&value] { value = 7.0; });
+  sim.run_until(sim::Time::millis(500));
+  tracer.stop();
+  ASSERT_GE(tracer.values().size(), 5u);
+  EXPECT_DOUBLE_EQ(tracer.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(tracer.values()[4], 7.0);
+  EXPECT_EQ(tracer.timestamps()[2], sim::Time::millis(200));
+}
+
+TEST(Tracer, WriteCsvRoundTrips) {
+  std::vector<sim::Time> times{sim::Time::millis(0), sim::Time::millis(100)};
+  std::vector<double> a{1.5, 2.5};
+  std::vector<double> b{10.0, 20.0};
+  const std::string path = "/tmp/slowcc_test_trace.csv";
+  ASSERT_TRUE(metrics::write_csv(path, times,
+                                 {{"alpha", &a}, {"beta", &b}}));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_s,alpha,beta");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.000000,1.5,10");
+  std::remove(path.c_str());
+}
+
+TEST(Responsiveness, TcpHalvesWithinAFewRtts) {
+  scenario::ResponsivenessConfig cfg;
+  cfg.spec = scenario::FlowSpec::tcp(2);
+  cfg.warmup = sim::Time::seconds(20.0);
+  cfg.horizon = sim::Time::seconds(60.0);
+  const auto out = run_responsiveness(cfg);
+  ASSERT_TRUE(out.halved);
+  EXPECT_LE(out.responsiveness_rtts, 6.0);
+  EXPECT_GT(out.pre_loss_rate_bps, 5e6);
+}
+
+TEST(Responsiveness, SlowTcpTakesLonger) {
+  auto resp = [](double gamma) {
+    scenario::ResponsivenessConfig cfg;
+    cfg.spec = scenario::FlowSpec::tcp(gamma);
+    cfg.warmup = sim::Time::seconds(20.0);
+    cfg.horizon = sim::Time::seconds(90.0);
+    return run_responsiveness(cfg);
+  };
+  const auto fast = resp(2);
+  const auto slow = resp(16);
+  ASSERT_TRUE(fast.halved);
+  ASSERT_TRUE(slow.halved);
+  EXPECT_GT(slow.responsiveness_rtts, 2.0 * fast.responsiveness_rtts);
+}
+
+TEST(Responsiveness, AggressivenessOrdersWithA) {
+  auto aggr = [](const scenario::FlowSpec& spec) {
+    scenario::ResponsivenessConfig cfg;
+    cfg.spec = spec;
+    return measure_aggressiveness(cfg);
+  };
+  // TCP(1/2) increases by ~1 packet/RTT; TCP(1/16) by ~0.16.
+  const double fast = aggr(scenario::FlowSpec::tcp(2));
+  const double slow = aggr(scenario::FlowSpec::tcp(16));
+  EXPECT_GT(slow, 0.0);
+  EXPECT_GT(fast, 2.0 * slow);
+  EXPECT_NEAR(slow, cc::AimdPolicy::compatible_a(1.0 / 16.0), 0.15);
+}
+
+}  // namespace
+}  // namespace slowcc

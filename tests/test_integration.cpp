@@ -1,0 +1,131 @@
+// Cross-module integration tests: the paper's core qualitative claims,
+// scaled down to keep the suite fast.
+#include <gtest/gtest.h>
+
+#include "scenario/convergence_experiment.hpp"
+#include "scenario/dumbbell.hpp"
+#include "scenario/fk_experiment.hpp"
+#include "scenario/smoothness_experiment.hpp"
+#include "scenario/static_compat_experiment.hpp"
+
+namespace slowcc::scenario {
+namespace {
+
+double same_kind_fair_ratio(const FlowSpec& spec, double seconds = 60.0) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 0;
+  Dumbbell net(sim, cfg);
+  auto& f1 = net.add_flow(spec);
+  auto& f2 = net.add_flow(spec);
+  net.start_flows();
+  net.finalize();
+  sim.run_until(sim::Time::seconds(seconds));
+  const double b1 = static_cast<double>(f1.sink->bytes_received());
+  const double b2 = static_cast<double>(f2.sink->bytes_received());
+  return std::max(b1, b2) / std::max(1.0, std::min(b1, b2));
+}
+
+TEST(Integration, SameKindFlowsShareFairly) {
+  EXPECT_LT(same_kind_fair_ratio(FlowSpec::tcp()), 1.5);
+  EXPECT_LT(same_kind_fair_ratio(FlowSpec::tfrc(6)), 1.6);
+  EXPECT_LT(same_kind_fair_ratio(FlowSpec::rap()), 1.6);
+  EXPECT_LT(same_kind_fair_ratio(FlowSpec::sqrt()), 1.6);
+}
+
+TEST(Integration, StaticCompatibilityWithinFactorOfPrediction) {
+  // Under steady Bernoulli loss each TCP-compatible algorithm's
+  // long-run goodput must be within a modest factor of the Padhye
+  // prediction (the paper's static premise).
+  for (const FlowSpec& spec :
+       {FlowSpec::tcp(), FlowSpec::tfrc(6), FlowSpec::sqrt()}) {
+    StaticCompatConfig cfg;
+    cfg.spec = spec;
+    cfg.loss_rate = 0.02;
+    cfg.measure = sim::Time::seconds(120.0);
+    const auto out = run_static_compat(cfg);
+    EXPECT_GT(out.ratio_to_prediction, 0.4) << spec.label();
+    EXPECT_LT(out.ratio_to_prediction, 3.0) << spec.label();
+  }
+}
+
+TEST(Integration, TcpAndTfrcComparableUnderStaticLoss) {
+  auto goodput = [](const FlowSpec& spec) {
+    StaticCompatConfig cfg;
+    cfg.spec = spec;
+    cfg.loss_rate = 0.02;
+    cfg.measure = sim::Time::seconds(120.0);
+    return run_static_compat(cfg).goodput_bps;
+  };
+  const double tcp = goodput(FlowSpec::tcp());
+  const double tfrc = goodput(FlowSpec::tfrc(6));
+  EXPECT_LT(std::max(tcp, tfrc) / std::min(tcp, tfrc), 2.2)
+      << "tcp=" << tcp << " tfrc=" << tfrc;
+}
+
+TEST(Integration, FkUtilizationOrderingTcpAboveSlowVariants) {
+  // Needs a long warmup so every variant is at its steady operating
+  // point when half the flows stop; otherwise queue-drain artifacts
+  // dominate f(20).
+  auto fk = [](const FlowSpec& spec) {
+    FkConfig cfg;
+    cfg.spec = spec;
+    cfg.stop_time = sim::Time::seconds(120.0);
+    cfg.ks = {20};
+    return run_fk(cfg).f_values[0];
+  };
+  const double tcp = fk(FlowSpec::tcp());
+  const double tcp64 = fk(FlowSpec::tcp(64));
+  auto tfrc8_spec = FlowSpec::tfrc(8);
+  tfrc8_spec.tfrc_history_discounting = false;  // as in the paper's Fig 13
+  const double tfrc8 = fk(tfrc8_spec);
+  EXPECT_GT(tcp, 0.75) << "standard TCP reclaims the doubled bandwidth fast";
+  EXPECT_GT(tcp - tcp64, 0.15) << "TCP(1/64) is far more sluggish";
+  EXPECT_GT(tcp - tfrc8, 0.1) << "TFRC(8) pays the paper's f(20) penalty";
+}
+
+TEST(Integration, ConvergenceSlowerForSmallerB) {
+  auto conv = [](double gamma) {
+    ConvergenceConfig cfg;
+    cfg.spec = FlowSpec::tcp(gamma);
+    cfg.first_flow_head_start = sim::Time::seconds(15.0);
+    cfg.horizon = sim::Time::seconds(300.0);
+    return run_convergence(cfg);
+  };
+  const auto fast = conv(2);
+  const auto slow = conv(64);
+  ASSERT_TRUE(fast.result.converged);
+  EXPECT_LT(fast.result.convergence_time_s, 60.0);
+  if (slow.result.converged) {
+    EXPECT_GT(slow.result.convergence_time_s,
+              2.0 * fast.result.convergence_time_s);
+  } else {
+    SUCCEED() << "TCP(1/64) did not converge within the horizon at all";
+  }
+}
+
+TEST(Integration, SmoothnessTfrcBeatsTcpOnMildPattern) {
+  auto smooth = [](const FlowSpec& spec) {
+    SmoothnessConfig cfg;
+    cfg.spec = spec;
+    cfg.pattern = LossPattern::kMildlyBursty;
+    cfg.measure = sim::Time::seconds(30.0);
+    return run_smoothness(cfg);
+  };
+  const auto tfrc = smooth(FlowSpec::tfrc(6));
+  const auto tcp = smooth(FlowSpec::tcp(2));
+  EXPECT_LT(tfrc.cov, tcp.cov)
+      << "TFRC must have the smoother rate trace under mild loss";
+}
+
+TEST(Integration, ScriptedLossActuallyApplied) {
+  SmoothnessConfig cfg;
+  cfg.pattern = LossPattern::kMildlyBursty;
+  cfg.measure = sim::Time::seconds(20.0);
+  const auto out = run_smoothness(cfg);
+  EXPECT_GT(out.scripted_drops, 10);
+  EXPECT_GT(out.mean_rate_bps, 1e5);
+}
+
+}  // namespace
+}  // namespace slowcc::scenario

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+namespace {
+
+struct Capture final : PacketHandler {
+  std::vector<std::pair<sim::Time, Packet>> received;
+  sim::Simulator* sim = nullptr;
+  void handle_packet(Packet&& p) override {
+    received.emplace_back(sim->now(), std::move(p));
+  }
+};
+
+struct Rig {
+  sim::Simulator sim;
+  Node a{0, "a"};
+  Node b{1, "b"};
+  Capture sink;
+  Link link;
+
+  explicit Rig(double bw = 8e6, sim::Time delay = sim::Time::millis(10),
+               std::size_t qlen = 4)
+      : link(sim, a, b, bw, delay, std::make_unique<DropTailQueue>(qlen)) {
+    sink.sim = &sim;
+    b.attach(1, sink);
+  }
+
+  Packet packet(std::int64_t seq, std::int64_t size = 1000) {
+    Packet p;
+    p.src_node = 0;
+    p.dst_node = 1;
+    p.dst_port = 1;
+    p.seq = seq;
+    p.size_bytes = size;
+    return p;
+  }
+};
+
+TEST(Link, DeliveryTimeIsSerializationPlusPropagation) {
+  Rig rig;  // 8 Mb/s: 1000 B = 1 ms serialization; 10 ms propagation
+  rig.link.send(rig.packet(0));
+  rig.sim.run();
+  ASSERT_EQ(rig.sink.received.size(), 1u);
+  EXPECT_EQ(rig.sink.received[0].first, sim::Time::millis(11));
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  Rig rig;
+  rig.link.send(rig.packet(0));
+  rig.link.send(rig.packet(1));
+  rig.link.send(rig.packet(2));
+  rig.sim.run();
+  ASSERT_EQ(rig.sink.received.size(), 3u);
+  EXPECT_EQ(rig.sink.received[0].first, sim::Time::millis(11));
+  EXPECT_EQ(rig.sink.received[1].first, sim::Time::millis(12));
+  EXPECT_EQ(rig.sink.received[2].first, sim::Time::millis(13));
+  EXPECT_EQ(rig.sink.received[2].second.seq, 2);
+}
+
+TEST(Link, SmallPacketsSerializeFaster) {
+  Rig rig;
+  rig.link.send(rig.packet(0, 100));  // 0.1 ms at 8 Mb/s
+  rig.sim.run();
+  EXPECT_EQ(rig.sink.received[0].first,
+            sim::Time::micros(100) + sim::Time::millis(10));
+}
+
+TEST(Link, QueueOverflowCountsDrops) {
+  Rig rig(8e6, sim::Time::millis(10), 2);
+  for (int i = 0; i < 10; ++i) rig.link.send(rig.packet(i));
+  rig.sim.run();
+  // 1 in flight immediately + 2 queued = 3 delivered, 7 dropped.
+  EXPECT_EQ(rig.sink.received.size(), 3u);
+  EXPECT_EQ(rig.link.stats().drops_overflow, 7u);
+  EXPECT_EQ(rig.link.stats().arrivals, 10u);
+  EXPECT_EQ(rig.link.stats().departures, 3u);
+}
+
+TEST(Link, ForcedDropFilterShortCircuitsQueue) {
+  Rig rig;
+  rig.link.set_forced_drop_filter(
+      [](const Packet& p) { return p.seq % 2 == 0; });
+  for (int i = 0; i < 6; ++i) rig.link.send(rig.packet(i));
+  rig.sim.run();
+  EXPECT_EQ(rig.sink.received.size(), 3u);
+  EXPECT_EQ(rig.link.stats().drops_forced, 3u);
+  for (auto& [t, p] : rig.sink.received) EXPECT_EQ(p.seq % 2, 1);
+}
+
+struct CountingObserver final : LinkObserver {
+  int arrivals = 0, drops = 0, departs = 0;
+  void on_arrival(const Packet&) override { ++arrivals; }
+  void on_drop(const Packet&, DropReason) override { ++drops; }
+  void on_depart(const Packet&) override { ++departs; }
+};
+
+TEST(Link, ObserversSeeAllThreeHooks) {
+  Rig rig(8e6, sim::Time::millis(10), 2);
+  CountingObserver obs;
+  rig.link.add_observer(&obs);
+  for (int i = 0; i < 10; ++i) rig.link.send(rig.packet(i));
+  rig.sim.run();
+  EXPECT_EQ(obs.arrivals, 10);
+  EXPECT_EQ(obs.drops, 7);
+  EXPECT_EQ(obs.departs, 3);
+}
+
+TEST(Link, BytesDeliveredAccumulates) {
+  Rig rig;
+  rig.link.send(rig.packet(0, 400));
+  rig.link.send(rig.packet(1, 600));
+  rig.sim.run();
+  EXPECT_EQ(rig.link.stats().bytes_delivered, 1000);
+}
+
+TEST(Link, RejectsInvalidParameters) {
+  sim::Simulator sim;
+  Node a{0}, b{1};
+  EXPECT_THROW(Link(sim, a, b, 0.0, sim::Time::millis(1),
+                    std::make_unique<DropTailQueue>(4)),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, a, b, 1e6, sim::Time::millis(-1),
+                    std::make_unique<DropTailQueue>(4)),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, a, b, 1e6, sim::Time::millis(1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Link, IdleThenBusyAgain) {
+  Rig rig;
+  rig.link.send(rig.packet(0));
+  rig.sim.run();
+  rig.sim.schedule_at(rig.sim.now() + sim::Time::millis(5),
+                      [&] { rig.link.send(rig.packet(1)); });
+  rig.sim.run();
+  ASSERT_EQ(rig.sink.received.size(), 2u);
+  // Second packet: sent at 16 ms, arrives 16 + 1 + 10 = 27 ms.
+  EXPECT_EQ(rig.sink.received[1].first, sim::Time::millis(27));
+}
+
+}  // namespace
+}  // namespace slowcc::net

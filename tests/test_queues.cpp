@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/red_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+namespace {
+
+Packet make_packet(std::int64_t seq = 0, std::int64_t size = 1000) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(DropTail, FifoOrder) {
+  DropTailQueue q(10);
+  for (int i = 0; i < 5; ++i) ASSERT_FALSE(q.enqueue(make_packet(i)));
+  for (int i = 0; i < 5; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTail, OverflowDropsExactlyAtLimit) {
+  DropTailQueue q(3);
+  EXPECT_FALSE(q.enqueue(make_packet(0)));
+  EXPECT_FALSE(q.enqueue(make_packet(1)));
+  EXPECT_FALSE(q.enqueue(make_packet(2)));
+  auto reason = q.enqueue(make_packet(3));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, DropReason::kOverflow);
+  EXPECT_EQ(q.length_packets(), 3u);
+}
+
+TEST(DropTail, ByteAccounting) {
+  DropTailQueue q(10);
+  ASSERT_FALSE(q.enqueue(make_packet(0, 100)));
+  ASSERT_FALSE(q.enqueue(make_packet(1, 250)));
+  EXPECT_EQ(q.length_bytes(), 350);
+  (void)q.dequeue();
+  EXPECT_EQ(q.length_bytes(), 250);
+}
+
+TEST(DropTail, ZeroLimitRejected) {
+  EXPECT_THROW(DropTailQueue q(0), std::invalid_argument);
+}
+
+RedConfig small_red() {
+  RedConfig cfg;
+  cfg.limit_packets = 100;
+  cfg.min_thresh = 5;
+  cfg.max_thresh = 15;
+  cfg.weight = 0.5;  // fast-moving average for deterministic tests
+  return cfg;
+}
+
+TEST(Red, NoDropsWhileAverageBelowMinThresh) {
+  sim::Simulator sim;
+  RedQueue q(sim, small_red());
+  // Enqueue/dequeue alternating keeps the queue length at 0-1.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(q.enqueue(make_packet(i)).has_value());
+    (void)q.dequeue();
+  }
+}
+
+TEST(Red, HardLimitAlwaysDrops) {
+  sim::Simulator sim;
+  RedConfig cfg = small_red();
+  cfg.limit_packets = 10;
+  RedQueue q(sim, cfg);
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!q.enqueue(make_packet(i))) ++accepted;
+  }
+  EXPECT_LE(accepted, 10);
+  EXPECT_EQ(q.length_packets(), static_cast<std::size_t>(accepted));
+}
+
+TEST(Red, SustainedOverloadTriggersEarlyDrops) {
+  sim::Simulator sim;
+  RedQueue q(sim, small_red());
+  int early = 0;
+  for (int i = 0; i < 80; ++i) {
+    auto r = q.enqueue(make_packet(i));
+    if (r == DropReason::kEarly) ++early;
+  }
+  EXPECT_GT(early, 0) << "average queue well above max_thresh must drop";
+}
+
+TEST(Red, AverageTracksQueue) {
+  sim::Simulator sim;
+  RedQueue q(sim, small_red());
+  for (int i = 0; i < 20; ++i) (void)q.enqueue(make_packet(i));
+  EXPECT_GT(q.average_queue(), 5.0);
+}
+
+TEST(Red, IdlePeriodDecaysAverage) {
+  sim::Simulator sim;
+  RedQueue q(sim, small_red());
+  for (int i = 0; i < 20; ++i) (void)q.enqueue(make_packet(i));
+  while (q.dequeue().has_value()) {
+  }
+  const double avg_before = q.average_queue();
+  // Let simulated time pass while the queue sits empty.
+  sim.schedule_at(sim::Time::seconds(10.0), [] {});
+  sim.run();
+  (void)q.enqueue(make_packet(99));
+  EXPECT_LT(q.average_queue(), avg_before * 0.5);
+}
+
+TEST(Red, EcnMarksInsteadOfDroppingWhenEnabled) {
+  sim::Simulator sim;
+  RedConfig cfg = small_red();
+  cfg.ecn_marking = true;
+  RedQueue q(sim, cfg);
+  int marked = 0;
+  int dropped = 0;
+  for (int i = 0; i < 80; ++i) {
+    Packet p = make_packet(i);
+    p.ecn_capable = true;
+    if (q.enqueue(std::move(p)).has_value()) ++dropped;
+  }
+  while (auto p = q.dequeue()) {
+    if (p->ecn_marked) ++marked;
+  }
+  EXPECT_GT(marked, 0);
+  EXPECT_EQ(dropped, 0) << "ECN-capable packets are marked, not early-dropped";
+}
+
+TEST(Red, NonEcnPacketsStillDropWithMarkingEnabled) {
+  sim::Simulator sim;
+  RedConfig cfg = small_red();
+  cfg.ecn_marking = true;
+  RedQueue q(sim, cfg);
+  int dropped = 0;
+  for (int i = 0; i < 80; ++i) {
+    if (q.enqueue(make_packet(i)).has_value()) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST(Red, ForBdpUsesPaperMultipliers) {
+  const RedConfig cfg = RedConfig::for_bdp(62.5);
+  EXPECT_DOUBLE_EQ(cfg.min_thresh, 0.25 * 62.5);
+  EXPECT_DOUBLE_EQ(cfg.max_thresh, 1.25 * 62.5);
+  EXPECT_EQ(cfg.limit_packets, static_cast<std::size_t>(2.5 * 62.5));
+}
+
+TEST(Red, RejectsBadConfig) {
+  sim::Simulator sim;
+  RedConfig cfg = small_red();
+  cfg.min_thresh = 20;  // >= max_thresh
+  EXPECT_THROW(RedQueue(sim, cfg), std::invalid_argument);
+  cfg = small_red();
+  cfg.max_p = 0.0;
+  EXPECT_THROW(RedQueue(sim, cfg), std::invalid_argument);
+  cfg = small_red();
+  cfg.limit_packets = 0;
+  EXPECT_THROW(RedQueue(sim, cfg), std::invalid_argument);
+}
+
+TEST(Red, DeterministicForSameSeed) {
+  sim::Simulator sim;
+  auto run = [&](std::uint64_t seed) {
+    RedConfig cfg = small_red();
+    cfg.seed = seed;
+    RedQueue q(sim, cfg);
+    std::vector<bool> outcome;
+    for (int i = 0; i < 60; ++i) {
+      outcome.push_back(q.enqueue(make_packet(i)).has_value());
+    }
+    return outcome;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace slowcc::net

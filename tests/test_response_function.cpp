@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/response_function.hpp"
+
+namespace slowcc::cc {
+namespace {
+
+TEST(ResponseFunction, SimpleFormIsSqrtOnePointFiveOverP) {
+  EXPECT_NEAR(simple_response_pkts_per_rtt(0.01), std::sqrt(150.0), 1e-9);
+  EXPECT_NEAR(simple_response_pkts_per_rtt(1.0 / 3.0),
+              std::sqrt(1.5 * 3.0), 1e-9);
+}
+
+TEST(ResponseFunction, AimdFormReducesToSimpleForTcp) {
+  for (double p : {0.001, 0.01, 0.1}) {
+    EXPECT_NEAR(aimd_response_pkts_per_rtt(1.0, 0.5, p),
+                simple_response_pkts_per_rtt(p), 1e-9);
+  }
+}
+
+TEST(ResponseFunction, PadhyeMatchesKnownValue) {
+  // At p = 0.01, R = 100 ms, s = 1000 B:
+  // term_ca = 0.1*sqrt(0.00667) = 0.008165
+  // term_to = 0.4*min(1, 3*sqrt(0.00375))*0.01*(1+32e-4)
+  //         = 0.4*0.18371*0.01*1.0032 = 0.000737
+  // X = 1000/(0.008902) = 112,300 B/s approximately.
+  const double x = padhye_rate_bytes_per_sec(0.01, sim::Time::millis(100), 1000);
+  EXPECT_NEAR(x, 112300.0, 1500.0);
+}
+
+TEST(ResponseFunction, PadhyeMonotoneDecreasingInLoss) {
+  double prev = 1e18;
+  for (double p = 0.001; p < 0.5; p *= 1.5) {
+    const double x = padhye_rate_bytes_per_sec(p, sim::Time::millis(50), 1000);
+    EXPECT_LT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(ResponseFunction, PadhyeScalesWithPacketSize) {
+  const auto rtt = sim::Time::millis(50);
+  EXPECT_NEAR(padhye_rate_bytes_per_sec(0.02, rtt, 2000),
+              2.0 * padhye_rate_bytes_per_sec(0.02, rtt, 1000), 1e-6);
+}
+
+TEST(ResponseFunction, PadhyeInverseInRttAtLowLoss) {
+  // At low loss the timeout term vanishes; X ~ 1/R.
+  const double x1 = padhye_rate_bytes_per_sec(1e-4, sim::Time::millis(50), 1000);
+  const double x2 = padhye_rate_bytes_per_sec(1e-4, sim::Time::millis(100), 1000);
+  EXPECT_NEAR(x1 / x2, 2.0, 0.05);
+}
+
+TEST(ResponseFunction, PadhyeBelowSimpleAtHighLoss) {
+  // Timeouts make the full model far more conservative at high p.
+  const double p = 0.3;
+  EXPECT_LT(padhye_pkts_per_rtt(p), simple_response_pkts_per_rtt(p));
+}
+
+TEST(ResponseFunction, PadhyeApproachesSimpleAtLowLoss) {
+  const double p = 1e-5;
+  EXPECT_NEAR(padhye_pkts_per_rtt(p) / simple_response_pkts_per_rtt(p), 1.0,
+              0.02);
+}
+
+TEST(ResponseFunction, RejectsNonPositiveLoss) {
+  EXPECT_THROW(simple_response_pkts_per_rtt(0.0), std::invalid_argument);
+  EXPECT_THROW(
+      padhye_rate_bytes_per_sec(-0.1, sim::Time::millis(50), 1000),
+      std::invalid_argument);
+}
+
+TEST(ResponseFunction, ExplicitTrtoHonored) {
+  const auto rtt = sim::Time::millis(50);
+  const double with_default =
+      padhye_rate_bytes_per_sec(0.1, rtt, 1000);  // t_RTO = 4R
+  const double with_bigger =
+      padhye_rate_bytes_per_sec(0.1, rtt, 1000, sim::Time::seconds(1.0));
+  EXPECT_LT(with_bigger, with_default);
+}
+
+}  // namespace
+}  // namespace slowcc::cc

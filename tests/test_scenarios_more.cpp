@@ -1,0 +1,113 @@
+// Additional scenario-level coverage: experiment drivers return sane,
+// internally consistent structures on scaled-down configurations.
+#include <gtest/gtest.h>
+
+#include "scenario/fairness_experiment.hpp"
+#include "scenario/flash_crowd_experiment.hpp"
+#include "scenario/oscillation_experiment.hpp"
+#include "scenario/stabilization_experiment.hpp"
+
+namespace slowcc::scenario {
+namespace {
+
+TEST(StabilizationExperiment, SeriesCoversWholeRun) {
+  StabilizationConfig cfg;
+  cfg.spec = FlowSpec::tcp(2);
+  cfg.num_flows = 5;
+  cfg.net.bottleneck_bps = 10e6;
+  cfg.cbr_stop = sim::Time::seconds(20);
+  cfg.cbr_restart = sim::Time::seconds(25);
+  cfg.end = sim::Time::seconds(40);
+  const auto out = run_stabilization(cfg);
+  ASSERT_EQ(out.loss_rate_series.size(), out.series_times_s.size());
+  // One bin per RTT (50 ms) over ~40 s.
+  EXPECT_GT(out.loss_rate_series.size(), 700u);
+  for (double v : out.loss_rate_series) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GT(out.peak_loss_rate_after_restart, 0.0);
+}
+
+TEST(StabilizationExperiment, TcpStabilizesInShortRun) {
+  StabilizationConfig cfg;
+  cfg.spec = FlowSpec::tcp(2);
+  cfg.cbr_stop = sim::Time::seconds(30);
+  cfg.cbr_restart = sim::Time::seconds(40);
+  cfg.end = sim::Time::seconds(70);
+  const auto out = run_stabilization(cfg);
+  EXPECT_TRUE(out.stabilization.stabilized);
+  EXPECT_LT(out.stabilization.stabilization_time_rtts, 100.0);
+}
+
+TEST(FairnessExperiment, NormalizedSharesRoughlySumToUtilization) {
+  FairnessConfig cfg;
+  cfg.cbr_period = sim::Time::seconds(1.0);
+  cfg.warmup = sim::Time::seconds(10.0);
+  cfg.measure = sim::Time::seconds(60.0);
+  const auto out = run_fairness(cfg);
+  ASSERT_EQ(out.group_a_normalized.size(), 5u);
+  ASSERT_EQ(out.group_b_normalized.size(), 5u);
+  double total = 0;
+  for (double v : out.group_a_normalized) total += v;
+  for (double v : out.group_b_normalized) total += v;
+  // Mean normalized share times flow count ~ utilization * flows.
+  EXPECT_NEAR(total / 10.0, out.utilization, 0.15);
+  EXPECT_GT(out.mean_available_bps, 0.0);
+}
+
+TEST(OscillationExperiment, FractionsBounded) {
+  OscillationConfig cfg;
+  cfg.on_off_length = sim::Time::seconds(0.2);
+  cfg.measure = sim::Time::seconds(40.0);
+  const auto out = run_oscillation(cfg);
+  EXPECT_GT(out.aggregate_fraction, 0.2);
+  EXPECT_LT(out.aggregate_fraction, 1.3);
+  EXPECT_GE(out.drop_rate, 0.0);
+  EXPECT_LT(out.drop_rate, 0.5);
+  ASSERT_EQ(out.per_flow_fraction.size(), 10u);
+}
+
+TEST(FlashCrowdExperiment, TracesAligned) {
+  FlashCrowdExperimentConfig cfg;
+  cfg.background_flows = 3;
+  cfg.crowd.arrival_rate_fps = 50;
+  cfg.crowd.duration = sim::Time::seconds(2.0);
+  cfg.crowd_start = sim::Time::seconds(10.0);
+  cfg.end = sim::Time::seconds(30.0);
+  const auto out = run_flash_crowd(cfg);
+  EXPECT_EQ(out.background_bps.size(), out.crowd_bps.size());
+  EXPECT_EQ(out.background_bps.size(), out.times_s.size());
+  EXPECT_GT(out.crowd_flows_started, 50u);
+  EXPECT_GT(out.crowd_total_mbytes, 0.0);
+}
+
+TEST(FairnessExperiment, SawtoothPatternsRun) {
+  for (auto kind :
+       {traffic::PatternKind::kSawtooth, traffic::PatternKind::kReverseSawtooth}) {
+    FairnessConfig cfg;
+    cfg.pattern = kind;
+    cfg.cbr_period = sim::Time::seconds(2.0);
+    cfg.warmup = sim::Time::seconds(5.0);
+    cfg.measure = sim::Time::seconds(40.0);
+    const auto out = run_fairness(cfg);
+    EXPECT_GT(out.utilization, 0.3);
+    EXPECT_GT(out.group_a_mean, 0.2);
+  }
+}
+
+TEST(OscillationExperiment, TenToOneHarsherThanThreeToOne) {
+  auto frac = [](double peak_fraction) {
+    OscillationConfig cfg;
+    cfg.spec = FlowSpec::tfrc(6);
+    cfg.on_off_length = sim::Time::seconds(1.6);
+    cfg.cbr_peak_fraction = peak_fraction;
+    cfg.measure = sim::Time::seconds(60.0);
+    return run_oscillation(cfg).aggregate_fraction;
+  };
+  EXPECT_LT(frac(0.9), frac(2.0 / 3.0))
+      << "10:1 oscillation must cost TFRC more than 3:1";
+}
+
+}  // namespace
+}  // namespace slowcc::scenario

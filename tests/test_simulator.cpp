@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen;
+  sim.schedule_at(Time::millis(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, Time::millis(7));
+  EXPECT_EQ(sim.now(), Time::millis(7));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time seen;
+  sim.schedule_at(Time::millis(10), [&] {
+    sim.schedule_in(Time::millis(5), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, Time::millis(15));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndSetsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::millis(10), [&] { ++fired; });
+  sim.schedule_at(Time::millis(30), [&] { ++fired; });
+  sim.run_until(Time::millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::millis(20));
+  sim.run_until(Time::millis(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventExactlyAtDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(Time::millis(20), [&] { ran = true; });
+  sim.run_until(Time::millis(20));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(Time::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(Time::millis(5), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(Time::millis(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 25; ++i) sim.schedule_at(Time::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 25u);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(Time::millis(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Timer, FiresOnceAtScheduledDelay) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.schedule_in(Time::millis(10));
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPrevious) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.schedule_in(Time::millis(10));
+  t.schedule_in(Time::millis(20));  // replaces the first
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.now(), Time::millis(20));
+}
+
+TEST(Timer, CancelStopsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] { ++fires; });
+  t.schedule_in(Time::millis(10));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRescheduleItselfFromCallback) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(sim, [&] {
+    if (++fires < 5) t.schedule_in(Time::millis(10));
+  });
+  t.schedule_in(Time::millis(10));
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), Time::millis(50));
+}
+
+TEST(Timer, DestructionCancelsPendingEvent) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t(sim, [&] { ++fires; });
+    t.schedule_in(Time::millis(10));
+  }  // destroyed while pending
+  sim.run();  // must not crash or fire
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace slowcc::sim

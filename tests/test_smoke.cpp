@@ -1,0 +1,46 @@
+// End-to-end smoke tests: build a dumbbell, run traffic, check the
+// pieces hang together. Finer-grained behavior is covered per module.
+#include <gtest/gtest.h>
+
+#include "scenario/dumbbell.hpp"
+
+namespace slowcc {
+namespace {
+
+TEST(Smoke, SingleTcpFlowMovesData) {
+  sim::Simulator sim;
+  scenario::DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 0;
+  scenario::Dumbbell net(sim, cfg);
+  auto& flow = net.add_flow(scenario::FlowSpec::tcp());
+  net.finalize();
+  sim.schedule_at(sim::Time(), [&] { flow.agent->start(); });
+  sim.run_until(sim::Time::seconds(10.0));
+
+  // 10 Mb/s for ~10 s minus slow start: expect at least a few megabytes.
+  EXPECT_GT(flow.sink->bytes_received(), 2'000'000);
+  // And the link should be close to saturated in the steady part.
+  EXPECT_GT(flow.sink->bytes_received(), 0.5 * 10e6 / 8.0 * 10.0);
+}
+
+TEST(Smoke, TwoTcpFlowsShareRoughlyEqually) {
+  sim::Simulator sim;
+  scenario::DumbbellConfig cfg;
+  cfg.reverse_tcp_flows = 0;
+  scenario::Dumbbell net(sim, cfg);
+  auto& f1 = net.add_flow(scenario::FlowSpec::tcp());
+  auto& f2 = net.add_flow(scenario::FlowSpec::tcp());
+  net.start_flows();
+  net.finalize();
+  sim.run_until(sim::Time::seconds(60.0));
+
+  const double b1 = static_cast<double>(f1.sink->bytes_received());
+  const double b2 = static_cast<double>(f2.sink->bytes_received());
+  EXPECT_GT(b1, 0);
+  EXPECT_GT(b2, 0);
+  const double ratio = std::max(b1, b2) / std::min(b1, b2);
+  EXPECT_LT(ratio, 1.5) << "b1=" << b1 << " b2=" << b2;
+}
+
+}  // namespace
+}  // namespace slowcc

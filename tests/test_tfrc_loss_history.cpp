@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "cc/tfrc_loss_history.hpp"
+
+namespace slowcc::cc {
+namespace {
+
+constexpr sim::Time kRtt = sim::Time::millis(50);
+
+// Feed `count` consecutive in-order packets starting at `seq`,
+// advancing a fake clock by `per_packet` per packet.
+std::int64_t feed(TfrcLossHistory& h, std::int64_t seq, std::int64_t count,
+                  sim::Time& clock,
+                  sim::Time per_packet = sim::Time::millis(1)) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    clock += per_packet;
+    h.on_packet(seq++, clock, kRtt);
+  }
+  return seq;
+}
+
+TEST(TfrcWeights, MatchSpecForEight) {
+  const auto w = TfrcLossHistory::weights(8);
+  const std::vector<double> expected{1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2};
+  ASSERT_EQ(w.size(), expected.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], expected[i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST(TfrcWeights, MonotoneNonIncreasing) {
+  for (int n : {1, 2, 4, 6, 8, 16, 128, 256}) {
+    const auto w = TfrcLossHistory::weights(n);
+    for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+    EXPECT_GT(w.back(), 0.0);
+    EXPECT_DOUBLE_EQ(w.front(), std::min(1.0, 2.0 * n / (n + 2.0)));
+  }
+}
+
+TEST(TfrcLossHistory, NoLossMeansZeroRate) {
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  feed(h, 0, 1000, clock);
+  EXPECT_DOUBLE_EQ(h.loss_event_rate(), 0.0);
+  EXPECT_EQ(h.losses_seen(), 0);
+}
+
+TEST(TfrcLossHistory, SingleGapIsOneLossEvent) {
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  auto seq = feed(h, 0, 100, clock);
+  seq += 1;  // skip one
+  clock += sim::Time::millis(1);
+  h.on_packet(seq, clock, kRtt);
+  EXPECT_EQ(h.loss_events(), 1);
+  EXPECT_EQ(h.losses_seen(), 1);
+}
+
+TEST(TfrcLossHistory, LossesWithinOneRttCoalesce) {
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  feed(h, 0, 100, clock);
+  // Three separate gaps arriving within a single RTT: one event.
+  clock += sim::Time::millis(5);
+  h.on_packet(101, clock, kRtt);  // lost 100
+  clock += sim::Time::millis(5);
+  h.on_packet(103, clock, kRtt);  // lost 102
+  clock += sim::Time::millis(5);
+  h.on_packet(105, clock, kRtt);  // lost 104
+  EXPECT_EQ(h.loss_events(), 1);
+  EXPECT_EQ(h.losses_seen(), 3);
+}
+
+TEST(TfrcLossHistory, LossesBeyondOneRttAreSeparateEvents) {
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  feed(h, 0, 100, clock);
+  clock += sim::Time::millis(60);  // > RTT
+  h.on_packet(101, clock, kRtt);
+  clock += sim::Time::millis(60);
+  h.on_packet(103, clock, kRtt);
+  EXPECT_EQ(h.loss_events(), 2);
+}
+
+TEST(TfrcLossHistory, PeriodicLossYieldsMatchingRate) {
+  // One loss every 100 packets -> p ~ 0.01.
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  std::int64_t seq = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    seq = feed(h, seq, 99, clock, sim::Time::millis(2));
+    seq += 1;  // lose one
+  }
+  clock += sim::Time::millis(2);
+  h.on_packet(seq, clock, kRtt);
+  EXPECT_NEAR(h.loss_event_rate(), 0.01, 0.002);
+}
+
+TEST(TfrcLossHistory, OpenIntervalLetsRateDecay) {
+  TfrcLossHistory h(8);
+  sim::Time clock;
+  std::int64_t seq = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    seq = feed(h, seq, 50, clock, sim::Time::millis(2));
+    seq += 1;
+  }
+  const double p_congested = h.loss_event_rate();
+  // A long loss-free run: the open interval dominates via max().
+  feed(h, seq, 5000, clock, sim::Time::millis(2));
+  EXPECT_LT(h.loss_event_rate(), p_congested / 5.0);
+}
+
+TEST(TfrcLossHistory, ShortMemoryAdaptsFasterThanLong) {
+  auto run = [](int n) {
+    TfrcLossHistory h(n);
+    sim::Time clock;
+    std::int64_t seq = 0;
+    // Light loss: every 400 packets, 20 cycles.
+    for (int c = 0; c < 20; ++c) {
+      seq = feed(h, seq, 400, clock, sim::Time::millis(2));
+      seq += 1;
+    }
+    // Then heavy loss: every 5 packets, 12 events (with >RTT spacing so
+    // each gap is its own event).
+    for (int c = 0; c < 12; ++c) {
+      seq = feed(h, seq, 5, clock, sim::Time::millis(15));
+      seq += 1;
+    }
+    clock += sim::Time::millis(60);
+    h.on_packet(seq, clock, kRtt);
+    return h.loss_event_rate();
+  };
+  EXPECT_GT(run(4), 2.0 * run(64))
+      << "TFRC(4) must see the new heavy-loss regime long before TFRC(64)";
+}
+
+TEST(TfrcLossHistory, HistoryDiscountingAcceleratesDecay) {
+  auto run = [](bool discounting) {
+    TfrcLossHistory h(64);
+    h.set_history_discounting(discounting);
+    sim::Time clock;
+    std::int64_t seq = 0;
+    for (int c = 0; c < 64; ++c) {
+      seq = feed(h, seq, 20, clock, sim::Time::millis(2));
+      seq += 1;
+    }
+    // Long quiet period.
+    feed(h, seq, 4000, clock, sim::Time::millis(2));
+    return h.loss_event_rate();
+  };
+  EXPECT_LT(run(true), run(false))
+      << "discounting must let p collapse faster in good times";
+}
+
+TEST(TfrcLossHistory, DiscountResetsWhenLossesResume) {
+  TfrcLossHistory h(32);
+  h.set_history_discounting(true);
+  sim::Time clock;
+  std::int64_t seq = 0;
+  for (int c = 0; c < 32; ++c) {
+    seq = feed(h, seq, 20, clock, sim::Time::millis(2));
+    seq += 1;
+  }
+  feed(h, seq, 4000, clock, sim::Time::millis(2));
+  seq += 4000;
+  const double p_quiet = h.loss_event_rate();
+  // One new loss: full history memory returns (reset-on-loss), so the
+  // estimate jumps back up much faster than it decayed.
+  seq += 1;
+  clock += sim::Time::millis(60);
+  h.on_packet(seq, clock, kRtt);
+  EXPECT_GT(h.loss_event_rate(), p_quiet);
+}
+
+TEST(TfrcLossHistory, RejectsBadN) {
+  EXPECT_THROW(TfrcLossHistory(0), std::invalid_argument);
+}
+
+class HistoryDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistoryDepth, RateAlwaysInUnitRange) {
+  TfrcLossHistory h(GetParam());
+  sim::Time clock;
+  std::int64_t seq = 0;
+  for (int c = 0; c < 30; ++c) {
+    seq = feed(h, seq, 3 + c % 7, clock, sim::Time::millis(20));
+    seq += 1 + c % 2;
+  }
+  EXPECT_GE(h.loss_event_rate(), 0.0);
+  EXPECT_LE(h.loss_event_rate(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NSweep, HistoryDepth,
+                         ::testing::Values(1, 2, 4, 6, 8, 16, 32, 128, 256));
+
+}  // namespace
+}  // namespace slowcc::cc

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.as_nanos(), 0);
+}
+
+TEST(Time, FactoriesAgree) {
+  EXPECT_EQ(Time::seconds(1.0), Time::millis(1000));
+  EXPECT_EQ(Time::millis(1), Time::micros(1000));
+  EXPECT_EQ(Time::micros(1), Time::nanos(1000));
+}
+
+TEST(Time, SecondsRoundsToNearestNano) {
+  EXPECT_EQ(Time::seconds(0.05).as_nanos(), 50'000'000);
+  EXPECT_EQ(Time::seconds(1e-9).as_nanos(), 1);
+  EXPECT_EQ(Time::seconds(-1.5).as_nanos(), -1'500'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::millis(30);
+  const Time b = Time::millis(20);
+  EXPECT_EQ(a + b, Time::millis(50));
+  EXPECT_EQ(a - b, Time::millis(10));
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(Time, ScalarMultiply) {
+  EXPECT_EQ(Time::millis(10) * 5.0, Time::millis(50));
+  EXPECT_EQ(Time::millis(10) * 2, Time::millis(20));  // int promotes
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::millis(5);
+  t += Time::millis(10);
+  EXPECT_EQ(t, Time::millis(15));
+  t -= Time::millis(20);
+  EXPECT_EQ(t, Time::millis(-5));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::millis(1), Time::millis(2));
+  EXPECT_GT(Time::max(), Time::seconds(1e9));
+}
+
+TEST(Time, AsUnits) {
+  const Time t = Time::millis(1500);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 1500.0);
+}
+
+TEST(Time, ToStringFormatsSeconds) {
+  EXPECT_EQ(Time::millis(1250).to_string(), "1.250000s");
+}
+
+TEST(TransmissionTime, MatchesBitsOverRate) {
+  // 1000 bytes at 10 Mb/s = 0.8 ms.
+  EXPECT_EQ(transmission_time(1000, 10e6), Time::micros(800));
+  // 40-byte ACK at 100 Mb/s = 3.2 us.
+  EXPECT_EQ(transmission_time(40, 100e6), Time::nanos(3200));
+}
+
+}  // namespace
+}  // namespace slowcc::sim

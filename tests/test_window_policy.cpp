@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/window_policy.hpp"
+
+namespace slowcc::cc {
+namespace {
+
+TEST(AimdPolicy, StandardTcpParameters) {
+  const AimdPolicy tcp = AimdPolicy::tcp_compatible(0.5);
+  EXPECT_DOUBLE_EQ(tcp.a(), 1.0);  // a(1/2) = 4(1 - 1/4)/3 = 1
+  EXPECT_DOUBLE_EQ(tcp.b(), 0.5);
+  EXPECT_DOUBLE_EQ(tcp.increase_per_rtt(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(tcp.decrease_to(30.0), 15.0);
+}
+
+TEST(AimdPolicy, CompatibleAFormula) {
+  // a = 4(2b - b^2)/3 from the paper.
+  EXPECT_NEAR(AimdPolicy::compatible_a(1.0 / 8.0), 4.0 * (0.25 - 1.0 / 64.0) / 3.0,
+              1e-12);
+  EXPECT_NEAR(AimdPolicy::compatible_a(0.25), 4.0 * (0.5 - 0.0625) / 3.0, 1e-12);
+}
+
+TEST(AimdPolicy, DecreaseNeverBelowOne) {
+  const AimdPolicy p(1.0, 0.9);
+  EXPECT_DOUBLE_EQ(p.decrease_to(1.0), 1.0);
+}
+
+TEST(AimdPolicy, RejectsInvalidParameters) {
+  EXPECT_THROW(AimdPolicy(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(AimdPolicy(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(AimdPolicy(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AimdPolicy::compatible_a(0.0), std::invalid_argument);
+}
+
+TEST(AimdPolicy, NameMentionsParameters) {
+  EXPECT_NE(AimdPolicy(1.0, 0.5).name().find("AIMD"), std::string::npos);
+}
+
+TEST(BinomialPolicy, SqrtRules) {
+  const BinomialPolicy p = BinomialPolicy::sqrt_policy(0.5);
+  EXPECT_DOUBLE_EQ(p.k(), 0.5);
+  EXPECT_DOUBLE_EQ(p.l(), 0.5);
+  // Increase a/sqrt(w), decrease b*sqrt(w).
+  EXPECT_NEAR(p.increase_per_rtt(16.0), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(p.decrease_to(16.0), 16.0 - 0.5 * 4.0, 1e-12);
+}
+
+TEST(BinomialPolicy, IiadRules) {
+  const BinomialPolicy p = BinomialPolicy::iiad_policy();
+  EXPECT_DOUBLE_EQ(p.k(), 1.0);
+  EXPECT_DOUBLE_EQ(p.l(), 0.0);
+  // Additive decrease: w - b regardless of w.
+  const double dec16 = 16.0 - p.decrease_to(16.0);
+  const double dec64 = 64.0 - p.decrease_to(64.0);
+  EXPECT_NEAR(dec16, dec64, 1e-12);
+}
+
+TEST(BinomialPolicy, SqrtDecreaseGentlerThanTcpAtLargeWindows) {
+  const BinomialPolicy sqrt_p = BinomialPolicy::sqrt_policy(0.5);
+  const AimdPolicy tcp = AimdPolicy::tcp_compatible(0.5);
+  const double w = 100.0;
+  EXPECT_GT(sqrt_p.decrease_to(w), tcp.decrease_to(w));
+}
+
+TEST(BinomialPolicy, RejectsInvalid) {
+  EXPECT_THROW(BinomialPolicy(0.5, 1.5, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BinomialPolicy(0.5, 0.5, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BinomialPolicy(0.5, 0.5, 1.0, 0.0), std::invalid_argument);
+}
+
+// Property sweep: every TCP-compatible policy must return a window in
+// [1, w) on decrease and a positive increase, across parameter space.
+class PolicyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicyProperty, AimdDecreaseInRange) {
+  const double b = GetParam();
+  const AimdPolicy p = AimdPolicy::tcp_compatible(b);
+  for (double w : {1.0, 2.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const double next = p.decrease_to(w);
+    EXPECT_GE(next, 1.0);
+    EXPECT_LT(next, std::max(w, 1.0 + 1e-9));
+    EXPECT_GT(p.increase_per_rtt(w), 0.0);
+  }
+}
+
+TEST_P(PolicyProperty, SqrtDecreaseInRange) {
+  const double b = GetParam();
+  const BinomialPolicy p = BinomialPolicy::sqrt_policy(b);
+  for (double w : {1.0, 2.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const double next = p.decrease_to(w);
+    EXPECT_GE(next, 1.0);
+    EXPECT_LE(next, w);
+    EXPECT_GT(p.increase_per_rtt(w), 0.0);
+  }
+}
+
+TEST_P(PolicyProperty, SlowerBMeansGentlerDecreaseAndSlowerIncrease) {
+  const double b = GetParam();
+  if (b >= 0.5) return;
+  const AimdPolicy slow = AimdPolicy::tcp_compatible(b);
+  const AimdPolicy tcp = AimdPolicy::tcp_compatible(0.5);
+  EXPECT_GT(slow.decrease_to(100.0), tcp.decrease_to(100.0));
+  EXPECT_LT(slow.increase_per_rtt(100.0), tcp.increase_per_rtt(100.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(BSweep, PolicyProperty,
+                         ::testing::Values(1.0 / 256, 1.0 / 128, 1.0 / 64,
+                                           1.0 / 32, 1.0 / 16, 1.0 / 8,
+                                           1.0 / 4, 1.0 / 2, 0.75));
+
+}  // namespace
+}  // namespace slowcc::cc
