@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conservative_c.dir/ablation_conservative_c.cpp.o"
+  "CMakeFiles/ablation_conservative_c.dir/ablation_conservative_c.cpp.o.d"
+  "ablation_conservative_c"
+  "ablation_conservative_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conservative_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delayed_acks.dir/ext_delayed_acks.cpp.o"
+  "CMakeFiles/ext_delayed_acks.dir/ext_delayed_acks.cpp.o.d"
+  "ext_delayed_acks"
+  "ext_delayed_acks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delayed_acks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

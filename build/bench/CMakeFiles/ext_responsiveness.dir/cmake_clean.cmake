@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_responsiveness.dir/ext_responsiveness.cpp.o"
+  "CMakeFiles/ext_responsiveness.dir/ext_responsiveness.cpp.o.d"
+  "ext_responsiveness"
+  "ext_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

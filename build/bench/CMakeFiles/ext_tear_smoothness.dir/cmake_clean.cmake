@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tear_smoothness.dir/ext_tear_smoothness.cpp.o"
+  "CMakeFiles/ext_tear_smoothness.dir/ext_tear_smoothness.cpp.o.d"
+  "ext_tear_smoothness"
+  "ext_tear_smoothness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tear_smoothness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_drop_rate.dir/fig03_drop_rate.cpp.o"
+  "CMakeFiles/fig03_drop_rate.dir/fig03_drop_rate.cpp.o.d"
+  "fig03_drop_rate"
+  "fig03_drop_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_drop_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stabilization_cost.dir/fig05_stabilization_cost.cpp.o"
+  "CMakeFiles/fig05_stabilization_cost.dir/fig05_stabilization_cost.cpp.o.d"
+  "fig05_stabilization_cost"
+  "fig05_stabilization_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stabilization_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_flash_crowd.dir/fig06_flash_crowd.cpp.o"
+  "CMakeFiles/fig06_flash_crowd.dir/fig06_flash_crowd.cpp.o.d"
+  "fig06_flash_crowd"
+  "fig06_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

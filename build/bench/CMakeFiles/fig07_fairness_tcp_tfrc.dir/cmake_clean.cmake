@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fairness_tcp_tfrc.dir/fig07_fairness_tcp_tfrc.cpp.o"
+  "CMakeFiles/fig07_fairness_tcp_tfrc.dir/fig07_fairness_tcp_tfrc.cpp.o.d"
+  "fig07_fairness_tcp_tfrc"
+  "fig07_fairness_tcp_tfrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fairness_tcp_tfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_fairness_tcp_tfrc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fairness_tcp_tcp8.dir/fig08_fairness_tcp_tcp8.cpp.o"
+  "CMakeFiles/fig08_fairness_tcp_tcp8.dir/fig08_fairness_tcp_tcp8.cpp.o.d"
+  "fig08_fairness_tcp_tcp8"
+  "fig08_fairness_tcp_tcp8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fairness_tcp_tcp8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_fairness_tcp_tcp8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fairness_tcp_sqrt.dir/fig09_fairness_tcp_sqrt.cpp.o"
+  "CMakeFiles/fig09_fairness_tcp_sqrt.dir/fig09_fairness_tcp_sqrt.cpp.o.d"
+  "fig09_fairness_tcp_sqrt"
+  "fig09_fairness_tcp_sqrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fairness_tcp_sqrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

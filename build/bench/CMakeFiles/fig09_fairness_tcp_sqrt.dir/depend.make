@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_fairness_tcp_sqrt.
+# This may be replaced when dependencies are built.

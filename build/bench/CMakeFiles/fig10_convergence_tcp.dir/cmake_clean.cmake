@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_convergence_tcp.dir/fig10_convergence_tcp.cpp.o"
+  "CMakeFiles/fig10_convergence_tcp.dir/fig10_convergence_tcp.cpp.o.d"
+  "fig10_convergence_tcp"
+  "fig10_convergence_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_convergence_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

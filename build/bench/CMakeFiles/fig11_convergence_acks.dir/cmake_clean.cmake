@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_convergence_acks.dir/fig11_convergence_acks.cpp.o"
+  "CMakeFiles/fig11_convergence_acks.dir/fig11_convergence_acks.cpp.o.d"
+  "fig11_convergence_acks"
+  "fig11_convergence_acks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_convergence_acks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

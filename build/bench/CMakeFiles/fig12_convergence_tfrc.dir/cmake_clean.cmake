@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_convergence_tfrc.dir/fig12_convergence_tfrc.cpp.o"
+  "CMakeFiles/fig12_convergence_tfrc.dir/fig12_convergence_tfrc.cpp.o.d"
+  "fig12_convergence_tfrc"
+  "fig12_convergence_tfrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_convergence_tfrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fk_utilization.dir/fig13_fk_utilization.cpp.o"
+  "CMakeFiles/fig13_fk_utilization.dir/fig13_fk_utilization.cpp.o.d"
+  "fig13_fk_utilization"
+  "fig13_fk_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fk_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

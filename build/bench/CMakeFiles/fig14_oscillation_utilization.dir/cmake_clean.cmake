@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_oscillation_utilization.dir/fig14_oscillation_utilization.cpp.o"
+  "CMakeFiles/fig14_oscillation_utilization.dir/fig14_oscillation_utilization.cpp.o.d"
+  "fig14_oscillation_utilization"
+  "fig14_oscillation_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_oscillation_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_oscillation_droprate.dir/fig15_oscillation_droprate.cpp.o"
+  "CMakeFiles/fig15_oscillation_droprate.dir/fig15_oscillation_droprate.cpp.o.d"
+  "fig15_oscillation_droprate"
+  "fig15_oscillation_droprate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_oscillation_droprate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_oscillation_10to1.dir/fig16_oscillation_10to1.cpp.o"
+  "CMakeFiles/fig16_oscillation_10to1.dir/fig16_oscillation_10to1.cpp.o.d"
+  "fig16_oscillation_10to1"
+  "fig16_oscillation_10to1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_oscillation_10to1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

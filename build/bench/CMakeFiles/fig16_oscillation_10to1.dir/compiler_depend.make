@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_oscillation_10to1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_smoothness_mild.dir/fig17_smoothness_mild.cpp.o"
+  "CMakeFiles/fig17_smoothness_mild.dir/fig17_smoothness_mild.cpp.o.d"
+  "fig17_smoothness_mild"
+  "fig17_smoothness_mild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_smoothness_mild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_smoothness_bursty.dir/fig18_smoothness_bursty.cpp.o"
+  "CMakeFiles/fig18_smoothness_bursty.dir/fig18_smoothness_bursty.cpp.o.d"
+  "fig18_smoothness_bursty"
+  "fig18_smoothness_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_smoothness_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_smoothness_binomial.dir/fig19_smoothness_binomial.cpp.o"
+  "CMakeFiles/fig19_smoothness_binomial.dir/fig19_smoothness_binomial.cpp.o.d"
+  "fig19_smoothness_binomial"
+  "fig19_smoothness_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_smoothness_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_timeout_model.dir/fig20_timeout_model.cpp.o"
+  "CMakeFiles/fig20_timeout_model.dir/fig20_timeout_model.cpp.o.d"
+  "fig20_timeout_model"
+  "fig20_timeout_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_timeout_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_compat.dir/static_compat.cpp.o"
+  "CMakeFiles/static_compat.dir/static_compat.cpp.o.d"
+  "static_compat"
+  "static_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flash_crowd_dynamics.dir/flash_crowd_dynamics.cpp.o"
+  "CMakeFiles/example_flash_crowd_dynamics.dir/flash_crowd_dynamics.cpp.o.d"
+  "example_flash_crowd_dynamics"
+  "example_flash_crowd_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flash_crowd_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oscillating_bandwidth.dir/oscillating_bandwidth.cpp.o"
+  "CMakeFiles/example_oscillating_bandwidth.dir/oscillating_bandwidth.cpp.o.d"
+  "example_oscillating_bandwidth"
+  "example_oscillating_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oscillating_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

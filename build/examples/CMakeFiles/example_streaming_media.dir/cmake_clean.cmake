@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_streaming_media.dir/streaming_media.cpp.o"
+  "CMakeFiles/example_streaming_media.dir/streaming_media.cpp.o.d"
+  "example_streaming_media"
+  "example_streaming_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_streaming_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

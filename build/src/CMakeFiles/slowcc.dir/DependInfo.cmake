@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aimd_model.cpp" "src/CMakeFiles/slowcc.dir/analysis/aimd_model.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/analysis/aimd_model.cpp.o.d"
+  "/root/repo/src/analysis/convergence_model.cpp" "src/CMakeFiles/slowcc.dir/analysis/convergence_model.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/analysis/convergence_model.cpp.o.d"
+  "/root/repo/src/analysis/fk_model.cpp" "src/CMakeFiles/slowcc.dir/analysis/fk_model.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/analysis/fk_model.cpp.o.d"
+  "/root/repo/src/analysis/timeout_model.cpp" "src/CMakeFiles/slowcc.dir/analysis/timeout_model.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/analysis/timeout_model.cpp.o.d"
+  "/root/repo/src/cc/agent.cpp" "src/CMakeFiles/slowcc.dir/cc/agent.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/agent.cpp.o.d"
+  "/root/repo/src/cc/rap_agent.cpp" "src/CMakeFiles/slowcc.dir/cc/rap_agent.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/rap_agent.cpp.o.d"
+  "/root/repo/src/cc/response_function.cpp" "src/CMakeFiles/slowcc.dir/cc/response_function.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/response_function.cpp.o.d"
+  "/root/repo/src/cc/tcp_agent.cpp" "src/CMakeFiles/slowcc.dir/cc/tcp_agent.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tcp_agent.cpp.o.d"
+  "/root/repo/src/cc/tcp_sink.cpp" "src/CMakeFiles/slowcc.dir/cc/tcp_sink.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tcp_sink.cpp.o.d"
+  "/root/repo/src/cc/tear_agent.cpp" "src/CMakeFiles/slowcc.dir/cc/tear_agent.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tear_agent.cpp.o.d"
+  "/root/repo/src/cc/tfrc_agent.cpp" "src/CMakeFiles/slowcc.dir/cc/tfrc_agent.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tfrc_agent.cpp.o.d"
+  "/root/repo/src/cc/tfrc_loss_history.cpp" "src/CMakeFiles/slowcc.dir/cc/tfrc_loss_history.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tfrc_loss_history.cpp.o.d"
+  "/root/repo/src/cc/tfrc_sink.cpp" "src/CMakeFiles/slowcc.dir/cc/tfrc_sink.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/tfrc_sink.cpp.o.d"
+  "/root/repo/src/cc/window_policy.cpp" "src/CMakeFiles/slowcc.dir/cc/window_policy.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/cc/window_policy.cpp.o.d"
+  "/root/repo/src/metrics/convergence.cpp" "src/CMakeFiles/slowcc.dir/metrics/convergence.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/convergence.cpp.o.d"
+  "/root/repo/src/metrics/fairness.cpp" "src/CMakeFiles/slowcc.dir/metrics/fairness.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/fairness.cpp.o.d"
+  "/root/repo/src/metrics/loss_rate_monitor.cpp" "src/CMakeFiles/slowcc.dir/metrics/loss_rate_monitor.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/loss_rate_monitor.cpp.o.d"
+  "/root/repo/src/metrics/rate_sampler.cpp" "src/CMakeFiles/slowcc.dir/metrics/rate_sampler.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/rate_sampler.cpp.o.d"
+  "/root/repo/src/metrics/smoothness.cpp" "src/CMakeFiles/slowcc.dir/metrics/smoothness.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/smoothness.cpp.o.d"
+  "/root/repo/src/metrics/stabilization.cpp" "src/CMakeFiles/slowcc.dir/metrics/stabilization.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/stabilization.cpp.o.d"
+  "/root/repo/src/metrics/throughput_monitor.cpp" "src/CMakeFiles/slowcc.dir/metrics/throughput_monitor.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/throughput_monitor.cpp.o.d"
+  "/root/repo/src/metrics/tracer.cpp" "src/CMakeFiles/slowcc.dir/metrics/tracer.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/tracer.cpp.o.d"
+  "/root/repo/src/metrics/utilization.cpp" "src/CMakeFiles/slowcc.dir/metrics/utilization.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/metrics/utilization.cpp.o.d"
+  "/root/repo/src/net/drop_tail_queue.cpp" "src/CMakeFiles/slowcc.dir/net/drop_tail_queue.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/drop_tail_queue.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/slowcc.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/slowcc.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/slowcc.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/red_queue.cpp" "src/CMakeFiles/slowcc.dir/net/red_queue.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/red_queue.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/slowcc.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/net/topology.cpp.o.d"
+  "/root/repo/src/scenario/convergence_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/convergence_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/convergence_experiment.cpp.o.d"
+  "/root/repo/src/scenario/dumbbell.cpp" "src/CMakeFiles/slowcc.dir/scenario/dumbbell.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/dumbbell.cpp.o.d"
+  "/root/repo/src/scenario/fairness_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/fairness_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/fairness_experiment.cpp.o.d"
+  "/root/repo/src/scenario/fk_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/fk_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/fk_experiment.cpp.o.d"
+  "/root/repo/src/scenario/flash_crowd_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/flash_crowd_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/flash_crowd_experiment.cpp.o.d"
+  "/root/repo/src/scenario/oscillation_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/oscillation_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/oscillation_experiment.cpp.o.d"
+  "/root/repo/src/scenario/responsiveness_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/responsiveness_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/responsiveness_experiment.cpp.o.d"
+  "/root/repo/src/scenario/smoothness_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/smoothness_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/smoothness_experiment.cpp.o.d"
+  "/root/repo/src/scenario/stabilization_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/stabilization_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/stabilization_experiment.cpp.o.d"
+  "/root/repo/src/scenario/static_compat_experiment.cpp" "src/CMakeFiles/slowcc.dir/scenario/static_compat_experiment.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/scenario/static_compat_experiment.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/slowcc.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/slowcc.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/slowcc.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/slowcc.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/slowcc.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/time.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/slowcc.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/sim/timer.cpp.o.d"
+  "/root/repo/src/traffic/cbr_source.cpp" "src/CMakeFiles/slowcc.dir/traffic/cbr_source.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/traffic/cbr_source.cpp.o.d"
+  "/root/repo/src/traffic/flash_crowd.cpp" "src/CMakeFiles/slowcc.dir/traffic/flash_crowd.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/traffic/flash_crowd.cpp.o.d"
+  "/root/repo/src/traffic/loss_script.cpp" "src/CMakeFiles/slowcc.dir/traffic/loss_script.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/traffic/loss_script.cpp.o.d"
+  "/root/repo/src/traffic/onoff_pattern.cpp" "src/CMakeFiles/slowcc.dir/traffic/onoff_pattern.cpp.o" "gcc" "src/CMakeFiles/slowcc.dir/traffic/onoff_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

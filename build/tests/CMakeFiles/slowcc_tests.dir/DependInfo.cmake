@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_dumbbell.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_dumbbell.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_dumbbell.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_packet_agent.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_packet_agent.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_packet_agent.cpp.o.d"
+  "/root/repo/tests/test_queues.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_queues.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_queues.cpp.o.d"
+  "/root/repo/tests/test_rap_tear.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_rap_tear.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_rap_tear.cpp.o.d"
+  "/root/repo/tests/test_response_function.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_response_function.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_response_function.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenarios_more.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_scenarios_more.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_scenarios_more.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_tcp_agent.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_tcp_agent.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_tcp_agent.cpp.o.d"
+  "/root/repo/tests/test_tfrc.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_tfrc.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_tfrc.cpp.o.d"
+  "/root/repo/tests/test_tfrc_loss_history.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_tfrc_loss_history.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_tfrc_loss_history.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_window_policy.cpp" "tests/CMakeFiles/slowcc_tests.dir/test_window_policy.cpp.o" "gcc" "tests/CMakeFiles/slowcc_tests.dir/test_window_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slowcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

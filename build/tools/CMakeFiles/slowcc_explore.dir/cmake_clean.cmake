@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowcc_explore.dir/slowcc_explore.cpp.o"
+  "CMakeFiles/slowcc_explore.dir/slowcc_explore.cpp.o.d"
+  "slowcc_explore"
+  "slowcc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowcc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
