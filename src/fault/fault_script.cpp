@@ -1,0 +1,179 @@
+#include "fault/fault_script.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+
+namespace slowcc::fault {
+
+namespace {
+
+void require(bool ok, const char* detail) {
+  if (!ok) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "FaultScript", detail);
+  }
+}
+
+}  // namespace
+
+void FaultScript::push(FaultAction action) {
+  require(!action.at.is_negative(), "fault time must be >= 0");
+  actions_.push_back(action);
+}
+
+FaultScript& FaultScript::down_at(net::Link& link, sim::Time at) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kLinkDown;
+  a.link = &link;
+  push(a);
+  return *this;
+}
+
+FaultScript& FaultScript::up_at(net::Link& link, sim::Time at) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kLinkUp;
+  a.link = &link;
+  push(a);
+  return *this;
+}
+
+FaultScript& FaultScript::bandwidth_at(net::Link& link, sim::Time at,
+                                       double bps) {
+  require(bps > 0.0, "bandwidth must be positive");
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kBandwidth;
+  a.link = &link;
+  a.bps = bps;
+  push(a);
+  return *this;
+}
+
+FaultScript& FaultScript::delay_at(net::Link& link, sim::Time at,
+                                   sim::Time delay) {
+  require(!delay.is_negative(), "propagation delay must be >= 0");
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kDelay;
+  a.link = &link;
+  a.delay = delay;
+  push(a);
+  return *this;
+}
+
+FaultScript& FaultScript::wire_model_at(net::Link& link, sim::Time at,
+                                        net::WireModel* model) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kWireModel;
+  a.link = &link;
+  a.model = model;
+  push(a);
+  return *this;
+}
+
+FaultScript& FaultScript::blackout(net::Link& link, sim::Time at,
+                                   sim::Time duration) {
+  require(duration > sim::Time(), "blackout duration must be > 0");
+  down_at(link, at);
+  up_at(link, at + duration);
+  return *this;
+}
+
+FaultScript& FaultScript::flap(net::Link& link, sim::Time start,
+                               sim::Time down_for, sim::Time up_for,
+                               int cycles) {
+  require(cycles >= 1, "flap needs >= 1 cycle");
+  require(down_for > sim::Time() && up_for > sim::Time(),
+          "flap phases must be > 0");
+  sim::Time t = start;
+  for (int i = 0; i < cycles; ++i) {
+    down_at(link, t);
+    up_at(link, t + down_for);
+    t += down_for + up_for;
+  }
+  return *this;
+}
+
+FaultScript& FaultScript::bandwidth_oscillation(net::Link& link,
+                                                sim::Time start,
+                                                sim::Time period,
+                                                double high_bps,
+                                                double low_bps, int cycles) {
+  require(cycles >= 1, "oscillation needs >= 1 cycle");
+  require(period > sim::Time(), "oscillation period must be > 0");
+  require(high_bps > 0.0 && low_bps > 0.0,
+          "oscillation bandwidths must be positive");
+  const sim::Time half = sim::Time::nanos(period.as_nanos() / 2);
+  require(half > sim::Time(), "oscillation period too short");
+  sim::Time t = start;
+  for (int i = 0; i < cycles; ++i) {
+    bandwidth_at(link, t, high_bps);
+    bandwidth_at(link, t + half, low_bps);
+    t += period;
+  }
+  return *this;
+}
+
+FaultScript& FaultScript::delay_jitter(net::Link& link, sim::Time start,
+                                       sim::Time end, sim::Time interval,
+                                       sim::Time amplitude) {
+  require(interval > sim::Time(), "jitter interval must be > 0");
+  require(end > start, "jitter window must be non-empty");
+  require(!amplitude.is_negative(), "jitter amplitude must be >= 0");
+  for (sim::Time t = start; t < end; t += interval) {
+    FaultAction a;
+    a.at = t;
+    a.kind = FaultAction::Kind::kDelayJitter;
+    a.link = &link;
+    a.jitter = amplitude;
+    push(a);
+  }
+  return *this;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, std::uint64_t seed)
+    : sim_(sim), rng_(seed) {}
+
+void FaultInjector::arm(const FaultScript& script) {
+  for (const FaultAction& action : script.actions()) {
+    sim_.schedule_at(action.at, [this, action] { apply(action); });
+  }
+}
+
+void FaultInjector::apply(const FaultAction& action) {
+  ++injected_;
+  net::Link& link = *action.link;
+  switch (action.kind) {
+    case FaultAction::Kind::kLinkDown:
+      link.set_down();
+      break;
+    case FaultAction::Kind::kLinkUp:
+      link.set_up();
+      break;
+    case FaultAction::Kind::kBandwidth:
+      link.set_bandwidth(action.bps);
+      break;
+    case FaultAction::Kind::kDelay:
+      link.set_propagation_delay(action.delay);
+      break;
+    case FaultAction::Kind::kDelayJitter: {
+      auto [it, inserted] =
+          jitter_base_.try_emplace(&link, link.propagation_delay());
+      const double amp = action.jitter.as_seconds();
+      const double offset = amp > 0.0 ? rng_.uniform(-amp, amp) : 0.0;
+      const sim::Time base = it->second;
+      sim::Time next = base + sim::Time::seconds(offset);
+      if (next.is_negative()) next = sim::Time();
+      link.set_propagation_delay(next);
+      break;
+    }
+    case FaultAction::Kind::kWireModel:
+      link.set_wire_model(action.model);
+      break;
+  }
+}
+
+}  // namespace slowcc::fault

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace slowcc::fault {
+
+/// One timed action against one link.
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kBandwidth,      // set bandwidth to `bps`
+    kDelay,          // set propagation delay to `delay`
+    kDelayJitter,    // set delay to (first-sample base) ± `jitter`
+    kWireModel,      // install `model` (nullptr clears)
+  };
+
+  sim::Time at;
+  Kind kind = Kind::kLinkDown;
+  net::Link* link = nullptr;
+  double bps = 0.0;
+  sim::Time delay;
+  sim::Time jitter;
+  net::WireModel* model = nullptr;
+};
+
+/// A declarative, inspectable list of timed faults. Build one with the
+/// fluent helpers, then hand it to a `FaultInjector` to schedule. The
+/// compound helpers (blackout, flap, oscillation, jitter) expand into
+/// primitive actions at build time so the schedule is fully visible
+/// before the run starts.
+class FaultScript {
+ public:
+  // -- primitives ---------------------------------------------------
+  FaultScript& down_at(net::Link& link, sim::Time at);
+  FaultScript& up_at(net::Link& link, sim::Time at);
+  FaultScript& bandwidth_at(net::Link& link, sim::Time at, double bps);
+  FaultScript& delay_at(net::Link& link, sim::Time at, sim::Time delay);
+  FaultScript& wire_model_at(net::Link& link, sim::Time at,
+                             net::WireModel* model);
+
+  // -- compound faults ----------------------------------------------
+
+  /// Link goes dark at `at` and comes back `duration` later.
+  FaultScript& blackout(net::Link& link, sim::Time at, sim::Time duration);
+
+  /// `cycles` repetitions of (down for `down_for`, up for `up_for`)
+  /// starting at `start`.
+  FaultScript& flap(net::Link& link, sim::Time start, sim::Time down_for,
+                    sim::Time up_for, int cycles);
+
+  /// Square-wave bandwidth oscillation: `high_bps` for half a period,
+  /// `low_bps` for the other half, `cycles` times from `start`. This
+  /// varies the *actual* link, unlike the ON/OFF-CBR emulation the
+  /// paper's figures 13-16 use.
+  FaultScript& bandwidth_oscillation(net::Link& link, sim::Time start,
+                                     sim::Time period, double high_bps,
+                                     double low_bps, int cycles);
+
+  /// Every `interval` in [start, end), re-draw the propagation delay
+  /// uniformly within ±`amplitude` of the delay the link had when the
+  /// jitter window opened (drawn at fire time from the injector's
+  /// seeded Rng; clamped at zero).
+  FaultScript& delay_jitter(net::Link& link, sim::Time start, sim::Time end,
+                            sim::Time interval, sim::Time amplitude);
+
+  [[nodiscard]] const std::vector<FaultAction>& actions() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
+
+ private:
+  void push(FaultAction action);
+
+  std::vector<FaultAction> actions_;
+};
+
+/// Schedules a `FaultScript` onto a simulator and applies each action
+/// when its time comes. Owns the Rng used for jitter draws, so two
+/// injectors built with the same seed replay identical fault
+/// sequences.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulator& sim, std::uint64_t seed = 1);
+
+  /// Schedule every action of `script`. May be called multiple times
+  /// (scripts accumulate). Throws sim::SimError (kBadSchedule) if an
+  /// action lies in the simulator's past.
+  void arm(const FaultScript& script);
+
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return injected_;
+  }
+
+ private:
+  void apply(const FaultAction& action);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  std::uint64_t injected_ = 0;
+  // Base delay per link for jitter: recorded at the first jitter
+  // sample so repeated samples jitter around a fixed point instead of
+  // random-walking.
+  std::unordered_map<net::Link*, sim::Time> jitter_base_;
+};
+
+}  // namespace slowcc::fault

@@ -1,0 +1,45 @@
+#include "fault/gilbert_elliott.hpp"
+
+#include "sim/error.hpp"
+
+namespace slowcc::fault {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "GilbertElliott",
+                        std::string(name) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+GilbertElliott::GilbertElliott(const GilbertElliottConfig& config,
+                               sim::Rng rng)
+    : config_(config), rng_(rng), bad_(config.start_bad) {
+  check_probability(config_.p_good_to_bad, "p_good_to_bad");
+  check_probability(config_.p_bad_to_good, "p_bad_to_good");
+  check_probability(config_.loss_good, "loss_good");
+  check_probability(config_.loss_bad, "loss_bad");
+  if (config_.p_good_to_bad + config_.p_bad_to_good <= 0.0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "GilbertElliott",
+                        "transition probabilities must not both be zero");
+  }
+}
+
+bool GilbertElliott::should_drop() noexcept {
+  // One transition draw, then one loss draw, per packet. The draw
+  // order is fixed so a given seed yields a reproducible channel.
+  if (bad_) {
+    if (rng_.chance(config_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.chance(config_.p_good_to_bad)) bad_ = true;
+  }
+  ++packets_;
+  const bool drop = rng_.chance(bad_ ? config_.loss_bad : config_.loss_good);
+  if (drop) ++drops_;
+  return drop;
+}
+
+}  // namespace slowcc::fault

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace slowcc::fault {
+
+/// Parameters of a two-state Gilbert-Elliott bursty loss channel.
+///
+/// The channel sits in a GOOD or BAD state; before every packet it
+/// makes one state transition draw, then draws the packet's fate from
+/// the state's loss probability. The classic Gilbert model is
+/// `loss_good = 0`; the defaults give ~0.5% average loss concentrated
+/// in bursts of a few packets.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.001;  // per-packet transition G -> B
+  double p_bad_to_good = 0.10;   // per-packet transition B -> G
+  double loss_good = 0.0;        // loss probability in GOOD
+  double loss_bad = 0.5;         // loss probability in BAD
+  bool start_bad = false;
+
+  /// Stationary probability of being in the BAD state.
+  [[nodiscard]] double stationary_bad() const noexcept {
+    return p_good_to_bad / (p_good_to_bad + p_bad_to_good);
+  }
+
+  /// Long-run average per-packet loss rate.
+  [[nodiscard]] double expected_loss_rate() const noexcept {
+    const double pi_b = stationary_bad();
+    return (1.0 - pi_b) * loss_good + pi_b * loss_bad;
+  }
+
+  /// Expected length of a run of consecutive losses (classic Gilbert
+  /// regime, `loss_good = 0`): a run continues while the channel stays
+  /// BAD and loses again, so lengths are geometric with continuation
+  /// probability `(1 - p_bad_to_good) * loss_bad`.
+  [[nodiscard]] double expected_mean_burst() const noexcept {
+    return 1.0 / (1.0 - (1.0 - p_bad_to_good) * loss_bad);
+  }
+};
+
+/// The channel itself: a per-packet state machine over a seeded Rng.
+class GilbertElliott {
+ public:
+  /// Throws sim::SimError (kBadConfig) on out-of-range probabilities.
+  GilbertElliott(const GilbertElliottConfig& config, sim::Rng rng);
+
+  /// Advance the channel by one packet and decide its fate.
+  [[nodiscard]] bool should_drop() noexcept;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept {
+    return drops_;
+  }
+  [[nodiscard]] const GilbertElliottConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GilbertElliottConfig config_;
+  sim::Rng rng_;
+  bool bad_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace slowcc::fault

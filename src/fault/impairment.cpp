@@ -1,0 +1,63 @@
+#include "fault/impairment.hpp"
+
+#include "sim/error.hpp"
+
+namespace slowcc::fault {
+
+WireImpairment::WireImpairment(const ImpairmentConfig& config, sim::Rng rng)
+    : config_(config), rng_(rng) {
+  auto check_probability = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw sim::SimError(sim::SimErrc::kBadConfig, "WireImpairment",
+                          std::string(name) + " must be in [0, 1]");
+    }
+  };
+  check_probability(config_.reorder_probability, "reorder_probability");
+  check_probability(config_.duplicate_probability, "duplicate_probability");
+  if (config_.reorder_extra_min.is_negative() ||
+      config_.reorder_extra_max < config_.reorder_extra_min) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "WireImpairment",
+                        "need 0 <= reorder_extra_min <= reorder_extra_max");
+  }
+  if (config_.duplicate_extra_delay.is_negative()) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "WireImpairment",
+                        "duplicate_extra_delay must be >= 0");
+  }
+  if (config_.loss) {
+    // The loss channel gets a split of the impairment's generator so
+    // reorder/duplication draws do not perturb the loss process.
+    loss_.emplace(*config_.loss, rng_.split());
+  }
+}
+
+net::WireVerdict WireImpairment::on_wire(const net::Packet& /*p*/) {
+  ++packets_;
+  net::WireVerdict verdict;
+
+  if (loss_ && loss_->should_drop()) {
+    ++dropped_;
+    verdict.drop = true;
+    // A dropped packet makes no further draws; the fixed draw order
+    // keeps the sequence reproducible either way.
+    return verdict;
+  }
+
+  if (config_.reorder_probability > 0.0 &&
+      rng_.chance(config_.reorder_probability)) {
+    ++reordered_;
+    verdict.extra_delay = sim::Time::seconds(
+        rng_.uniform(config_.reorder_extra_min.as_seconds(),
+                     config_.reorder_extra_max.as_seconds()));
+  }
+
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.chance(config_.duplicate_probability)) {
+    ++duplicated_;
+    verdict.duplicate = true;
+    verdict.duplicate_delay = config_.duplicate_extra_delay;
+  }
+
+  return verdict;
+}
+
+}  // namespace slowcc::fault

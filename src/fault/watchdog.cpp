@@ -1,0 +1,88 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace slowcc::fault {
+
+Watchdog::Watchdog(sim::Simulator& sim, WatchdogConfig config)
+    : sim_(sim),
+      config_(config),
+      armed_at_(std::chrono::steady_clock::now()),
+      base_events_(sim.events_executed()) {
+  if (config_.max_events == 0 && config_.max_wall_seconds <= 0.0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Watchdog",
+                        "no budget set (max_events and max_wall_seconds "
+                        "both unlimited)");
+  }
+  if (config_.check_every_events == 0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Watchdog",
+                        "check_every_events must be >= 1");
+  }
+  sim_.set_event_hook(config_.check_every_events, [this] { on_check(); });
+}
+
+Watchdog::~Watchdog() { sim_.clear_event_hook(); }
+
+void Watchdog::watch_link(net::Link& link, std::string name) {
+  if (name.empty()) {
+    name = "link#" + std::to_string(links_.size());
+  }
+  links_.push_back(WatchedLink{&link, std::move(name)});
+}
+
+std::string Watchdog::diagnostic_dump() const {
+  std::ostringstream out;
+  const std::uint64_t executed = sim_.events_executed() - base_events_;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    armed_at_)
+          .count();
+  out << "sim clock " << sim_.now().to_string() << "; events executed "
+      << executed << " (budget "
+      << (config_.max_events == 0 ? std::string("unlimited")
+                                  : std::to_string(config_.max_events))
+      << "); wall " << wall << "s (budget "
+      << (config_.max_wall_seconds <= 0.0
+              ? std::string("unlimited")
+              : std::to_string(config_.max_wall_seconds) + "s")
+      << "); pending events " << sim_.pending_events();
+  const auto next = sim_.pending_event_times(8);
+  if (!next.empty()) {
+    out << "; next at";
+    for (const sim::Time& t : next) out << ' ' << t.to_string();
+  }
+  for (const WatchedLink& w : links_) {
+    const net::LinkStats& s = w.link->stats();
+    out << "\n  " << w.name << ": " << (w.link->is_up() ? "up" : "DOWN")
+        << " arrivals=" << s.arrivals << " departures=" << s.departures
+        << " drops=" << s.drops_total()
+        << " queued=" << w.link->queue().length_packets()
+        << " bytes_delivered=" << s.bytes_delivered;
+  }
+  return out.str();
+}
+
+void Watchdog::on_check() {
+  ++checks_;
+  const std::uint64_t executed = sim_.events_executed() - base_events_;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    armed_at_)
+          .count();
+
+  const bool events_blown =
+      config_.max_events != 0 && executed >= config_.max_events;
+  const bool wall_blown =
+      config_.max_wall_seconds > 0.0 && wall >= config_.max_wall_seconds;
+  if (!events_blown && !wall_blown) return;
+
+  triggered_ = true;
+  const char* which = events_blown ? "event budget exhausted"
+                                   : "wall-clock budget exhausted";
+  throw sim::SimError(sim::SimErrc::kBudgetExceeded, "Watchdog",
+                      std::string(which) + "; " + diagnostic_dump());
+}
+
+}  // namespace slowcc::fault

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::fault {
+
+struct WatchdogConfig {
+  /// Abort when this many events have executed. 0 = unlimited.
+  std::uint64_t max_events = 0;
+  /// Abort when this much real (wall-clock) time has elapsed since the
+  /// watchdog was armed. 0 = unlimited.
+  double max_wall_seconds = 0.0;
+  /// How often (in executed events) the budgets are checked. Checking
+  /// by event count — not simulated time — is what catches livelocks
+  /// where the clock stops advancing.
+  std::uint64_t check_every_events = 4096;
+};
+
+/// Aborts runaway simulations. Installs itself as the simulator's
+/// event hook on construction and uninstalls on destruction; when a
+/// budget is exceeded it throws sim::SimError (kBudgetExceeded) whose
+/// detail carries a diagnostic dump: clock, event counts, the earliest
+/// pending event times, and per-link stats for registered links.
+class Watchdog {
+ public:
+  /// Throws sim::SimError (kBadConfig) when no budget is set or the
+  /// simulator's hook slot is occupied.
+  Watchdog(sim::Simulator& sim, WatchdogConfig config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Include a link's stats in the diagnostic dump.
+  void watch_link(net::Link& link, std::string name = {});
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] std::uint64_t checks_performed() const noexcept {
+    return checks_;
+  }
+
+  /// The dump that would be attached to a budget error right now.
+  [[nodiscard]] std::string diagnostic_dump() const;
+
+ private:
+  struct WatchedLink {
+    net::Link* link;
+    std::string name;
+  };
+
+  void on_check();
+
+  sim::Simulator& sim_;
+  WatchdogConfig config_;
+  std::vector<WatchedLink> links_;
+  std::chrono::steady_clock::time_point armed_at_;
+  std::uint64_t base_events_;
+  std::uint64_t checks_ = 0;
+  bool triggered_ = false;
+};
+
+}  // namespace slowcc::fault

@@ -1,12 +1,13 @@
 #include "net/drop_tail_queue.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
 
 namespace slowcc::net {
 
 DropTailQueue::DropTailQueue(std::size_t limit_packets) : limit_(limit_packets) {
   if (limit_packets == 0) {
-    throw std::invalid_argument("DropTailQueue: limit must be >= 1 packet");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "DropTailQueue",
+                        "limit must be >= 1 packet");
   }
 }
 

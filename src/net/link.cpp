@@ -1,9 +1,10 @@
 #include "net/link.hpp"
 
-#include <stdexcept>
+#include <algorithm>
 #include <utility>
 
 #include "net/node.hpp"
+#include "sim/error.hpp"
 
 namespace slowcc::net {
 
@@ -16,71 +17,178 @@ Link::Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
       delay_(propagation_delay),
       queue_(std::move(queue)) {
   if (bandwidth_ <= 0.0) {
-    throw std::invalid_argument("Link: bandwidth must be positive");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
+                        "bandwidth must be positive");
   }
   if (delay_.is_negative()) {
-    throw std::invalid_argument("Link: propagation delay must be >= 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
+                        "propagation delay must be >= 0");
   }
   if (queue_ == nullptr) {
-    throw std::invalid_argument("Link: queue is required");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link", "queue is required");
   }
+}
+
+void Link::drop_packet(const Packet& p, DropReason reason) {
+  switch (reason) {
+    case DropReason::kOverflow:
+      ++stats_.drops_overflow;
+      break;
+    case DropReason::kEarly:
+      ++stats_.drops_early;
+      break;
+    case DropReason::kForced:
+      ++stats_.drops_forced;
+      break;
+    case DropReason::kLinkDown:
+      ++stats_.drops_link_down;
+      break;
+    case DropReason::kImpairment:
+      ++stats_.drops_impairment;
+      break;
+  }
+  for (auto* o : observers_) o->on_drop(p, reason);
 }
 
 void Link::send(Packet&& p) {
   ++stats_.arrivals;
   for (auto* o : observers_) o->on_arrival(p);
 
+  if (!up_) {
+    drop_packet(p, DropReason::kLinkDown);
+    return;
+  }
+
   if (forced_drop_ && forced_drop_(p)) {
-    ++stats_.drops_forced;
-    for (auto* o : observers_) o->on_drop(p, DropReason::kForced);
+    drop_packet(p, DropReason::kForced);
     return;
   }
 
   if (auto reason = queue_->enqueue(std::move(p))) {
-    switch (*reason) {
-      case DropReason::kOverflow:
-        ++stats_.drops_overflow;
-        break;
-      case DropReason::kEarly:
-        ++stats_.drops_early;
-        break;
-      case DropReason::kForced:
-        ++stats_.drops_forced;
-        break;
-    }
     // NOTE: `p` was moved into enqueue, but Queue implementations only
     // consume the packet on success; on failure they return before
     // moving. To keep the observer payload valid regardless, queues
     // must not touch the packet when rejecting it. DropTail and RED
     // both reject before moving.
-    for (auto* o : observers_) o->on_drop(p, *reason);
+    drop_packet(p, *reason);
     return;
   }
 
-  if (!busy_) start_transmission();
+  if (!transmitting()) start_transmission();
 }
 
 void Link::start_transmission() {
   auto head = queue_->dequeue();
   if (!head) return;
-  busy_ = true;
   const sim::Time tx = sim::transmission_time(head->size_bytes, bandwidth_);
-  sim_.schedule_in(tx, [this, p = std::move(*head)]() mutable {
-    on_transmit_complete(std::move(p));
-  });
+  in_flight_ = std::move(*head);
+  tx_ends_ = sim_.now() + tx;
+  tx_event_ = sim_.schedule_in(tx, [this] { on_transmit_complete(); });
 }
 
-void Link::on_transmit_complete(Packet&& p) {
-  ++stats_.departures;
-  stats_.bytes_delivered += p.size_bytes;
-  for (auto* o : observers_) o->on_depart(p);
+void Link::on_transmit_complete() {
+  tx_event_ = sim::EventId{};
+  Packet p = std::move(*in_flight_);
+  in_flight_.reset();
 
-  sim_.schedule_in(delay_, [this, p = std::move(p)]() mutable {
-    to_.deliver(std::move(p));
-  });
+  WireVerdict verdict;
+  if (wire_ != nullptr) verdict = wire_->on_wire(p);
 
-  busy_ = false;
+  if (verdict.drop) {
+    // Lost on the wire after occupying the transmitter: counted as a
+    // drop instead of a departure so packet conservation still holds.
+    drop_packet(p, DropReason::kImpairment);
+  } else {
+    ++stats_.departures;
+    stats_.bytes_delivered += p.size_bytes;
+    for (auto* o : observers_) o->on_depart(p);
+
+    if (verdict.extra_delay > sim::Time()) ++stats_.reordered;
+    if (verdict.duplicate) {
+      ++stats_.duplicates;
+      Packet copy = p;
+      sim_.schedule_in(
+          delay_ + verdict.extra_delay + verdict.duplicate_delay,
+          [this, q = std::move(copy)]() mutable { to_.deliver(std::move(q)); });
+    }
+    sim_.schedule_in(delay_ + verdict.extra_delay,
+                     [this, q = std::move(p)]() mutable {
+                       to_.deliver(std::move(q));
+                     });
+  }
+
   if (!queue_->empty()) start_transmission();
+}
+
+void Link::set_bandwidth(double bandwidth_bps) {
+  if (bandwidth_bps <= 0.0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
+                        "set_bandwidth: bandwidth must be positive");
+  }
+  if (bandwidth_bps == bandwidth_) return;
+  if (transmitting()) {
+    // Keep the fraction already serialized; the remaining bits
+    // continue at the new rate.
+    const double remaining_s = (tx_ends_ - sim_.now()).as_seconds();
+    const double remaining_bits = remaining_s * bandwidth_;
+    sim_.cancel(tx_event_);
+    const sim::Time rem = sim::Time::seconds(remaining_bits / bandwidth_bps);
+    tx_ends_ = sim_.now() + rem;
+    tx_event_ = sim_.schedule_in(rem, [this] { on_transmit_complete(); });
+  }
+  bandwidth_ = bandwidth_bps;
+  notify_state_change();
+}
+
+void Link::set_propagation_delay(sim::Time delay) {
+  if (delay.is_negative()) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
+                        "set_propagation_delay: delay must be >= 0");
+  }
+  if (delay == delay_) return;
+  delay_ = delay;
+  notify_state_change();
+}
+
+void Link::set_down() {
+  if (!up_) return;
+  up_ = false;
+  if (transmitting()) {
+    sim_.cancel(tx_event_);
+    tx_event_ = sim::EventId{};
+    Packet p = std::move(*in_flight_);
+    in_flight_.reset();
+    drop_packet(p, DropReason::kLinkDown);
+  }
+  while (auto head = queue_->dequeue()) {
+    drop_packet(*head, DropReason::kLinkDown);
+  }
+  notify_state_change();
+}
+
+void Link::set_up() {
+  if (up_) return;
+  up_ = true;
+  notify_state_change();
+  if (!transmitting() && !queue_->empty()) start_transmission();
+}
+
+void Link::add_observer(LinkObserver* observer) {
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
+                        "add_observer: observer already registered");
+  }
+  observers_.push_back(observer);
+}
+
+void Link::remove_observer(LinkObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void Link::notify_state_change() {
+  for (auto* o : observers_) o->on_state_change(*this);
 }
 
 }  // namespace slowcc::net

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -12,18 +13,41 @@
 namespace slowcc::net {
 
 class Node;
+class Link;
 
 /// Observer hooks for per-link instrumentation (loss monitors,
-/// throughput monitors, traces). Observers must outlive the link.
+/// throughput monitors, traces). Observers must outlive the link or
+/// detach with `Link::remove_observer` first.
 class LinkObserver {
  public:
   virtual ~LinkObserver() = default;
   /// A packet arrived at the link (before the admission decision).
   virtual void on_arrival(const Packet& /*p*/) {}
-  /// The packet was rejected (queue drop or scripted loss).
+  /// The packet was rejected (queue drop, scripted loss, down link,
+  /// or wire impairment).
   virtual void on_drop(const Packet& /*p*/, DropReason /*reason*/) {}
   /// The packet finished serialization and left toward the peer.
   virtual void on_depart(const Packet& /*p*/) {}
+  /// The link's operating parameters changed (bandwidth, propagation
+  /// delay, or up/down state). Inspect the link for the new values.
+  virtual void on_state_change(const Link& /*link*/) {}
+};
+
+/// Verdict of a wire impairment model for one departing packet.
+struct WireVerdict {
+  bool drop = false;          // lose the packet on the wire
+  bool duplicate = false;     // deliver a second copy as well
+  sim::Time extra_delay;      // added propagation delay (reordering)
+  sim::Time duplicate_delay;  // additional delay of the duplicate copy
+};
+
+/// Stochastic impairment applied between serialization and delivery:
+/// bursty loss, reordering, duplication. `fault::WireImpairment` is
+/// the standard implementation; tests may supply their own.
+class WireModel {
+ public:
+  virtual ~WireModel() = default;
+  [[nodiscard]] virtual WireVerdict on_wire(const Packet& p) = 0;
 };
 
 /// Running totals a link keeps about itself.
@@ -33,11 +57,18 @@ struct LinkStats {
   std::uint64_t drops_overflow = 0;
   std::uint64_t drops_early = 0;
   std::uint64_t drops_forced = 0;
+  std::uint64_t drops_link_down = 0;
+  std::uint64_t drops_impairment = 0;
+  std::uint64_t duplicates = 0;  // extra copies injected on the wire
+  std::uint64_t reordered = 0;   // packets delivered with extra wire delay
   std::int64_t bytes_delivered = 0;
 
   [[nodiscard]] std::uint64_t drops_total() const noexcept {
-    return drops_overflow + drops_early + drops_forced;
+    return drops_overflow + drops_early + drops_forced + drops_link_down +
+           drops_impairment;
   }
+
+  friend bool operator==(const LinkStats&, const LinkStats&) = default;
 };
 
 /// A unidirectional serial link: queue -> transmitter -> wire.
@@ -46,6 +77,18 @@ struct LinkStats {
 /// propagates for `delay` before being delivered to the destination
 /// node. Self-clocking of window-based transports emerges from these
 /// two stages, exactly as on a real path.
+///
+/// Links are dynamic: bandwidth, propagation delay, and up/down state
+/// may change mid-run (see the `fault::FaultInjector`). Semantics:
+///  * `set_bandwidth` re-times the packet currently in the
+///    transmitter — its already-serialized fraction is kept and the
+///    remaining bytes continue at the new rate.
+///  * `set_propagation_delay` applies to departures after the change;
+///    packets already propagating keep the delay they left with.
+///  * `set_down` drops the in-flight packet and the whole queue with
+///    `DropReason::kLinkDown` and rejects arrivals until `set_up`.
+///    Packets already propagating were past the failure point and
+///    still deliver.
 class Link {
  public:
   Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
@@ -65,7 +108,45 @@ class Link {
   [[nodiscard]] Node& from() noexcept { return from_; }
   [[nodiscard]] Node& to() noexcept { return to_; }
 
-  void add_observer(LinkObserver* observer) { observers_.push_back(observer); }
+  // -- dynamic reconfiguration (fault injection) --------------------
+
+  /// Change the serialization rate; must be > 0. Takes effect
+  /// immediately: an in-flight packet's remaining bytes are re-timed
+  /// at the new rate.
+  void set_bandwidth(double bandwidth_bps);
+
+  /// Change the propagation delay; must be >= 0. Applies to packets
+  /// departing after the change.
+  void set_propagation_delay(sim::Time delay);
+
+  /// Take the link down (see class comment). Idempotent.
+  void set_down();
+
+  /// Restore a downed link. Idempotent.
+  void set_up();
+
+  [[nodiscard]] bool is_up() const noexcept { return up_; }
+
+  /// True while a packet occupies the transmitter.
+  [[nodiscard]] bool transmitting() const noexcept {
+    return in_flight_.has_value();
+  }
+
+  /// Install a stochastic wire impairment (nullptr clears). The model
+  /// must outlive the link or be cleared first; the link does not own
+  /// it.
+  void set_wire_model(WireModel* model) noexcept { wire_ = model; }
+  [[nodiscard]] WireModel* wire_model() const noexcept { return wire_; }
+
+  // -- observers ----------------------------------------------------
+
+  /// Register an observer. Throws `sim::SimError` (kBadConfig) if it
+  /// is already registered — double registration would double-count
+  /// every monitor's statistics.
+  void add_observer(LinkObserver* observer);
+
+  /// Unregister an observer; harmless no-op if it is not registered.
+  void remove_observer(LinkObserver* observer);
 
   /// Install a deterministic drop filter, used by the smoothness
   /// experiments to impose scripted loss patterns. Returning true
@@ -76,7 +157,9 @@ class Link {
 
  private:
   void start_transmission();
-  void on_transmit_complete(Packet&& p);
+  void on_transmit_complete();
+  void drop_packet(const Packet& p, DropReason reason);
+  void notify_state_change();
 
   sim::Simulator& sim_;
   Node& from_;
@@ -86,8 +169,16 @@ class Link {
   std::unique_ptr<Queue> queue_;
   std::vector<LinkObserver*> observers_;
   std::function<bool(const Packet&)> forced_drop_;
+  WireModel* wire_ = nullptr;
   LinkStats stats_;
-  bool busy_ = false;
+  bool up_ = true;
+
+  // Transmitter state: the packet being serialized and its completion
+  // event, kept here (not in the event closure) so bandwidth changes
+  // and link failures can re-time or drop it.
+  std::optional<Packet> in_flight_;
+  sim::EventId tx_event_;
+  sim::Time tx_ends_;
 };
 
 }  // namespace slowcc::net

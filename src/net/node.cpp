@@ -1,6 +1,6 @@
 #include "net/node.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
 
 #include "net/link.hpp"
 
@@ -9,8 +9,9 @@ namespace slowcc::net {
 void Node::attach(PortId port, PacketHandler& handler) {
   auto [it, inserted] = handlers_.emplace(port, &handler);
   if (!inserted) {
-    throw std::logic_error("Node::attach: port " + std::to_string(port) +
-                           " already bound on node " + std::to_string(id_));
+    throw sim::SimError(sim::SimErrc::kBadTopology, "Node",
+                        "attach: port " + std::to_string(port) +
+                            " already bound on node " + std::to_string(id_));
   }
 }
 

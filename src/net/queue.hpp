@@ -7,11 +7,14 @@
 
 namespace slowcc::net {
 
-/// Why a queue rejected a packet (reported to drop monitors).
+/// Why a packet was lost (reported to drop monitors). The first three
+/// come from queue admission; the last two from the link itself.
 enum class DropReason : std::uint8_t {
-  kOverflow,   // hard buffer limit
-  kEarly,      // active queue management (RED) early drop
-  kForced,     // scripted/deterministic drop injected by an experiment
+  kOverflow,    // hard buffer limit
+  kEarly,       // active queue management (RED) early drop
+  kForced,      // scripted/deterministic drop injected by an experiment
+  kLinkDown,    // link was (or went) down: queued and in-flight packets
+  kImpairment,  // stochastic wire impairment (e.g. Gilbert-Elliott loss)
 };
 
 /// Abstract router queue discipline.

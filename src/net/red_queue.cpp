@@ -1,7 +1,7 @@
 #include "net/red_queue.hpp"
 
 #include <cmath>
-#include <stdexcept>
+#include "sim/error.hpp"
 
 namespace slowcc::net {
 
@@ -17,13 +17,16 @@ RedConfig RedConfig::for_bdp(double bdp_packets) {
 RedQueue::RedQueue(sim::Simulator& sim, const RedConfig& config)
     : sim_(sim), config_(config), rng_(config.seed) {
   if (config_.limit_packets == 0) {
-    throw std::invalid_argument("RedQueue: limit must be >= 1 packet");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "RedQueue",
+                        "limit must be >= 1 packet");
   }
   if (!(config_.min_thresh < config_.max_thresh)) {
-    throw std::invalid_argument("RedQueue: requires min_thresh < max_thresh");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "RedQueue",
+                        "requires min_thresh < max_thresh");
   }
   if (config_.max_p <= 0.0 || config_.max_p > 1.0) {
-    throw std::invalid_argument("RedQueue: max_p must be in (0, 1]");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "RedQueue",
+                        "max_p must be in (0, 1]");
   }
   idle_since_ = sim_.now();
 }

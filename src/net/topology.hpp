@@ -49,6 +49,12 @@ class Topology {
   }
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
 
+  /// Links in creation order, so auditors can watch the whole graph.
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] Link& link(std::size_t index) { return *links_.at(index); }
+
  private:
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -2,7 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
+#include "sim/error.hpp"
 
 namespace slowcc::scenario {
 
@@ -192,7 +192,8 @@ net::Node& Dumbbell::new_edge_host(bool left) {
 
 Dumbbell::Flow& Dumbbell::add_flow(const FlowSpec& spec, bool forward) {
   if (finalized_) {
-    throw std::logic_error("Dumbbell: add_flow after finalize()");
+    throw sim::SimError(sim::SimErrc::kBadTopology, "Dumbbell",
+                        "add_flow after finalize()");
   }
   net::Node& src = new_edge_host(forward);
   net::Node& dst = new_edge_host(!forward);
@@ -215,7 +216,8 @@ Dumbbell::Flow& Dumbbell::add_flow(const FlowSpec& spec, bool forward) {
 traffic::CbrSource& Dumbbell::add_cbr(double rate_bps,
                                       std::int64_t packet_size) {
   if (finalized_) {
-    throw std::logic_error("Dumbbell: add_cbr after finalize()");
+    throw sim::SimError(sim::SimErrc::kBadTopology, "Dumbbell",
+                        "add_cbr after finalize()");
   }
   net::Node& src = new_edge_host(true);
   net::Node& dst = new_edge_host(false);

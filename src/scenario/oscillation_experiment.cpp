@@ -1,5 +1,8 @@
 #include "scenario/oscillation_experiment.hpp"
 
+#include <cmath>
+
+#include "fault/fault_script.hpp"
 #include "metrics/loss_rate_monitor.hpp"
 #include "metrics/throughput_monitor.hpp"
 
@@ -16,10 +19,27 @@ OscillationOutcome run_oscillation(const OscillationConfig& config) {
   net.add_reverse_traffic();
 
   const double cbr_peak = config.net.bottleneck_bps * config.cbr_peak_fraction;
-  traffic::CbrSource& cbr = net.add_cbr(cbr_peak);
-  traffic::OnOffPattern pattern(sim, cbr, traffic::PatternKind::kSquare,
-                                cbr_peak, config.on_off_length,
-                                config.on_off_length);
+  traffic::CbrSource* cbr = nullptr;
+  std::unique_ptr<traffic::OnOffPattern> pattern;
+  fault::FaultInjector injector(sim, config.net.seed);
+  if (config.mode == OscillationMode::kCbrEmulation) {
+    cbr = &net.add_cbr(cbr_peak);
+    pattern = std::make_unique<traffic::OnOffPattern>(
+        sim, *cbr, traffic::PatternKind::kSquare, cbr_peak,
+        config.on_off_length, config.on_off_length);
+  } else {
+    // Step the actual bottleneck: full capacity for one half-period,
+    // the CBR-emulation "ON" residual capacity for the other.
+    const double low_bps = config.net.bottleneck_bps - cbr_peak;
+    const sim::Time period = config.on_off_length + config.on_off_length;
+    const sim::Time total = config.warmup + config.measure;
+    const int cycles = static_cast<int>(
+        std::ceil(total.as_seconds() / period.as_seconds()));
+    fault::FaultScript script;
+    script.bandwidth_oscillation(net.bottleneck(), sim::Time(), period,
+                                 config.net.bottleneck_bps, low_bps, cycles);
+    injector.arm(script);
+  }
 
   metrics::ThroughputMonitor data_tp(
       sim, net.bottleneck(), sim::Time::millis(100),
@@ -39,7 +59,7 @@ OscillationOutcome run_oscillation(const OscillationConfig& config) {
 
   net.start_flows();
   net.finalize();
-  pattern.start_at(sim::Time());
+  if (pattern) pattern->start_at(sim::Time());
 
   const sim::Time t0 = config.warmup;
   const sim::Time t1 = config.warmup + config.measure;

@@ -7,6 +7,18 @@
 
 namespace slowcc::scenario {
 
+/// How the oscillating available bandwidth is realized.
+enum class OscillationMode {
+  /// The paper's method: an ON/OFF CBR source steals bandwidth while
+  /// the link itself stays fixed.
+  kCbrEmulation,
+  /// Vary the *actual* link: a fault::FaultInjector steps the
+  /// bottleneck bandwidth between full and reduced capacity. Unlike
+  /// CBR emulation, this also re-times packets mid-serialization and
+  /// exercises the dynamic-link machinery.
+  kLinkBandwidth,
+};
+
 /// §4.2.4 scenario (Figures 14-16): ten identical flows compete with an
 /// ON/OFF CBR source on a 15 Mb/s bottleneck. The available bandwidth
 /// oscillates 15 <-> 5 Mb/s (3:1) or 15 <-> 1.5 Mb/s (10:1) with the
@@ -21,6 +33,7 @@ struct OscillationConfig {
   double cbr_peak_fraction = 2.0 / 3.0;  // 10/15 => 3:1; 0.9 => 10:1
   sim::Time warmup = sim::Time::seconds(10.0);
   sim::Time measure = sim::Time::seconds(100.0);
+  OscillationMode mode = OscillationMode::kCbrEmulation;
 
   OscillationConfig() { net.bottleneck_bps = 15e6; }
 };

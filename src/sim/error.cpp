@@ -1,0 +1,36 @@
+#include "sim/error.hpp"
+
+namespace slowcc::sim {
+
+const char* to_string(SimErrc code) noexcept {
+  switch (code) {
+    case SimErrc::kBadConfig:
+      return "bad-config";
+    case SimErrc::kBadSchedule:
+      return "bad-schedule";
+    case SimErrc::kBadTopology:
+      return "bad-topology";
+    case SimErrc::kInvariantViolation:
+      return "invariant-violation";
+    case SimErrc::kBudgetExceeded:
+      return "budget-exceeded";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string format_what(SimErrc code, const std::string& component,
+                        const std::string& detail) {
+  return "[" + std::string(to_string(code)) + "] " + component + ": " + detail;
+}
+
+}  // namespace
+
+SimError::SimError(SimErrc code, std::string component, std::string detail)
+    : std::invalid_argument(format_what(code, component, detail)),
+      code_(code),
+      component_(std::move(component)),
+      detail_(std::move(detail)) {}
+
+}  // namespace slowcc::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slowcc::sim {
+
+/// Machine-readable classification of simulator failures.
+///
+/// Every throw in `sim/`, `net/`, `fault/`, and the scenario builders
+/// carries one of these codes so harnesses (and the Watchdog /
+/// InvariantAuditor) can dispatch on failure class instead of parsing
+/// message strings. The taxonomy is documented in README.md.
+enum class SimErrc {
+  kBadConfig,           // invalid construction or reconfiguration parameter
+  kBadSchedule,         // scheduling in the past / negative delay
+  kBadTopology,         // port already bound, build-after-finalize, ...
+  kInvariantViolation,  // an InvariantAuditor check failed mid-run
+  kBudgetExceeded,      // Watchdog event-count or wall-clock budget hit
+};
+
+[[nodiscard]] const char* to_string(SimErrc code) noexcept;
+
+/// Structured simulator error: a code, the component that raised it,
+/// and a human-readable detail.
+///
+/// Derives from `std::invalid_argument` (hence `std::logic_error`) so
+/// call sites and tests that predate the taxonomy keep working; new
+/// code should catch `SimError` and dispatch on `code()`.
+class SimError : public std::invalid_argument {
+ public:
+  SimError(SimErrc code, std::string component, std::string detail);
+
+  [[nodiscard]] SimErrc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& component() const noexcept {
+    return component_;
+  }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  SimErrc code_;
+  std::string component_;
+  std::string detail_;
+};
+
+}  // namespace slowcc::sim

@@ -35,6 +35,17 @@ void EventQueue::purge_cancelled() {
 
 bool EventQueue::empty() const noexcept { return live_ == 0; }
 
+std::vector<Time> EventQueue::pending_times(std::size_t max_entries) const {
+  std::vector<Time> times;
+  times.reserve(live_);
+  for (const Entry& e : heap_) {
+    if (cancelled_.find(e.id) == cancelled_.end()) times.push_back(e.at);
+  }
+  std::sort(times.begin(), times.end());
+  if (times.size() > max_entries) times.resize(max_entries);
+  return times;
+}
+
 Time EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
   self->purge_cancelled();

@@ -51,6 +51,12 @@ class EventQueue {
   /// Number of live (non-cancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
+  /// Timestamps of the earliest live events, ascending, at most
+  /// `max_entries` of them. O(n log n); meant for diagnostic dumps
+  /// (Watchdog), not hot paths.
+  [[nodiscard]] std::vector<Time> pending_times(
+      std::size_t max_entries) const;
+
  private:
   struct Entry {
     Time at;

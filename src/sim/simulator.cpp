@@ -1,23 +1,41 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::sim {
 
 EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
   if (at < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past (" +
-                                at.to_string() + " < " + now_.to_string() + ")");
+    throw SimError(SimErrc::kBadSchedule, "Simulator",
+                   "schedule_at: time in the past (" + at.to_string() + " < " +
+                       now_.to_string() + ")");
   }
   return queue_.schedule(at, std::move(cb));
 }
 
 EventId Simulator::schedule_in(Time delay, EventQueue::Callback cb) {
   if (delay.is_negative()) {
-    throw std::invalid_argument("Simulator::schedule_in: negative delay");
+    throw SimError(SimErrc::kBadSchedule, "Simulator",
+                   "schedule_in: negative delay");
   }
   return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+void Simulator::set_event_hook(std::uint64_t every_events,
+                               std::function<void()> hook) {
+  if (every_events == 0 || hook == nullptr) {
+    throw SimError(SimErrc::kBadConfig, "Simulator",
+                   "set_event_hook: need every_events >= 1 and a callable");
+  }
+  if (hook_every_ != 0) {
+    throw SimError(SimErrc::kBadConfig, "Simulator",
+                   "set_event_hook: hook slot already occupied "
+                   "(clear_event_hook first)");
+  }
+  hook_every_ = every_events;
+  hook_ = std::move(hook);
 }
 
 void Simulator::run() { run_until(Time::max()); }
@@ -32,6 +50,7 @@ void Simulator::run_until(Time deadline) {
     now_ = fire_time;
     ++events_executed_;
     cb();
+    if (hook_every_ != 0 && events_executed_ % hook_every_ == 0) hook_();
   }
   if (deadline != Time::max() && now_ < deadline) now_ = deadline;
 }

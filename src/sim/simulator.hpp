@@ -51,10 +51,32 @@ class Simulator {
     return queue_.size();
   }
 
+  /// Timestamps of the earliest pending events (diagnostics).
+  [[nodiscard]] std::vector<Time> pending_event_times(
+      std::size_t max_entries) const {
+    return queue_.pending_times(max_entries);
+  }
+
+  /// Install a hook invoked after every `every_events` executed events,
+  /// regardless of whether simulated time advances — this is what lets
+  /// a `fault::Watchdog` catch livelocks that sim-time timers cannot
+  /// see. One hook slot exists; installing over an occupied slot
+  /// throws `SimError` (kBadConfig). `every_events` must be >= 1.
+  void set_event_hook(std::uint64_t every_events,
+                      std::function<void()> hook);
+
+  /// Remove the installed hook; no-op when none is installed.
+  void clear_event_hook() noexcept {
+    hook_every_ = 0;
+    hook_ = nullptr;
+  }
+
  private:
   EventQueue queue_;
   Time now_;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t hook_every_ = 0;
+  std::function<void()> hook_;
 };
 
 }  // namespace slowcc::sim

@@ -27,6 +27,7 @@ class Timer {
   /// (Re)arm the timer to fire `delay` from now.
   void schedule_in(Time delay) {
     cancel();
+    deadline_ = sim_->now() + delay;
     id_ = sim_->schedule_in(delay, [this] {
       id_ = EventId{};
       on_fire_();
@@ -36,6 +37,7 @@ class Timer {
   /// (Re)arm the timer to fire at absolute time `at`.
   void schedule_at(Time at) {
     cancel();
+    deadline_ = at;
     id_ = sim_->schedule_at(at, [this] {
       id_ = EventId{};
       on_fire_();
@@ -52,10 +54,16 @@ class Timer {
 
   [[nodiscard]] bool pending() const noexcept { return id_.valid(); }
 
+  /// When the timer will fire. Meaningful only while `pending()`; a
+  /// pending deadline in the past means the engine lost an event —
+  /// the `fault::InvariantAuditor` checks exactly this.
+  [[nodiscard]] Time deadline() const noexcept { return deadline_; }
+
  private:
   Simulator* sim_;
   std::function<void()> on_fire_;
   EventId id_;
+  Time deadline_;
 };
 
 }  // namespace slowcc::sim

@@ -81,6 +81,41 @@ TEST(EventQueue, NextTimeSkipsCancelledHead) {
   EXPECT_EQ(q.next_time(), Time::millis(5));
 }
 
+TEST(EventQueue, CancelOfFiredIdDoesNotAffectLaterEvents) {
+  // The already-fired id must not alias any live entry even after the
+  // queue is reused for new events.
+  EventQueue q;
+  EventId fired_id = q.schedule(Time::millis(1), [] {});
+  (void)q.pop(nullptr);
+  bool ran = false;
+  q.schedule(Time::millis(2), [&] { ran = true; });
+  q.cancel(fired_id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop(nullptr)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingTimesSkipsCancelledAndSorts) {
+  EventQueue q;
+  q.schedule(Time::millis(30), [] {});
+  EventId mid = q.schedule(Time::millis(20), [] {});
+  q.schedule(Time::millis(10), [] {});
+  q.cancel(mid);
+  const auto times = q.pending_times(8);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Time::millis(10));
+  EXPECT_EQ(times[1], Time::millis(30));
+}
+
+TEST(EventQueue, PendingTimesHonoursCap) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule(Time::millis(i), [] {});
+  const auto times = q.pending_times(3);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], Time::millis(0));
+  EXPECT_EQ(times[2], Time::millis(2));
+}
+
 TEST(EventQueue, ManyInterleavedOperations) {
   EventQueue q;
   int fired = 0;

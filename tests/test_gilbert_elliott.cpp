@@ -1,0 +1,101 @@
+// Gilbert-Elliott channel: configuration validation and statistical
+// agreement between the empirical process and the closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/gilbert_elliott.hpp"
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace slowcc::fault {
+namespace {
+
+TEST(GilbertElliott, RejectsInvalidProbabilities) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 1.5;
+  EXPECT_THROW(GilbertElliott(cfg, sim::Rng(1)), sim::SimError);
+  cfg = GilbertElliottConfig{};
+  cfg.loss_bad = -0.1;
+  EXPECT_THROW(GilbertElliott(cfg, sim::Rng(1)), sim::SimError);
+  cfg = GilbertElliottConfig{};
+  cfg.p_good_to_bad = 0.0;
+  cfg.p_bad_to_good = 0.0;
+  EXPECT_THROW(GilbertElliott(cfg, sim::Rng(1)), sim::SimError);
+}
+
+TEST(GilbertElliott, ClosedForms) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.09;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 0.5;
+  EXPECT_NEAR(cfg.stationary_bad(), 0.1, 1e-12);
+  EXPECT_NEAR(cfg.expected_loss_rate(), 0.05, 1e-12);
+  // Continuation probability (1 - 0.09) * 0.5 = 0.455.
+  EXPECT_NEAR(cfg.expected_mean_burst(), 1.0 / (1.0 - 0.455), 1e-12);
+}
+
+TEST(GilbertElliott, AlwaysLoseInBadNeverInGood) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 1.0;  // enters BAD on the first packet
+  cfg.p_bad_to_good = 0.0;  // and never leaves
+  cfg.loss_bad = 1.0;
+  GilbertElliott ge(cfg, sim::Rng(7));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ge.should_drop());
+  EXPECT_TRUE(ge.in_bad_state());
+  EXPECT_EQ(ge.packets_dropped(), 100u);
+}
+
+// Satellite requirement: empirical loss rate and mean burst length
+// within tolerance of the configured transition probabilities, across
+// three seeds.
+TEST(GilbertElliott, EmpiricalLossRateAndBurstLengthMatchConfig) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.005;
+  cfg.p_bad_to_good = 0.10;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 0.6;
+  const double want_loss = cfg.expected_loss_rate();
+  const double want_burst = cfg.expected_mean_burst();
+
+  for (std::uint64_t seed : {11u, 222u, 3333u}) {
+    GilbertElliott ge(cfg, sim::Rng(seed));
+    const int n = 2'000'000;
+    std::int64_t losses = 0;
+    std::int64_t bursts = 0;
+    int run = 0;
+    for (int i = 0; i < n; ++i) {
+      if (ge.should_drop()) {
+        ++losses;
+        ++run;
+      } else if (run > 0) {
+        ++bursts;
+        run = 0;
+      }
+    }
+    if (run > 0) ++bursts;
+    const double got_loss = static_cast<double>(losses) / n;
+    const double got_burst =
+        static_cast<double>(losses) / static_cast<double>(bursts);
+    EXPECT_NEAR(got_loss, want_loss, 0.10 * want_loss)
+        << "seed " << seed;
+    EXPECT_NEAR(got_burst, want_burst, 0.10 * want_burst)
+        << "seed " << seed;
+  }
+}
+
+TEST(GilbertElliott, SameSeedSameChannel) {
+  GilbertElliottConfig cfg;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.2;
+  cfg.loss_bad = 0.7;
+  GilbertElliott a(cfg, sim::Rng(42));
+  GilbertElliott b(cfg, sim::Rng(42));
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a.should_drop(), b.should_drop()) << "diverged at packet " << i;
+  }
+}
+
+}  // namespace
+}  // namespace slowcc::fault

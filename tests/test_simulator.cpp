@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/error.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
@@ -71,6 +74,96 @@ TEST(Simulator, CancelledEventDoesNotRun) {
   EXPECT_FALSE(ran);
 }
 
+TEST(Simulator, CancelThenRunLeavesClockAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(Time::millis(10), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run_until(Time::millis(20));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), Time::millis(20));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RescheduleFromInsideCallbackRunsInSamePass) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::millis(10), [&] {
+    order.push_back(1);
+    // Same-time event scheduled from inside a callback must still run
+    // in this run_until pass (FIFO among equal times).
+    sim.schedule_at(sim.now(), [&] { order.push_back(2); });
+    sim.schedule_in(Time::millis(5), [&] { order.push_back(3); });
+  });
+  sim.run_until(Time::millis(15));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::millis(15));
+}
+
+TEST(Simulator, EventScheduledAtDeadlineFromCallbackAtDeadlineRuns) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::millis(20), [&] {
+    ++fired;
+    sim.schedule_at(Time::millis(20), [&] { ++fired; });
+  });
+  sim.run_until(Time::millis(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelInsideCallbackOfLaterEvent) {
+  Simulator sim;
+  bool ran = false;
+  EventId later{};
+  sim.schedule_at(Time::millis(1), [&] { sim.cancel(later); });
+  later = sim.schedule_at(Time::millis(2), [&] { ran = true; });
+  sim.run_until(Time::millis(10));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), Time::millis(10));
+}
+
+TEST(Simulator, RunUntilSameDeadlineTwiceIsIdempotent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(Time::millis(10), [&] { ++fired; });
+  sim.run_until(Time::millis(10));
+  sim.run_until(Time::millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::millis(10));
+}
+
+TEST(Simulator, SchedulingInThePastThrowsStructuredError) {
+  Simulator sim;
+  sim.schedule_at(Time::millis(10), [] {});
+  sim.run();
+  try {
+    sim.schedule_at(Time::millis(5), [] {});
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.code(), SimErrc::kBadSchedule);
+    EXPECT_EQ(e.component(), "Simulator");
+  }
+}
+
+TEST(Simulator, EventHookFiresEveryNEvents) {
+  Simulator sim;
+  int hooks = 0;
+  sim.set_event_hook(10, [&] { ++hooks; });
+  for (int i = 0; i < 35; ++i) sim.schedule_at(Time::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(hooks, 3);
+  sim.clear_event_hook();
+  sim.set_event_hook(1, [&] { ++hooks; });  // slot is free again
+}
+
+TEST(Simulator, EventHookSlotIsExclusive) {
+  Simulator sim;
+  sim.set_event_hook(10, [] {});
+  EXPECT_THROW(sim.set_event_hook(10, [] {}), SimError);
+  EXPECT_THROW(sim.clear_event_hook(); sim.set_event_hook(0, [] {}),
+               SimError);
+}
+
 TEST(Timer, FiresOnceAtScheduledDelay) {
   Simulator sim;
   int fires = 0;
@@ -113,6 +206,17 @@ TEST(Timer, CanRescheduleItselfFromCallback) {
   sim.run();
   EXPECT_EQ(fires, 5);
   EXPECT_EQ(sim.now(), Time::millis(50));
+}
+
+TEST(Timer, ExposesDeadlineWhilePending) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  sim.schedule_at(Time::millis(4), [] {});
+  sim.run();
+  t.schedule_in(Time::millis(10));
+  EXPECT_EQ(t.deadline(), Time::millis(14));
+  t.schedule_at(Time::millis(30));
+  EXPECT_EQ(t.deadline(), Time::millis(30));
 }
 
 TEST(Timer, DestructionCancelsPendingEvent) {

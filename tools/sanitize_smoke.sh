@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the full tree with AddressSanitizer + UBSan into a separate
+# build directory and run the tier-1 test suite under it. Any sanitizer
+# report fails the run (halt_on_error / exitcode below).
+#
+# Usage: tools/sanitize_smoke.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSLOWCC_SANITIZE=address,undefined
+cmake --build "$build_dir" -j"$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+echo "sanitize smoke: PASS"
