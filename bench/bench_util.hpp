@@ -10,6 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/aggregator.hpp"
+#include "exp/serialize.hpp"
+
 namespace slowcc::bench {
 
 inline void header(const char* figure, const char* description) {
@@ -41,6 +44,35 @@ inline void row(const char* fmt, ...) {
 inline void verdict(bool held, const std::string& what) {
   std::printf("[%s] %s\n\n", held ? "SHAPE-OK" : "SHAPE-DEVIATION",
               what.c_str());
+}
+
+/// Start a machine-readable JSON row for this bench. Escaping and
+/// number formatting are shared with the sweep ResultSink (exp/
+/// serialize), so bench output and sweep output are byte-compatible.
+/// Usage: bench::emit(bench::json_row("fig03").add("mechanism", "TCP")
+///                        .add("drop_rate", 0.12));
+inline exp::JsonObjectBuilder json_row(const std::string& bench_name) {
+  exp::JsonObjectBuilder o;
+  o.add("bench", bench_name);
+  return o;
+}
+
+inline void emit(const exp::JsonObjectBuilder& o) {
+  std::printf("%s\n", o.str().c_str());
+}
+
+/// Render "mean ± ci95" for a multi-trial aggregate, e.g. "0.124 ± 0.006".
+/// Returns just the mean when fewer than two trials contributed.
+inline std::string mean_ci(const exp::MetricStats& m, const char* fmt = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, m.mean);
+  std::string out = buf;
+  if (m.n > 1) {
+    std::snprintf(buf, sizeof(buf), fmt, m.ci95);
+    out += " ± ";
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace slowcc::bench

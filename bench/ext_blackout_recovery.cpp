@@ -115,12 +115,13 @@ int main() {
     bench::row("%-10s %14.0f %14.0f %14.2f %10s", e.label, r.pre_bps,
                r.post_bps, r.recovery_sec,
                r.audit_violations == 0 ? "clean" : "VIOLATED");
-    bench::row(
-        "{\"bench\":\"ext_blackout_recovery\",\"mechanism\":\"%s\","
-        "\"blackout_s\":%.1f,\"pre_bps\":%.0f,\"post_bps\":%.0f,"
-        "\"recovery_s\":%.2f,\"audit_violations\":%llu}",
-        e.label, kBlackoutLen, r.pre_bps, r.post_bps, r.recovery_sec,
-        static_cast<unsigned long long>(r.audit_violations));
+    bench::emit(bench::json_row("ext_blackout_recovery")
+                    .add("mechanism", e.label)
+                    .add("blackout_s", kBlackoutLen)
+                    .add("pre_bps", r.pre_bps)
+                    .add("post_bps", r.post_bps)
+                    .add("recovery_s", r.recovery_sec)
+                    .add("audit_violations", r.audit_violations));
     if (r.recovery_sec < 0.0 || r.post_bps < 0.5 * r.pre_bps) {
       all_recover = false;
     }

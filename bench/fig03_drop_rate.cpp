@@ -1,9 +1,19 @@
 // Figure 3: drop-rate time series when a CBR source restarts after an
-// idle period, for very slowly responsive SlowCC variants.
+// idle period, for very slowly responsive SlowCC variants. The time
+// series is a single seed (it is the figure); the summary statistics
+// underneath come from a multi-trial sweep so the verdict rests on a
+// mean ± 95% CI rather than one draw.
 #include "bench_util.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/sweep_spec.hpp"
 #include "scenario/stabilization_experiment.hpp"
 
 using namespace slowcc;
+
+namespace {
+constexpr int kTrials = 5;
+}
 
 int main() {
   bench::header("Figure 3",
@@ -15,28 +25,25 @@ int main() {
 
   struct Case {
     const char* label;
+    const char* token;  // exp-registry algorithm token
     scenario::FlowSpec spec;
   };
   const Case cases[] = {
-      {"TCP(1/2)", scenario::FlowSpec::tcp(2)},
-      {"TFRC(256)", scenario::FlowSpec::tfrc(256)},
-      {"TFRC(256)+self-clock", scenario::FlowSpec::tfrc(256, true)},
+      {"TCP(1/2)", "tcp:2", scenario::FlowSpec::tcp(2)},
+      {"TFRC(256)", "tfrc:256", scenario::FlowSpec::tfrc(256)},
+      {"TFRC(256)+self-clock", "tfrc:256:c", scenario::FlowSpec::tfrc(256, true)},
   };
 
   // Compressed timeline (same structure as the paper's 0-150-180 s):
   // CBR on 0-60 s, idle 60-75 s, restart at 75 s.
   std::vector<std::vector<double>> traces;
-  std::vector<double> peaks, steadies;
   for (const auto& c : cases) {
     scenario::StabilizationConfig cfg;
     cfg.spec = c.spec;
     cfg.cbr_stop = sim::Time::seconds(60);
     cfg.cbr_restart = sim::Time::seconds(75);
     cfg.end = sim::Time::seconds(140);
-    const auto out = run_stabilization(cfg);
-    traces.push_back(out.loss_rate_series);
-    peaks.push_back(out.peak_loss_rate_after_restart);
-    steadies.push_back(out.steady_loss_rate);
+    traces.push_back(run_stabilization(cfg).loss_rate_series);
   }
 
   bench::row("%-8s %-12s %-12s %-22s", "t (s)", cases[0].label,
@@ -49,9 +56,39 @@ int main() {
     };
     bench::row("%-8.0f %-12.3f %-12.3f %-22.3f", t, at(0), at(1), at(2));
   }
-  for (std::size_t i = 0; i < 3; ++i) {
-    bench::note("%-22s steady=%.3f  peak-after-restart=%.3f", cases[i].label,
-                steadies[i], peaks[i]);
+  bench::note("(time series above: single trial, seed 1)");
+
+  // Multi-trial statistics over the same scenario, one grid cell per
+  // mechanism, kTrials independent seeds each.
+  exp::SweepSpec sweep;
+  sweep.experiment = "stabilization";
+  sweep.algorithms = {cases[0].token, cases[1].token, cases[2].token};
+  sweep.fixed["cbr_stop"] = 60;
+  sweep.fixed["cbr_restart"] = 75;
+  sweep.fixed["end"] = 140;
+  sweep.trials = kTrials;
+  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(runner.run(sweep.expand()));
+
+  bench::row("%-22s %-20s %-20s", "mechanism", "steady loss",
+             "peak after restart");
+  std::vector<double> peaks;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const exp::MetricStats* steady = cells[i].metric("steady_loss_rate");
+    const exp::MetricStats* peak =
+        cells[i].metric("peak_loss_rate_after_restart");
+    bench::row("%-22s %-20s %-20s", cases[i].label,
+               bench::mean_ci(*steady, "%.3f").c_str(),
+               bench::mean_ci(*peak, "%.3f").c_str());
+    bench::emit(bench::json_row("fig03_drop_rate")
+                    .add("mechanism", cases[i].label)
+                    .add("trials", static_cast<std::uint64_t>(peak->n))
+                    .add("steady_loss_mean", steady->mean)
+                    .add("steady_loss_ci95", steady->ci95)
+                    .add("peak_loss_mean", peak->mean)
+                    .add("peak_loss_ci95", peak->ci95));
+    peaks.push_back(peak->mean);
   }
 
   const bool spike = peaks[1] > 0.25;
@@ -59,6 +96,8 @@ int main() {
   const bool sc_helps = peaks[2] < peaks[1];
   bench::verdict(spike && tfrc_worse_than_tcp && sc_helps,
                  "restart causes a large drop spike; TFRC(256) suffers a "
-                 "higher/longer spike than TCP; self-clocking reduces it");
+                 "higher/longer spike than TCP; self-clocking reduces it "
+                 "(means over " +
+                     std::to_string(kTrials) + " trials)");
   return 0;
 }

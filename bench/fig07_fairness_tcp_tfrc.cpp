@@ -1,10 +1,21 @@
 // Figure 7: long-term fairness of TCP vs TFRC under a 3:1 square-wave
 // oscillation in the available bandwidth, as a function of the CBR
-// period.
+// period. Each period is one grid cell run for several independent
+// seeds through the parallel sweep runner; the table reports
+// mean ± 95% CI per cell.
+#include <algorithm>
+
 #include "bench_util.hpp"
-#include "scenario/fairness_experiment.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/sweep_spec.hpp"
 
 using namespace slowcc;
+
+namespace {
+constexpr int kTrials = 3;
+constexpr double kPeriods[] = {0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+}
 
 int main() {
   bench::header("Figure 7",
@@ -15,32 +26,62 @@ int main() {
       "and dips around a period of 0.2 s (4 RTTs); TFRC never beats TCP "
       "in the long run");
 
-  bench::row("%-10s %10s %10s %12s", "period(s)", "TCP mean", "TFRC mean",
+  // The measurement window scales with the period (>= 15 cycles), so
+  // each period gets its own one-cell spec; the trial lists concatenate
+  // into a single parallel run. Seeds derive from each cell's key, so
+  // the concatenation cannot collide.
+  std::vector<exp::TrialDesc> trials;
+  for (const double period : kPeriods) {
+    exp::SweepSpec sweep;
+    sweep.experiment = "fairness";
+    sweep.algorithms = {"tcp:2+tfrc:6"};
+    sweep.fixed["cbr_period"] = period;
+    sweep.fixed["measure"] = std::max(120.0, 15.0 * period);
+    sweep.trials = kTrials;
+    for (exp::TrialDesc d : sweep.expand()) {
+      d.trial_id = trials.size();
+      trials.push_back(std::move(d));
+    }
+  }
+  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(runner.run(trials));
+
+  bench::row("%-10s %16s %16s %16s", "period(s)", "TCP mean", "TFRC mean",
              "utilization");
   bool tcp_wins_midrange = true;
   bool tfrc_never_wins_big = true;
   double util_short = 0, util_4rtt = 0;
-  for (double period : {0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    scenario::FairnessConfig cfg;
-    cfg.group_a = scenario::FlowSpec::tcp(2);
-    cfg.group_b = scenario::FlowSpec::tfrc(6);
-    cfg.cbr_period = sim::Time::seconds(period);
-    cfg.measure = sim::Time::seconds(std::max(120.0, 15.0 * period));
-    const auto out = run_fairness(cfg);
-    bench::row("%-10.2f %10.2f %10.2f %12.2f", period, out.group_a_mean,
-               out.group_b_mean, out.utilization);
-    if (period >= 1.0 && period <= 8.0 &&
-        out.group_a_mean <= out.group_b_mean) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double period = kPeriods[i];
+    const exp::MetricStats* tcp = cells[i].metric("group_a_mean");
+    const exp::MetricStats* tfrc = cells[i].metric("group_b_mean");
+    const exp::MetricStats* util = cells[i].metric("utilization");
+    bench::row("%-10.2f %16s %16s %16s", period,
+               bench::mean_ci(*tcp, "%.2f").c_str(),
+               bench::mean_ci(*tfrc, "%.2f").c_str(),
+               bench::mean_ci(*util, "%.2f").c_str());
+    bench::emit(bench::json_row("fig07_fairness_tcp_tfrc")
+                    .add("cbr_period_s", period)
+                    .add("trials", static_cast<std::uint64_t>(tcp->n))
+                    .add("tcp_mean", tcp->mean)
+                    .add("tcp_ci95", tcp->ci95)
+                    .add("tfrc_mean", tfrc->mean)
+                    .add("tfrc_ci95", tfrc->ci95)
+                    .add("utilization_mean", util->mean)
+                    .add("utilization_ci95", util->ci95));
+    if (period >= 1.0 && period <= 8.0 && tcp->mean <= tfrc->mean) {
       tcp_wins_midrange = false;
     }
-    if (out.group_b_mean > 1.15 * out.group_a_mean) {
+    if (tfrc->mean > 1.15 * tcp->mean) {
       tfrc_never_wins_big = false;
     }
-    if (period == 0.1) util_short = out.utilization;
-    if (period == 0.2) util_4rtt = out.utilization;
+    if (period == 0.1) util_short = util->mean;
+    if (period == 0.2) util_4rtt = util->mean;
   }
   bench::note("(throughput normalized by each flow's fair share of the "
-              "average available bandwidth)");
+              "average available bandwidth; mean ± 95%% CI over %d trials)",
+              kTrials);
 
   bench::verdict(tcp_wins_midrange && tfrc_never_wins_big,
                  "TCP receives more than TFRC at mid-range periods and "

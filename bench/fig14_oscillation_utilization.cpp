@@ -1,9 +1,19 @@
 // Figure 14: link utilization under a 3:1 bandwidth oscillation as a
-// function of the ON/OFF period, for TCP(1/8), TCP, and TFRC(6).
+// function of the ON/OFF period, for TCP(1/8), TCP, and TFRC(6). The
+// whole figure is one sweep grid (3 mechanisms x 7 periods), each cell
+// run for several independent seeds; the table reports mean ± 95% CI.
+#include <algorithm>
+
 #include "bench_util.hpp"
-#include "scenario/oscillation_experiment.hpp"
+#include "exp/aggregator.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/sweep_spec.hpp"
 
 using namespace slowcc;
+
+namespace {
+constexpr int kTrials = 3;
+}
 
 int main() {
   bench::header("Figure 14",
@@ -13,30 +23,49 @@ int main() {
       "all); around 200 ms (4 RTTs) every mechanism drops below ~80% of "
       "the average available bandwidth; longer periods recover");
 
-  bench::row("%-12s %10s %10s %10s", "on/off (s)", "TCP(1/8)", "TCP",
+  exp::SweepSpec sweep;
+  sweep.experiment = "oscillation";
+  sweep.algorithms = {"tcp:8", "tcp:2", "tfrc:6"};
+  sweep.assign("sweep on_off_length", "0.05,0.1,0.2,0.4,0.8,1.6,3.2");
+  sweep.trials = kTrials;
+  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
+  const std::vector<exp::CellStats> cells =
+      exp::aggregate(runner.run(sweep.expand()));
+
+  // Expansion order is algorithm (outer) x swept period (inner).
+  const std::size_t n_periods = sweep.sweep_values.size();
+  auto fraction = [&](std::size_t alg, std::size_t per) {
+    return cells[alg * n_periods + per].metric("aggregate_fraction");
+  };
+
+  bench::row("%-12s %16s %16s %16s", "on/off (s)", "TCP(1/8)", "TCP",
              "TFRC(6)");
   double short_min = 1.0, fourrtt_max = 0.0;
-  for (double len : {0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2}) {
-    double vals[3];
-    int i = 0;
-    for (const auto& spec :
-         {scenario::FlowSpec::tcp(8), scenario::FlowSpec::tcp(2),
-          scenario::FlowSpec::tfrc(6)}) {
-      scenario::OscillationConfig cfg;
-      cfg.spec = spec;
-      cfg.on_off_length = sim::Time::seconds(len);
-      const auto out = run_oscillation(cfg);
-      vals[i++] = out.aggregate_fraction;
+  for (std::size_t p = 0; p < n_periods; ++p) {
+    const double len = sweep.sweep_values[p];
+    const exp::MetricStats* ms[3] = {fraction(0, p), fraction(1, p),
+                                     fraction(2, p)};
+    bench::row("%-12.2f %16s %16s %16s", len,
+               bench::mean_ci(*ms[0], "%.2f").c_str(),
+               bench::mean_ci(*ms[1], "%.2f").c_str(),
+               bench::mean_ci(*ms[2], "%.2f").c_str());
+    const char* labels[3] = {"TCP(1/8)", "TCP", "TFRC(6)"};
+    for (int a = 0; a < 3; ++a) {
+      bench::emit(bench::json_row("fig14_oscillation_utilization")
+                      .add("mechanism", labels[a])
+                      .add("on_off_s", len)
+                      .add("trials", static_cast<std::uint64_t>(ms[a]->n))
+                      .add("fraction_mean", ms[a]->mean)
+                      .add("fraction_ci95", ms[a]->ci95));
     }
-    bench::row("%-12.2f %10.2f %10.2f %10.2f", len, vals[0], vals[1],
-               vals[2]);
     if (len == 0.05) {
-      short_min = std::min({vals[0], vals[1], vals[2]});
+      short_min = std::min({ms[0]->mean, ms[1]->mean, ms[2]->mean});
     }
     if (len == 0.2) {
-      fourrtt_max = std::max({vals[0], vals[1], vals[2]});
+      fourrtt_max = std::max({ms[0]->mean, ms[1]->mean, ms[2]->mean});
     }
   }
+  bench::note("(mean ± 95%% CI over %d trials per cell)", kTrials);
 
   bench::verdict(short_min > fourrtt_max,
                  "50 ms bursts are absorbed by the queue while 200 ms "

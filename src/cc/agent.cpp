@@ -2,8 +2,6 @@
 
 namespace slowcc::cc {
 
-std::uint64_t Agent::next_uid_ = 1;
-
 Agent::Agent(sim::Simulator& sim, net::Node& local, net::NodeId peer_node,
              net::PortId peer_port, net::FlowId flow)
     : sim_(sim),
@@ -27,7 +25,7 @@ net::Packet Agent::make_packet(net::PacketType type) const {
   p.flow = flow_;
   p.size_bytes = packet_size_;
   p.sent_at = sim_.now();
-  p.uid = next_uid_++;
+  p.uid = sim_.next_packet_uid();
   return p;
 }
 

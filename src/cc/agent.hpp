@@ -69,9 +69,6 @@ class Agent : public net::PacketHandler {
   net::FlowId flow_;
   std::int64_t packet_size_ = 1000;
   AgentStats stats_;
-
- private:
-  static std::uint64_t next_uid_;
 };
 
 /// Base class for receiving endpoints; counts goodput so experiments

@@ -1,0 +1,134 @@
+#include "exp/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exp/serialize.hpp"
+
+namespace slowcc::exp {
+
+double t_critical_95(std::size_t n) noexcept {
+  if (n < 2) return 0.0;
+  // Two-sided 95% critical values for df = n-1 (df 1..30), then the
+  // normal asymptote. Enough precision for CI bars on sweep plots.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  const std::size_t df = n - 1;
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
+double percentile_sorted(const std::vector<double>& sorted,
+                         double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+const MetricStats* CellStats::metric(std::string_view name) const {
+  for (const MetricStats& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string CellStats::to_json() const {
+  JsonObjectBuilder o;
+  o.add("cell", cell)
+      .add("experiment", experiment)
+      .add("algorithm", algorithm);
+  for (const auto& [k, v] : axes) o.add(k, v);
+  o.add("trials", static_cast<std::uint64_t>(trials))
+      .add("errors", static_cast<std::uint64_t>(errors));
+  for (const MetricStats& m : metrics) {
+    o.add(m.name + "_mean", m.mean)
+        .add(m.name + "_stddev", m.stddev)
+        .add(m.name + "_ci95", m.ci95)
+        .add(m.name + "_p50", m.p50);
+  }
+  return o.str();
+}
+
+std::vector<CellStats> aggregate(const std::vector<Row>& rows) {
+  // Group in first-seen order so output order tracks expansion order.
+  std::vector<CellStats> cells;
+  std::vector<std::vector<const Row*>> members;
+  for (const Row& r : rows) {
+    std::size_t idx = cells.size();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].cell == r.cell) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == cells.size()) {
+      CellStats c;
+      c.cell = r.cell;
+      c.experiment = r.experiment;
+      c.algorithm = r.algorithm;
+      c.axes = r.axes;
+      cells.push_back(std::move(c));
+      members.emplace_back();
+    }
+    if (r.error.empty()) {
+      members[idx].push_back(&r);
+    } else {
+      ++cells[idx].errors;
+    }
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    CellStats& cell = cells[i];
+    cell.trials = members[i].size();
+    if (members[i].empty()) continue;
+    // Metric set = union over member rows, first-seen order.
+    std::vector<std::string> names;
+    for (const Row* r : members[i]) {
+      for (const auto& [k, v] : r->metrics) {
+        (void)v;
+        if (std::find(names.begin(), names.end(), k) == names.end()) {
+          names.push_back(k);
+        }
+      }
+    }
+    for (const std::string& name : names) {
+      std::vector<double> xs;
+      xs.reserve(members[i].size());
+      for (const Row* r : members[i]) {
+        const double v = r->get(name);
+        if (std::isfinite(v)) xs.push_back(v);
+      }
+      if (xs.empty()) continue;
+      MetricStats m;
+      m.name = name;
+      m.n = xs.size();
+      double sum = 0.0;
+      for (const double x : xs) sum += x;
+      m.mean = sum / static_cast<double>(xs.size());
+      if (xs.size() > 1) {
+        double ss = 0.0;
+        for (const double x : xs) ss += (x - m.mean) * (x - m.mean);
+        m.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+        m.ci95 = t_critical_95(xs.size()) * m.stddev /
+                 std::sqrt(static_cast<double>(xs.size()));
+      }
+      std::sort(xs.begin(), xs.end());
+      m.min = xs.front();
+      m.max = xs.back();
+      m.p05 = percentile_sorted(xs, 0.05);
+      m.p50 = percentile_sorted(xs, 0.50);
+      m.p95 = percentile_sorted(xs, 0.95);
+      cell.metrics.push_back(std::move(m));
+    }
+  }
+  return cells;
+}
+
+}  // namespace slowcc::exp

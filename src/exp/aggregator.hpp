@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/row.hpp"
+
+namespace slowcc::exp {
+
+/// Summary statistics of one metric over a grid cell's replicates.
+struct MetricStats {
+  std::string name;
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation (n-1)
+  double ci95 = 0.0;      // 95% CI half-width (Student t)
+  double min = 0.0;
+  double max = 0.0;
+  double p05 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// All metrics of one grid cell, aggregated over its trials.
+struct CellStats {
+  std::string cell;
+  std::string experiment;
+  std::string algorithm;
+  std::vector<std::pair<std::string, double>> axes;  // from the first row
+  std::size_t trials = 0;  // rows aggregated (errored rows excluded)
+  std::size_t errors = 0;  // rows skipped because Row::error was set
+  std::vector<MetricStats> metrics;
+
+  /// Stats of metric `name`; nullptr when absent.
+  [[nodiscard]] const MetricStats* metric(std::string_view name) const;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Reduce per-trial rows to per-cell statistics. Rows are grouped by
+/// `Row::cell` in first-seen (trial-id) order; within a cell, each
+/// metric is aggregated over the rows that carry it. Deterministic:
+/// depends only on row content and order, not on how the rows were
+/// produced.
+[[nodiscard]] std::vector<CellStats> aggregate(const std::vector<Row>& rows);
+
+/// 95% two-sided Student-t critical value for `n` samples (df = n-1).
+/// Exact table for small df, 1.960 asymptote beyond; 0 when n < 2.
+[[nodiscard]] double t_critical_95(std::size_t n) noexcept;
+
+/// Linear-interpolated percentile of a sorted sample (q in [0, 1]).
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q) noexcept;
+
+}  // namespace slowcc::exp

@@ -1,0 +1,81 @@
+#include "exp/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "exp/registry.hpp"
+#include "sim/error.hpp"
+
+namespace slowcc::exp {
+
+ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
+  if (jobs < 1) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ParallelRunner",
+                        "jobs must be >= 1");
+  }
+}
+
+int ParallelRunner::default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<Row> ParallelRunner::run(
+    const std::vector<TrialDesc>& trials,
+    const std::function<Row(const TrialDesc&)>& fn) const {
+  std::vector<Row> rows(trials.size());
+  if (trials.empty()) return rows;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= trials.size()) return;
+      Row row;
+      try {
+        row = fn(trials[i]);
+      } catch (const std::exception& ex) {
+        // fn is normally run_trial, which already absorbs experiment
+        // errors; this guards custom fns and registry-level throws.
+        row.trial_id = trials[i].trial_id;
+        row.experiment = trials[i].experiment;
+        row.algorithm = trials[i].algorithm;
+        row.cell = trials[i].cell_key();
+        row.trial_index = trials[i].trial_index;
+        row.seed = trials[i].seed;
+        row.error = ex.what();
+      }
+      rows[i] = std::move(row);
+      const std::size_t completed =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress_) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        progress_(completed, trials.size());
+      }
+    }
+  };
+
+  const int n = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), trials.size()));
+  if (n <= 1) {
+    worker();
+    return rows;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return rows;
+}
+
+std::vector<Row> ParallelRunner::run(
+    const std::vector<TrialDesc>& trials) const {
+  return run(trials, [](const TrialDesc& d) { return run_trial(d); });
+}
+
+}  // namespace slowcc::exp

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/row.hpp"
+#include "exp/sweep_spec.hpp"
+
+namespace slowcc::exp {
+
+/// Concurrent trial executor.
+///
+/// Threading model: `run()` spawns up to `jobs` workers that pull trial
+/// indices from a shared atomic counter (a self-balancing work queue —
+/// a slow trial simply keeps one worker busy while the others drain the
+/// rest). Each worker runs `fn(trials[i])` and writes the result into
+/// slot `i` of a pre-sized output vector; slots are disjoint, so no
+/// lock guards the results. Each trial constructs its own `Simulator`
+/// and network — nothing in `sim/`, `net/`, `cc/`, or `scenario/`
+/// shares mutable state across trials — which makes the output
+/// independent of scheduling: `jobs=1` and `jobs=N` produce identical
+/// rows in identical (trial-id) order.
+class ParallelRunner {
+ public:
+  /// Progress observer, called after each completed trial with
+  /// (completed, total). Invoked under an internal mutex, so it may
+  /// write to a terminal without interleaving; keep it fast.
+  using Progress = std::function<void(std::size_t, std::size_t)>;
+
+  explicit ParallelRunner(int jobs = 1);
+
+  /// Number of workers this runner will use (>= 1).
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Value for "use every core": hardware_concurrency, floored at 1.
+  [[nodiscard]] static int default_jobs() noexcept;
+
+  void set_progress(Progress progress) { progress_ = std::move(progress); }
+
+  /// Execute `fn` over every trial. Exceptions escaping `fn` are caught
+  /// into Row::error (with the trial's identity stamped), never
+  /// propagated, so a sweep always yields exactly
+  /// `trials.size()` rows.
+  [[nodiscard]] std::vector<Row> run(
+      const std::vector<TrialDesc>& trials,
+      const std::function<Row(const TrialDesc&)>& fn) const;
+
+  /// `run()` with the experiment registry's `run_trial`.
+  [[nodiscard]] std::vector<Row> run(
+      const std::vector<TrialDesc>& trials) const;
+
+ private:
+  int jobs_;
+  Progress progress_;
+};
+
+}  // namespace slowcc::exp

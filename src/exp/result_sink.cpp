@@ -1,0 +1,82 @@
+#include "exp/result_sink.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "exp/serialize.hpp"
+
+namespace slowcc::exp {
+namespace {
+
+void csv_number_field(std::ostream& out, double v) {
+  if (std::isfinite(v)) out << json_number(v);  // same canonical form
+}
+
+}  // namespace
+
+void write_rows_jsonl(std::ostream& out, const std::vector<Row>& rows) {
+  for (const Row& r : rows) out << r.to_json() << '\n';
+}
+
+void write_rows_csv(std::ostream& out, const std::vector<Row>& rows) {
+  const std::vector<std::string> axes = axis_names(rows);
+  const std::vector<std::string> metrics = metric_names(rows);
+  out << "trial_id,experiment,algorithm,cell,trial_index,seed";
+  for (const std::string& a : axes) out << ',' << csv_escape(a);
+  for (const std::string& m : metrics) out << ',' << csv_escape(m);
+  out << ",error\n";
+  for (const Row& r : rows) {
+    out << r.trial_id << ',' << csv_escape(r.experiment) << ','
+        << csv_escape(r.algorithm) << ',' << csv_escape(r.cell) << ','
+        << r.trial_index << ',' << r.seed;
+    for (const std::string& a : axes) {
+      out << ',';
+      for (const auto& [k, v] : r.axes) {
+        if (k == a) {
+          csv_number_field(out, v);
+          break;
+        }
+      }
+    }
+    for (const std::string& m : metrics) {
+      out << ',';
+      csv_number_field(out, r.get(m));
+    }
+    out << ',' << csv_escape(r.error) << '\n';
+  }
+}
+
+void write_cells_jsonl(std::ostream& out,
+                       const std::vector<CellStats>& cells) {
+  for (const CellStats& c : cells) out << c.to_json() << '\n';
+}
+
+void write_cells_csv(std::ostream& out, const std::vector<CellStats>& cells) {
+  out << "cell,experiment,algorithm,metric,n,mean,stddev,ci95,min,p05,p50,"
+         "p95,max,errors\n";
+  for (const CellStats& c : cells) {
+    for (const MetricStats& m : c.metrics) {
+      out << csv_escape(c.cell) << ',' << csv_escape(c.experiment) << ','
+          << csv_escape(c.algorithm) << ',' << csv_escape(m.name) << ','
+          << m.n << ',' << json_number(m.mean) << ',' << json_number(m.stddev)
+          << ',' << json_number(m.ci95) << ',' << json_number(m.min) << ','
+          << json_number(m.p05) << ',' << json_number(m.p50) << ','
+          << json_number(m.p95) << ',' << json_number(m.max) << ','
+          << c.errors << '\n';
+    }
+  }
+}
+
+std::string rows_to_jsonl(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  write_rows_jsonl(out, rows);
+  return out.str();
+}
+
+std::string cells_to_jsonl(const std::vector<CellStats>& cells) {
+  std::ostringstream out;
+  write_cells_jsonl(out, cells);
+  return out.str();
+}
+
+}  // namespace slowcc::exp

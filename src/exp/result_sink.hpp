@@ -1,0 +1,34 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregator.hpp"
+#include "exp/row.hpp"
+
+namespace slowcc::exp {
+
+/// Serialize per-trial rows as JSON-lines (one object per row, in the
+/// order given — callers pass rows in trial-id order for stable diffs).
+void write_rows_jsonl(std::ostream& out, const std::vector<Row>& rows);
+
+/// Serialize per-trial rows as CSV. The column set is the fixed
+/// identity columns plus the union of axis and metric names across all
+/// rows; rows missing a metric leave the field empty.
+void write_rows_csv(std::ostream& out, const std::vector<Row>& rows);
+
+/// Serialize per-cell aggregates as JSON-lines.
+void write_cells_jsonl(std::ostream& out, const std::vector<CellStats>& cells);
+
+/// Serialize per-cell aggregates as CSV: one line per (cell, metric)
+/// with n/mean/stddev/ci95/min/p05/p50/p95/max — long format, so the
+/// header is stable no matter which metrics an experiment emits.
+void write_cells_csv(std::ostream& out, const std::vector<CellStats>& cells);
+
+/// Convenience: render to a string (used by determinism checks, which
+/// byte-compare the full serialization of two runs).
+[[nodiscard]] std::string rows_to_jsonl(const std::vector<Row>& rows);
+[[nodiscard]] std::string cells_to_jsonl(const std::vector<CellStats>& cells);
+
+}  // namespace slowcc::exp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slowcc::exp {
+
+/// One structured result row: the outcome of a single simulation trial.
+///
+/// A row carries its grid coordinates (experiment, algorithm, numeric
+/// axes such as bandwidth or a swept parameter) and a flat ordered list
+/// of named numeric metrics produced by the experiment adapter. Rows
+/// are plain data — they are produced on worker threads and only ever
+/// moved, so they need no synchronization.
+struct Row {
+  std::uint64_t trial_id = 0;
+  std::string experiment;
+  std::string algorithm;
+  /// Grid-cell key: every axis except the trial index / derived seed.
+  /// Rows with equal `cell` are aggregated together.
+  std::string cell;
+  int trial_index = 0;
+  std::uint64_t seed = 0;
+  /// Non-empty when the trial failed; metrics are then meaningless.
+  std::string error;
+
+  /// Numeric axis values (e.g. {"bandwidth_mbps", 15}) — duplicated
+  /// from `cell` in machine-readable form.
+  std::vector<std::pair<std::string, double>> axes;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set_axis(std::string name, double value) {
+    axes.emplace_back(std::move(name), value);
+  }
+  void set(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  /// Value of metric `name`; NaN when absent.
+  [[nodiscard]] double get(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Union of metric (and axis) names across `rows`, in first-seen order
+/// — the column set for CSV export.
+[[nodiscard]] std::vector<std::string> metric_names(
+    const std::vector<Row>& rows);
+[[nodiscard]] std::vector<std::string> axis_names(
+    const std::vector<Row>& rows);
+
+}  // namespace slowcc::exp

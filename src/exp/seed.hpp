@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace slowcc::exp {
+
+/// Deterministic per-trial seed derivation.
+///
+/// A sweep expands into many trials that must each see an independent,
+/// reproducible random stream. `derive_seed(base, trial_index)` maps
+/// the spec's master seed and a trial index to a 64-bit seed; distinct
+/// indices never collide under the same base, and the mapping is pure,
+/// so the same trial gets the same seed regardless of scheduling order
+/// or `--jobs`. (Thin wrapper over `sim::derive_seed`, which scenarios
+/// also use to fan one experiment seed out into sub-streams.)
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t base,
+                                               std::uint64_t index) noexcept {
+  return sim::derive_seed(base, index);
+}
+
+/// Two-level derivation for nested streams (trial -> component), e.g.
+/// the scripted-drop stream inside trial 17 of a sweep.
+[[nodiscard]] inline std::uint64_t derive_seed(
+    std::uint64_t base, std::uint64_t index,
+    std::uint64_t sub_index) noexcept {
+  return sim::derive_seed(sim::derive_seed(base, index), sub_index);
+}
+
+}  // namespace slowcc::exp

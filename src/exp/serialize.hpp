@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace slowcc::exp {
+
+/// Escape `s` for inclusion inside a double-quoted JSON string (RFC
+/// 8259): quotes, backslashes, and control characters. Returns the
+/// escaped body without surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Quote `s` as a CSV field when it contains a comma, quote, or
+/// newline (RFC 4180); otherwise return it unchanged.
+[[nodiscard]] std::string csv_escape(std::string_view s);
+
+/// Render a double as a JSON-legal number: shortest representation that
+/// round-trips, integral values without a trailing ".0" explosion, and
+/// NaN/inf (not representable in JSON) as `null`.
+[[nodiscard]] std::string json_number(double v);
+
+/// Incremental builder for one flat JSON object — the single place
+/// where experiment rows, bench JSON lines, and sweep sinks format
+/// their output, so escaping rules cannot drift apart.
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder& add(std::string_view key, std::string_view value);
+  JsonObjectBuilder& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  JsonObjectBuilder& add(std::string_view key, double value);
+  JsonObjectBuilder& add(std::string_view key, std::int64_t value);
+  JsonObjectBuilder& add(std::string_view key, std::uint64_t value);
+  JsonObjectBuilder& add(std::string_view key, bool value);
+
+  /// The completed object, e.g. `{"a":1,"b":"x"}`.
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_ = "{";
+};
+
+}  // namespace slowcc::exp

@@ -6,7 +6,9 @@ namespace slowcc::scenario {
 
 ConvergenceOutcome run_convergence(const ConvergenceConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   // The paper's §4.2.2 model is pure AIMD from a (B - b0, b0) start;
   // slow start would let the joining flow leapfrog to a fair share in a

@@ -14,6 +14,8 @@ struct ConvergenceConfig {
   sim::Time first_flow_head_start = sim::Time::seconds(30.0);
   sim::Time horizon = sim::Time::seconds(600.0);  // give-up point
   double delta = 0.1;
+  /// Master seed for every stochastic element (overrides `net.seed`).
+  std::uint64_t seed = 1;
 
   ConvergenceConfig() {
     net.bottleneck_bps = 10e6;

@@ -9,7 +9,9 @@ namespace slowcc::scenario {
 
 FairnessOutcome run_fairness(const FairnessConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   std::vector<net::FlowId> group_a_ids;
   std::vector<net::FlowId> group_b_ids;

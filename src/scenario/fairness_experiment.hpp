@@ -21,6 +21,8 @@ struct FairnessConfig {
   double cbr_peak_fraction = 2.0 / 3.0;  // of bottleneck (10 of 15 Mb/s)
   sim::Time warmup = sim::Time::seconds(20.0);
   sim::Time measure = sim::Time::seconds(200.0);
+  /// Master seed for every stochastic element (overrides `net.seed`).
+  std::uint64_t seed = 1;
 
   FairnessConfig() { net.bottleneck_bps = 15e6; }
 };

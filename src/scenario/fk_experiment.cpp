@@ -9,7 +9,9 @@ namespace slowcc::scenario {
 
 FkOutcome run_fk(const FkConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   std::vector<cc::Agent*> stoppers;
   std::vector<net::FlowId> survivors;

@@ -15,6 +15,8 @@ struct FkConfig {
   DumbbellConfig net;
   sim::Time stop_time = sim::Time::seconds(120.0);
   std::vector<int> ks = {20, 200};
+  /// Master seed for every stochastic element (overrides `net.seed`).
+  std::uint64_t seed = 1;
 
   FkConfig() {
     net.bottleneck_bps = 10e6;

@@ -6,7 +6,9 @@ namespace slowcc::scenario {
 
 FlashCrowdOutcome run_flash_crowd(const FlashCrowdExperimentConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   for (int i = 0; i < config.background_flows; ++i) {
     net.add_flow(config.background);
@@ -23,7 +25,9 @@ FlashCrowdOutcome run_flash_crowd(const FlashCrowdExperimentConfig& config) {
                             config.net.access_bps, config.net.access_delay,
                             1000);
 
-  traffic::FlashCrowd crowd(sim, crowd_src, crowd_dst, config.crowd);
+  traffic::FlashCrowdConfig crowd_cfg = config.crowd;
+  crowd_cfg.seed = sim::derive_seed(config.seed, 1);
+  traffic::FlashCrowd crowd(sim, crowd_src, crowd_dst, crowd_cfg);
 
   const net::FlowId crowd_first = config.crowd.first_flow_id;
   metrics::ThroughputMonitor background_tp(

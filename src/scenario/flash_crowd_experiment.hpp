@@ -18,6 +18,9 @@ struct FlashCrowdExperimentConfig {
   sim::Time crowd_start = sim::Time::seconds(25.0);
   sim::Time end = sim::Time::seconds(75.0);
   sim::Time bin = sim::Time::seconds(0.5);  // throughput trace bin width
+  /// Master seed for every stochastic element: overrides `net.seed`;
+  /// the crowd's arrival-process seed is derived from it.
+  std::uint64_t seed = 1;
 
   FlashCrowdExperimentConfig() { net.bottleneck_bps = 10e6; }
 };

@@ -10,7 +10,9 @@ namespace slowcc::scenario {
 
 OscillationOutcome run_oscillation(const OscillationConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   std::vector<net::FlowId> ids;
   for (int i = 0; i < config.num_flows; ++i) {
@@ -21,7 +23,7 @@ OscillationOutcome run_oscillation(const OscillationConfig& config) {
   const double cbr_peak = config.net.bottleneck_bps * config.cbr_peak_fraction;
   traffic::CbrSource* cbr = nullptr;
   std::unique_ptr<traffic::OnOffPattern> pattern;
-  fault::FaultInjector injector(sim, config.net.seed);
+  fault::FaultInjector injector(sim, sim::derive_seed(config.seed, 1));
   if (config.mode == OscillationMode::kCbrEmulation) {
     cbr = &net.add_cbr(cbr_peak);
     pattern = std::make_unique<traffic::OnOffPattern>(

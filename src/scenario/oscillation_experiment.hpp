@@ -34,6 +34,9 @@ struct OscillationConfig {
   sim::Time warmup = sim::Time::seconds(10.0);
   sim::Time measure = sim::Time::seconds(100.0);
   OscillationMode mode = OscillationMode::kCbrEmulation;
+  /// Master seed for every stochastic element: overrides `net.seed`;
+  /// the kLinkBandwidth fault injector draws a derived stream.
+  std::uint64_t seed = 1;
 
   OscillationConfig() { net.bottleneck_bps = 15e6; }
 };

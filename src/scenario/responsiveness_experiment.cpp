@@ -9,7 +9,9 @@ namespace slowcc::scenario {
 
 ResponsivenessOutcome run_responsiveness(const ResponsivenessConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   Dumbbell::Flow& flow = net.add_flow(config.spec);
 
@@ -75,7 +77,9 @@ ResponsivenessOutcome run_responsiveness(const ResponsivenessConfig& config) {
 
 double measure_aggressiveness(const ResponsivenessConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = sim::derive_seed(config.seed, 2);  // clean second run
+  Dumbbell net(sim, net_cfg);
 
   FlowSpec spec = config.spec;
   spec.disable_slow_start = true;  // honored by the window-based kinds

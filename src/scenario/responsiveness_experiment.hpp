@@ -17,6 +17,8 @@ struct ResponsivenessConfig {
   DumbbellConfig net;
   sim::Time warmup = sim::Time::seconds(30.0);
   sim::Time horizon = sim::Time::seconds(120.0);
+  /// Master seed for every stochastic element (overrides `net.seed`).
+  std::uint64_t seed = 1;
 
   ResponsivenessConfig() {
     net.bottleneck_bps = 10e6;

@@ -7,7 +7,9 @@ namespace slowcc::scenario {
 
 SmoothnessOutcome run_smoothness(const SmoothnessConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   Dumbbell::Flow& flow = net.add_flow(config.spec);
 

@@ -30,6 +30,9 @@ struct SmoothnessConfig {
   sim::Time measure = sim::Time::seconds(40.0);
   sim::Time fine_bin = sim::Time::millis(200);
   sim::Time coarse_bin = sim::Time::seconds(1.0);
+  /// Master seed for every stochastic element (overrides `net.seed`;
+  /// the loss pattern itself is deterministic by design).
+  std::uint64_t seed = 1;
 
   SmoothnessConfig() {
     net.bottleneck_bps = 10e6;

@@ -6,7 +6,9 @@ namespace slowcc::scenario {
 
 StabilizationOutcome run_stabilization(const StabilizationConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   for (int i = 0; i < config.num_flows; ++i) {
     net.add_flow(config.spec);

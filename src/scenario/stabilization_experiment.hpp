@@ -19,6 +19,8 @@ struct StabilizationConfig {
   sim::Time cbr_stop = sim::Time::seconds(150.0);
   sim::Time cbr_restart = sim::Time::seconds(180.0);
   sim::Time end = sim::Time::seconds(240.0);
+  /// Master seed for every stochastic element (overrides `net.seed`).
+  std::uint64_t seed = 1;
 
   StabilizationConfig() {
     // 24 Mb/s puts the steady-state loss rate near the paper's Figure 3

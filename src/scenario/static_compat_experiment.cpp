@@ -9,12 +9,15 @@ namespace slowcc::scenario {
 
 StaticCompatOutcome run_static_compat(const StaticCompatConfig& config) {
   sim::Simulator sim;
-  Dumbbell net(sim, config.net);
+  DumbbellConfig net_cfg = config.net;
+  net_cfg.seed = config.seed;
+  Dumbbell net(sim, net_cfg);
 
   Dumbbell::Flow& flow = net.add_flow(config.spec);
 
-  // Bernoulli drops on data packets only.
-  auto rng = std::make_shared<sim::Rng>(config.drop_seed);
+  // Bernoulli drops on data packets only, on a stream derived from the
+  // experiment's master seed (the topology consumes the master itself).
+  auto rng = std::make_shared<sim::Rng>(sim::derive_seed(config.seed, 1));
   const double p = config.loss_rate;
   net.bottleneck().set_forced_drop_filter(
       [rng, p](const net::Packet& pkt) {

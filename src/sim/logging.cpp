@@ -2,7 +2,7 @@
 
 namespace slowcc::sim {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::level_{LogLevel::kWarn};
 
 namespace {
 const char* level_name(LogLevel level) {

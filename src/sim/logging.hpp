@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -12,18 +13,25 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 /// Minimal leveled logger for simulation diagnostics.
 ///
 /// Logging defaults to `kWarn` so experiment binaries stay quiet; tests
-/// raise verbosity locally when debugging. Not thread-safe — the
-/// simulator is single-threaded by design.
+/// raise verbosity locally when debugging. The level is the one piece
+/// of process-global state simulations share, so it is atomic: a sweep
+/// running trials on many threads may read it concurrently (each
+/// message is emitted with a single fprintf call, which POSIX keeps
+/// from interleaving mid-line).
 class Logger {
  public:
-  static LogLevel level() noexcept { return level_; }
-  static void set_level(LogLevel level) noexcept { level_ = level; }
+  static LogLevel level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  static void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   static void log(LogLevel level, Time now, const char* component,
                   const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 #define SLOWCC_LOG(level, now, component, msg)                       \

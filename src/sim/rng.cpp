@@ -9,13 +9,19 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
 
-// splitmix64: seeds the xoshiro state from a single 64-bit value.
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+// splitmix64 finalizer (a bijection on 64-bit values).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += kGolden;
+  return mix64(x);
 }
 
 }  // namespace
@@ -70,5 +76,11 @@ bool Rng::chance(double probability) noexcept {
 }
 
 Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // kGolden is odd, so `kGolden * (index + 1)` is injective in `index`
+  // modulo 2^64; mixing keeps adjacent indices statistically far apart.
+  return mix64(base + kGolden * (index + 1));
+}
 
 }  // namespace slowcc::sim

@@ -41,4 +41,14 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Deterministic sub-stream seed derivation: one splitmix64
+/// finalization of `base + golden * (index + 1)`. The finalizer is a
+/// bijection and the pre-mix is injective in `index` for a fixed base,
+/// so two distinct indices never collide under the same base; the
+/// function is pure, so results are independent of evaluation order
+/// (and of which thread asks). This is the primitive behind
+/// `exp::derive_seed` and the scenarios' internal seed fan-out.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t index) noexcept;
+
 }  // namespace slowcc::sim

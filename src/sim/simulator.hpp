@@ -71,10 +71,19 @@ class Simulator {
     hook_ = nullptr;
   }
 
+  /// Next unique packet id for this simulation. Lives on the Simulator
+  /// (not a global) so concurrent simulations on different threads
+  /// never share a counter and every trial's uid sequence is
+  /// deterministic in isolation.
+  [[nodiscard]] std::uint64_t next_packet_uid() noexcept {
+    return next_packet_uid_++;
+  }
+
  private:
   EventQueue queue_;
   Time now_;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t next_packet_uid_ = 1;
   std::uint64_t hook_every_ = 0;
   std::function<void()> hook_;
 };

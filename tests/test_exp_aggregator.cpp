@@ -1,0 +1,123 @@
+// Aggregator statistics against hand-computed values, plus the edge
+// cases a sweep actually produces: single trials, errored rows, NaN
+// metrics, and metric sets that differ between rows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "exp/aggregator.hpp"
+#include "exp/result_sink.hpp"
+
+namespace slowcc {
+namespace {
+
+exp::Row make_row(const std::string& cell, int trial, double value,
+                  const std::string& metric = "m") {
+  exp::Row r;
+  r.trial_id = static_cast<std::uint64_t>(trial);
+  r.experiment = "test";
+  r.algorithm = "tcp";
+  r.cell = cell;
+  r.trial_index = trial;
+  r.set(metric, value);
+  return r;
+}
+
+TEST(ExpAggregator, HandComputedStats) {
+  // Values 1..5: mean 3, sample stddev sqrt(2.5), CI95 with t(df=4).
+  std::vector<exp::Row> rows;
+  for (int i = 0; i < 5; ++i) rows.push_back(make_row("c", i, i + 1.0));
+  const auto cells = exp::aggregate(rows);
+  ASSERT_EQ(cells.size(), 1u);
+  const exp::MetricStats* m = cells[0].metric("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->n, 5u);
+  EXPECT_DOUBLE_EQ(m->mean, 3.0);
+  EXPECT_NEAR(m->stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(m->ci95, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(m->min, 1.0);
+  EXPECT_DOUBLE_EQ(m->max, 5.0);
+  // Linear interpolation on sorted {1,2,3,4,5}: rank = q * (n-1).
+  EXPECT_NEAR(m->p05, 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(m->p50, 3.0);
+  EXPECT_NEAR(m->p95, 4.8, 1e-12);
+}
+
+TEST(ExpAggregator, SingleTrialHasNoSpread) {
+  const auto cells = exp::aggregate({make_row("c", 0, 7.5)});
+  const exp::MetricStats* m = cells[0].metric("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->n, 1u);
+  EXPECT_DOUBLE_EQ(m->mean, 7.5);
+  EXPECT_DOUBLE_EQ(m->stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m->ci95, 0.0);
+  EXPECT_DOUBLE_EQ(m->p50, 7.5);
+}
+
+TEST(ExpAggregator, TCriticalTable) {
+  EXPECT_DOUBLE_EQ(exp::t_critical_95(2), 12.706);  // df = 1
+  EXPECT_DOUBLE_EQ(exp::t_critical_95(5), 2.776);   // df = 4
+  EXPECT_DOUBLE_EQ(exp::t_critical_95(31), 2.042);  // df = 30, last entry
+  EXPECT_DOUBLE_EQ(exp::t_critical_95(32), 1.960);  // normal asymptote
+  EXPECT_DOUBLE_EQ(exp::t_critical_95(1), 0.0);     // no spread from n=1
+}
+
+TEST(ExpAggregator, PercentileInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(exp::percentile_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(exp::percentile_sorted(xs, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(exp::percentile_sorted(xs, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(exp::percentile_sorted({4.0}, 0.95), 4.0);
+}
+
+TEST(ExpAggregator, ErroredRowsExcludedButCounted) {
+  std::vector<exp::Row> rows = {make_row("c", 0, 1.0), make_row("c", 1, 3.0)};
+  exp::Row bad = make_row("c", 2, 999.0);
+  bad.error = "boom";
+  rows.push_back(bad);
+  const auto cells = exp::aggregate(rows);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].trials, 2u);
+  EXPECT_EQ(cells[0].errors, 1u);
+  EXPECT_DOUBLE_EQ(cells[0].metric("m")->mean, 2.0);
+}
+
+TEST(ExpAggregator, NonFiniteValuesSkipped) {
+  std::vector<exp::Row> rows = {
+      make_row("c", 0, 2.0), make_row("c", 1, 4.0),
+      make_row("c", 2, std::numeric_limits<double>::quiet_NaN())};
+  const auto cells = exp::aggregate(rows);
+  const exp::MetricStats* m = cells[0].metric("m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->n, 2u);
+  EXPECT_DOUBLE_EQ(m->mean, 3.0);
+}
+
+TEST(ExpAggregator, CellsKeepFirstSeenOrder) {
+  std::vector<exp::Row> rows = {make_row("b", 0, 1.0), make_row("a", 1, 2.0),
+                                make_row("b", 2, 3.0)};
+  const auto cells = exp::aggregate(rows);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].cell, "b");
+  EXPECT_EQ(cells[1].cell, "a");
+  EXPECT_EQ(cells[0].trials, 2u);
+}
+
+TEST(ExpAggregator, CsvLongFormatOneLinePerCellMetric) {
+  std::vector<exp::Row> rows = {make_row("c", 0, 1.0), make_row("c", 1, 2.0)};
+  rows[0].set("extra", 5.0);
+  rows[1].set("extra", 7.0);
+  std::ostringstream out;
+  exp::write_cells_csv(out, exp::aggregate(rows));
+  const std::string text = out.str();
+  // Header + one line per (cell, metric).
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find("c,test,tcp,m,2,1.5,"), std::string::npos);
+  EXPECT_NE(text.find("c,test,tcp,extra,2,6,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slowcc

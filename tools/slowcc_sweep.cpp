@@ -1,0 +1,263 @@
+// slowcc_sweep — parallel experiment-orchestration driver.
+//
+// Expands a parameter grid (algorithm x bandwidth x RTT x swept
+// parameter x trials) over one registered experiment, runs every trial
+// concurrently with a work-stealing thread pool, and reduces the rows
+// to per-cell statistics (mean / stddev / 95% CI / percentiles).
+//
+// Examples:
+//   slowcc_sweep --list
+//   slowcc_sweep --experiment static_compat --algorithms tcp,tfrc:6
+//       --trials 4 --jobs 8 --duration-scale 0.1
+//   slowcc_sweep --experiment oscillation --algorithms tcp:8,tcp:2,tfrc:6
+//       --sweep on_off_length=0.05,0.2,0.8 --trials 3 --out /tmp/fig14
+//   slowcc_sweep --spec sweep.spec --jobs 8 --selfcheck
+//
+// With --out PREFIX, writes PREFIX.trials.{jsonl,csv} and
+// PREFIX.cells.{jsonl,csv}; otherwise prints an aggregate table and the
+// per-cell JSON lines to stdout. --selfcheck re-runs the whole sweep
+// single-threaded and byte-compares the serialized results — the
+// determinism guarantee the subsystem is built around.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregator.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/registry.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/sweep_spec.hpp"
+
+using namespace slowcc;
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --list                       list registered experiments and exit\n"
+      "  --spec FILE                  load a sweep spec file (key = value "
+      "lines)\n"
+      "  --experiment NAME            experiment to run\n"
+      "  --algorithms A,B,...         algorithm tokens (tcp, tcp:8, "
+      "tfrc:6:c, tcp+tfrc:6)\n"
+      "  --bandwidths-mbps X,Y        bottleneck bandwidth axis\n"
+      "  --rtts-ms X,Y                base-RTT axis\n"
+      "  --sweep NAME=V1,V2,...       sweep an experiment parameter\n"
+      "  --set NAME=VALUE             fix an experiment parameter\n"
+      "  --trials N                   replicates per grid cell (default 1)\n"
+      "  --base-seed S                master seed (default 1)\n"
+      "  --duration-scale F           scale all experiment timelines\n"
+      "  --jobs N                     worker threads (default: all cores)\n"
+      "  --out PREFIX                 write PREFIX.trials/.cells "
+      ".jsonl/.csv\n"
+      "  --selfcheck                  verify jobs=N output == jobs=1 "
+      "output\n"
+      "  --quiet                      no progress on stderr\n",
+      argv0);
+  return code;
+}
+
+void list_experiments() {
+  for (const exp::Experiment& e : exp::experiments()) {
+    std::printf("%-16s %s\n", e.name.c_str(), e.description.c_str());
+    std::string params;
+    for (const std::string& p : e.params) {
+      params += params.empty() ? "" : ", ";
+      params += p;
+    }
+    std::printf("%-16s   params: %s\n", "", params.c_str());
+  }
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "slowcc_sweep: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+void print_cells_table(const std::vector<exp::CellStats>& cells) {
+  std::printf("%-52s %-28s %3s %12s %12s %12s\n", "cell", "metric", "n",
+              "mean", "ci95", "stddev");
+  for (const exp::CellStats& c : cells) {
+    for (const exp::MetricStats& m : c.metrics) {
+      std::printf("%-52s %-28s %3zu %12.4g %12.4g %12.4g\n", c.cell.c_str(),
+                  m.name.c_str(), m.n, m.mean, m.ci95, m.stddev);
+    }
+    if (c.errors > 0) {
+      std::printf("%-52s !! %zu trial(s) errored\n", c.cell.c_str(),
+                  c.errors);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::SweepSpec spec;
+  bool spec_loaded = false;
+  int jobs = exp::ParallelRunner::default_jobs();
+  std::string out_prefix;
+  bool selfcheck = false;
+  bool quiet = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "slowcc_sweep: %s needs a value\n",
+                       arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--help" || arg == "-h") {
+        return usage(argv[0], 0);
+      } else if (arg == "--list") {
+        list_experiments();
+        return 0;
+      } else if (arg == "--spec") {
+        spec = exp::SweepSpec::parse_file(value());
+        spec_loaded = true;
+      } else if (arg == "--experiment") {
+        spec.experiment = value();
+        spec_loaded = true;
+      } else if (arg == "--algorithms") {
+        spec.assign("algorithms", value());
+      } else if (arg == "--bandwidths-mbps") {
+        spec.assign("bandwidths_mbps", value());
+      } else if (arg == "--rtts-ms") {
+        spec.assign("rtts_ms", value());
+      } else if (arg == "--sweep" || arg == "--set") {
+        const std::string kv = value();
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          std::fprintf(stderr, "slowcc_sweep: %s expects NAME=VALUES\n",
+                       arg.c_str());
+          return 2;
+        }
+        const std::string prefix = arg == "--sweep" ? "sweep " : "set ";
+        spec.assign(prefix + kv.substr(0, eq), kv.substr(eq + 1));
+      } else if (arg == "--trials") {
+        spec.assign("trials", value());
+      } else if (arg == "--base-seed") {
+        spec.assign("base_seed", value());
+      } else if (arg == "--duration-scale") {
+        spec.assign("duration_scale", value());
+      } else if (arg == "--jobs") {
+        jobs = std::atoi(value().c_str());
+        if (jobs < 1) {
+          std::fprintf(stderr, "slowcc_sweep: --jobs must be >= 1\n");
+          return 2;
+        }
+      } else if (arg == "--out") {
+        out_prefix = value();
+      } else if (arg == "--selfcheck") {
+        selfcheck = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::fprintf(stderr, "slowcc_sweep: unknown option %s\n",
+                     arg.c_str());
+        return usage(argv[0], 2);
+      }
+    }
+    if (!spec_loaded) return usage(argv[0], 2);
+    if (exp::find_experiment(spec.experiment) == nullptr) {
+      std::fprintf(stderr,
+                   "slowcc_sweep: unknown experiment '%s' (try --list)\n",
+                   spec.experiment.c_str());
+      return 2;
+    }
+
+    const std::vector<exp::TrialDesc> trials = spec.expand();
+    if (!quiet) {
+      std::fprintf(stderr, "slowcc_sweep: %s, %d jobs\n",
+                   spec.describe().c_str(), jobs);
+    }
+
+    exp::ParallelRunner runner(jobs);
+    if (!quiet) {
+      runner.set_progress([](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\rslowcc_sweep: %zu/%zu trials", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<exp::Row> rows = runner.run(trials);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::vector<exp::CellStats> cells = exp::aggregate(rows);
+    if (!quiet) {
+      std::fprintf(stderr, "slowcc_sweep: %zu trials in %.2f s wall\n",
+                   rows.size(), wall);
+    }
+
+    if (selfcheck) {
+      exp::ParallelRunner serial(1);
+      const std::vector<exp::Row> rows1 = serial.run(trials);
+      if (exp::rows_to_jsonl(rows1) != exp::rows_to_jsonl(rows) ||
+          exp::cells_to_jsonl(exp::aggregate(rows1)) !=
+              exp::cells_to_jsonl(cells)) {
+        std::fprintf(stderr,
+                     "slowcc_sweep: SELFCHECK FAILED — jobs=%d and jobs=1 "
+                     "outputs differ\n",
+                     jobs);
+        return 1;
+      }
+      if (!quiet) {
+        std::fprintf(stderr,
+                     "slowcc_sweep: selfcheck ok (jobs=%d == jobs=1)\n",
+                     jobs);
+      }
+    }
+
+    int failed = 0;
+    for (const exp::Row& r : rows) {
+      if (!r.error.empty()) ++failed;
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "slowcc_sweep: %d trial(s) errored\n", failed);
+    }
+
+    if (!out_prefix.empty()) {
+      std::ostringstream tj, tc, cj, cc;
+      exp::write_rows_jsonl(tj, rows);
+      exp::write_rows_csv(tc, rows);
+      exp::write_cells_jsonl(cj, cells);
+      exp::write_cells_csv(cc, cells);
+      if (!write_file(out_prefix + ".trials.jsonl", tj.str()) ||
+          !write_file(out_prefix + ".trials.csv", tc.str()) ||
+          !write_file(out_prefix + ".cells.jsonl", cj.str()) ||
+          !write_file(out_prefix + ".cells.csv", cc.str())) {
+        return 1;
+      }
+      if (!quiet) {
+        std::fprintf(stderr, "slowcc_sweep: wrote %s.{trials,cells}"
+                             ".{jsonl,csv}\n",
+                     out_prefix.c_str());
+      }
+    } else {
+      print_cells_table(cells);
+      std::printf("\n");
+      for (const exp::CellStats& c : cells) {
+        std::printf("%s\n", c.to_json().c_str());
+      }
+    }
+    return failed > 0 ? 1 : 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "slowcc_sweep: %s\n", ex.what());
+    return 2;
+  }
+}

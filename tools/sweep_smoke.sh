@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke-test the parallel sweep subsystem: build the tree, run a tiny
+# 2x2 grid (2 algorithms x 2 trials) under --jobs 4 with the
+# jobs=4-vs-jobs=1 determinism selfcheck, and verify the output files
+# appear. If the toolchain supports ThreadSanitizer, repeat the sweep in
+# a TSan build to catch data races in the runner.
+#
+# Usage: tools/sweep_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j"$(nproc)" --target slowcc_sweep
+
+"$build_dir/tools/slowcc_sweep" \
+  --experiment static_compat --algorithms tcp,tfrc:6 \
+  --trials 2 --jobs 4 --duration-scale 0.02 \
+  --selfcheck --out "$out_dir/smoke"
+
+for f in trials.jsonl trials.csv cells.jsonl cells.csv; do
+  test -s "$out_dir/smoke.$f" || {
+    echo "sweep smoke: missing output $f" >&2
+    exit 1
+  }
+done
+
+# Optional TSan pass over the same sweep (the SLOWCC_SANITIZE option in
+# the top-level CMakeLists accepts any -fsanitize= value list).
+tsan_dir="$repo_root/build-tsan"
+if cmake -B "$tsan_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSLOWCC_SANITIZE=thread >/dev/null 2>&1 \
+   && cmake --build "$tsan_dir" -j"$(nproc)" --target slowcc_sweep \
+        >/dev/null 2>&1; then
+  TSAN_OPTIONS="halt_on_error=1" "$tsan_dir/tools/slowcc_sweep" \
+    --experiment static_compat --algorithms tcp,tfrc:6 \
+    --trials 2 --jobs 4 --duration-scale 0.02 --selfcheck --quiet
+  echo "sweep smoke: TSan pass OK"
+else
+  echo "sweep smoke: TSan unavailable, skipped"
+fi
+
+echo "sweep smoke: PASS"
