@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "exp/aggregator.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/serialize.hpp"
+#include "exp/sweep_spec.hpp"
 
 namespace slowcc::bench {
 
@@ -73,6 +75,35 @@ inline std::string mean_ci(const exp::MetricStats& m, const char* fmt = "%.4g") 
     out += buf;
   }
   return out;
+}
+
+/// Run a figure's trials on every core under a hardened policy: each
+/// trial gets a generous wall-clock backstop, so one hung scenario
+/// turns into a reported failure row instead of a bench that never
+/// finishes. Quarantined failures are summarized on stderr (the
+/// figure's tables then show the surviving trials).
+inline std::vector<exp::Row> run_hardened(
+    const std::vector<exp::TrialDesc>& trials) {
+  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
+  exp::RunnerPolicy policy;
+  policy.max_trial_wall_seconds = 600.0;
+  runner.set_policy(policy);
+  std::vector<exp::Row> rows = runner.run(trials);
+  std::size_t failed = 0;
+  for (const exp::Row& r : rows) {
+    if (!r.error.empty()) ++failed;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "!! %zu/%zu trial(s) quarantined as failed:\n",
+                 failed, rows.size());
+    for (const exp::Row& r : rows) {
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "!!   %s trial %d: %s\n", r.cell.c_str(),
+                     r.trial_index, r.error.c_str());
+      }
+    }
+  }
+  return rows;
 }
 
 }  // namespace slowcc::bench

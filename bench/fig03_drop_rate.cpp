@@ -67,9 +67,8 @@ int main() {
   sweep.fixed["cbr_restart"] = 75;
   sweep.fixed["end"] = 140;
   sweep.trials = kTrials;
-  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
   const std::vector<exp::CellStats> cells =
-      exp::aggregate(runner.run(sweep.expand()));
+      exp::aggregate(bench::run_hardened(sweep.expand()));
 
   bench::row("%-22s %-20s %-20s", "mechanism", "steady loss",
              "peak after restart");

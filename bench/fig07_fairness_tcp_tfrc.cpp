@@ -43,9 +43,8 @@ int main() {
       trials.push_back(std::move(d));
     }
   }
-  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
   const std::vector<exp::CellStats> cells =
-      exp::aggregate(runner.run(trials));
+      exp::aggregate(bench::run_hardened(trials));
 
   bench::row("%-10s %16s %16s %16s", "period(s)", "TCP mean", "TFRC mean",
              "utilization");

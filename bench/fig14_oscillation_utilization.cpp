@@ -28,9 +28,8 @@ int main() {
   sweep.algorithms = {"tcp:8", "tcp:2", "tfrc:6"};
   sweep.assign("sweep on_off_length", "0.05,0.1,0.2,0.4,0.8,1.6,3.2");
   sweep.trials = kTrials;
-  exp::ParallelRunner runner(exp::ParallelRunner::default_jobs());
   const std::vector<exp::CellStats> cells =
-      exp::aggregate(runner.run(sweep.expand()));
+      exp::aggregate(bench::run_hardened(sweep.expand()));
 
   // Expansion order is algorithm (outer) x swept period (inner).
   const std::size_t n_periods = sweep.sweep_values.size();

@@ -2,13 +2,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "exp/registry.hpp"
+#include "exp/seed.hpp"
+#include "fault/trial_scope.hpp"
 #include "sim/error.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 
 namespace slowcc::exp {
+namespace {
+
+// Stream constants keeping runner-derived seeds disjoint from the
+// scenario-internal sub-streams (which use small indices 0..k).
+constexpr std::uint64_t kRetryStream = 0x7265747279;  // "retry"
+constexpr std::uint64_t kChaosStream = 0x6368616f73;  // "chaos"
+
+/// Stamp a row with a trial's identity — used when the row had to be
+/// synthesized from an exception instead of coming back from fn.
+void stamp_identity(Row& row, const TrialDesc& d) {
+  row.trial_id = d.trial_id;
+  row.experiment = d.experiment;
+  row.algorithm = d.algorithm;
+  row.cell = d.cell_key();
+  row.trial_index = d.trial_index;
+  row.seed = d.seed;
+}
+
+}  // namespace
+
+std::uint64_t retry_seed(std::uint64_t trial_seed, int attempt) noexcept {
+  return derive_seed(trial_seed, kRetryStream,
+                     static_cast<std::uint64_t>(attempt));
+}
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(jobs) {
   if (jobs < 1) {
@@ -22,6 +51,85 @@ int ParallelRunner::default_jobs() noexcept {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+void ParallelRunner::set_policy(const RunnerPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ParallelRunner",
+                        "max_attempts must be >= 1");
+  }
+  if (policy.chaos_rate < 0.0 || policy.chaos_rate > 1.0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ParallelRunner",
+                        "chaos_rate must be in [0, 1]");
+  }
+  if (policy.deadline_check_every == 0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ParallelRunner",
+                        "deadline_check_every must be >= 1");
+  }
+  policy_ = policy;
+}
+
+Row ParallelRunner::run_quarantined(
+    const TrialDesc& trial,
+    const std::function<Row(const TrialDesc&)>& fn) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t events_start = sim::Simulator::thread_events_executed();
+
+  Row row;
+  int attempts = 0;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    TrialDesc d = trial;
+    d.attempt = attempt;
+    if (attempt > 0) d.seed = retry_seed(trial.seed, attempt);
+    ++attempts;
+    try {
+      if (policy_.chaos_rate > 0.0) {
+        sim::Rng roll(derive_seed(derive_seed(policy_.chaos_seed,
+                                              kChaosStream),
+                                  d.trial_id,
+                                  static_cast<std::uint64_t>(attempt)));
+        if (roll.chance(policy_.chaos_rate)) {
+          throw sim::SimError(
+              sim::SimErrc::kTrialAborted, "ChaosInjector",
+              "injected failure (trial " + std::to_string(d.trial_id) +
+                  ", attempt " + std::to_string(attempt) + ")");
+        }
+      }
+      const fault::TrialDeadlineConfig deadline{
+          policy_.max_trial_events, policy_.max_trial_wall_seconds,
+          policy_.deadline_check_every};
+      const fault::ScopedTrialDeadline guard(deadline);
+      row = fn(d);
+      stamp_identity(row, d);
+      row.outcome.ok = row.error.empty();
+      if (!row.outcome.ok && row.outcome.error_kind.empty()) {
+        // fn reported an error without classifying it (custom fns).
+        row.outcome.error_kind = "exception";
+      }
+    } catch (const sim::SimError& ex) {
+      row = Row{};
+      stamp_identity(row, d);
+      row.error = ex.what();
+      row.outcome.ok = false;
+      row.outcome.error_kind = sim::to_string(ex.code());
+    } catch (const std::exception& ex) {
+      row = Row{};
+      stamp_identity(row, d);
+      row.error = ex.what();
+      row.outcome.ok = false;
+      row.outcome.error_kind = "exception";
+    }
+    if (row.outcome.ok) break;
+  }
+
+  row.outcome.attempts = attempts;
+  row.outcome.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  row.outcome.events =
+      sim::Simulator::thread_events_executed() - events_start;
+  return row;
+}
+
 std::vector<Row> ParallelRunner::run(
     const std::vector<TrialDesc>& trials,
     const std::function<Row(const TrialDesc&)>& fn) const {
@@ -30,32 +138,19 @@ std::vector<Row> ParallelRunner::run(
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex progress_mu;
+  std::mutex observer_mu;
 
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= trials.size()) return;
-      Row row;
-      try {
-        row = fn(trials[i]);
-      } catch (const std::exception& ex) {
-        // fn is normally run_trial, which already absorbs experiment
-        // errors; this guards custom fns and registry-level throws.
-        row.trial_id = trials[i].trial_id;
-        row.experiment = trials[i].experiment;
-        row.algorithm = trials[i].algorithm;
-        row.cell = trials[i].cell_key();
-        row.trial_index = trials[i].trial_index;
-        row.seed = trials[i].seed;
-        row.error = ex.what();
-      }
-      rows[i] = std::move(row);
+      rows[i] = run_quarantined(trials[i], fn);
       const std::size_t completed =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (progress_) {
-        const std::lock_guard<std::mutex> lock(progress_mu);
-        progress_(completed, trials.size());
+      if (on_row_ || progress_) {
+        const std::lock_guard<std::mutex> lock(observer_mu);
+        if (on_row_) on_row_(rows[i]);
+        if (progress_) progress_(completed, trials.size());
       }
     }
   };

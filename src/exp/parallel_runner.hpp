@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -7,6 +8,46 @@
 #include "exp/sweep_spec.hpp"
 
 namespace slowcc::exp {
+
+/// Fault-tolerance policy applied to every trial the runner executes.
+///
+/// Everything here is deterministic per (trial_id, attempt) — chaos
+/// rolls and retry seeds derive from fixed sub-streams — so the
+/// jobs=1 == jobs=N byte-identity the subsystem guarantees extends to
+/// sweeps with injected failures and retries. The one deliberate
+/// exception is `max_trial_wall_seconds`: a wall-clock backstop is
+/// nondeterministic by nature and must be sized so it only fires on
+/// genuinely hung trials.
+struct RunnerPolicy {
+  /// Attempts per trial (>= 1). Attempt k > 0 re-runs the trial with a
+  /// seed from a dedicated retry sub-stream (see retry_seed()), so a
+  /// deterministic failure fails every attempt while a
+  /// randomness-sensitive one gets fresh draws.
+  int max_attempts = 1;
+  /// Probability in [0, 1] that an attempt is synthetically failed
+  /// (kTrialAborted) before it runs — the chaos self-test mode that
+  /// exercises quarantine/retry/resume end to end. Rolled
+  /// deterministically from (chaos_seed, trial_id, attempt).
+  double chaos_rate = 0.0;
+  /// Base of the chaos roll stream (conventionally derived from the
+  /// spec's base_seed; only read when chaos_rate > 0).
+  std::uint64_t chaos_seed = 0;
+  /// Per-Simulator event budget for each attempt; exceeding it makes
+  /// the attempt a kDeadlineExceeded failure. 0 = unlimited.
+  std::uint64_t max_trial_events = 0;
+  /// Per-Simulator wall-clock budget (seconds) enforced by an attached
+  /// Watchdog. 0 = unlimited.
+  double max_trial_wall_seconds = 0.0;
+  /// Watchdog check cadence for the wall budget.
+  std::uint64_t deadline_check_every = 1024;
+};
+
+/// Seed for retry attempt `attempt` (>= 1) of a trial originally
+/// seeded `trial_seed`: a two-level derivation through a dedicated
+/// stream constant, so retry streams can never collide with the
+/// scenario-internal sub-streams fanned out of the trial seed.
+[[nodiscard]] std::uint64_t retry_seed(std::uint64_t trial_seed,
+                                       int attempt) noexcept;
 
 /// Concurrent trial executor.
 ///
@@ -20,12 +61,25 @@ namespace slowcc::exp {
 /// shares mutable state across trials — which makes the output
 /// independent of scheduling: `jobs=1` and `jobs=N` produce identical
 /// rows in identical (trial-id) order.
+///
+/// Fault tolerance: every attempt runs inside a quarantine. A throwing
+/// trial (sim::SimError or any std::exception) becomes a structured
+/// failure row — error message, error_kind, attempts — never a
+/// propagated exception, so a sweep always yields exactly
+/// `trials.size()` rows plus a complete failure record. The policy
+/// adds bounded retries, per-trial deadlines (event budget + wall
+/// clock), and deterministic chaos injection.
 class ParallelRunner {
  public:
   /// Progress observer, called after each completed trial with
   /// (completed, total). Invoked under an internal mutex, so it may
   /// write to a terminal without interleaving; keep it fast.
   using Progress = std::function<void(std::size_t, std::size_t)>;
+  /// Row observer, called with each finished row (all attempts done)
+  /// in completion order, under the same internal mutex — the
+  /// checkpoint journal hook. Completion order differs between runs;
+  /// consumers must key on trial_id, not position.
+  using OnRow = std::function<void(const Row&)>;
 
   explicit ParallelRunner(int jobs = 1);
 
@@ -36,11 +90,15 @@ class ParallelRunner {
   [[nodiscard]] static int default_jobs() noexcept;
 
   void set_progress(Progress progress) { progress_ = std::move(progress); }
+  void set_on_row(OnRow on_row) { on_row_ = std::move(on_row); }
 
-  /// Execute `fn` over every trial. Exceptions escaping `fn` are caught
-  /// into Row::error (with the trial's identity stamped), never
-  /// propagated, so a sweep always yields exactly
-  /// `trials.size()` rows.
+  /// Throws sim::SimError (kBadConfig) on an invalid policy.
+  void set_policy(const RunnerPolicy& policy);
+  [[nodiscard]] const RunnerPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  /// Execute `fn` over every trial under the quarantine/retry policy.
   [[nodiscard]] std::vector<Row> run(
       const std::vector<TrialDesc>& trials,
       const std::function<Row(const TrialDesc&)>& fn) const;
@@ -50,8 +108,13 @@ class ParallelRunner {
       const std::vector<TrialDesc>& trials) const;
 
  private:
+  [[nodiscard]] Row run_quarantined(const TrialDesc& trial,
+                                    const std::function<Row(const TrialDesc&)>& fn) const;
+
   int jobs_;
+  RunnerPolicy policy_;
   Progress progress_;
+  OnRow on_row_;
 };
 
 }  // namespace slowcc::exp

@@ -1,7 +1,9 @@
 #include "exp/registry.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <thread>
 
 #include "scenario/convergence_experiment.hpp"
 #include "scenario/fairness_experiment.hpp"
@@ -13,6 +15,7 @@
 #include "scenario/static_compat_experiment.hpp"
 #include "scenario/stabilization_experiment.hpp"
 #include "sim/error.hpp"
+#include "sim/simulator.hpp"
 
 namespace slowcc::exp {
 namespace {
@@ -225,6 +228,55 @@ Row run_responsiveness(const TrialDesc& d) {
   return r;
 }
 
+/// Deterministic failure injector for crash-safety self-tests: fails
+/// in controlled, reproducible ways so the quarantine / retry /
+/// checkpoint machinery can be exercised end to end without a flaky
+/// real workload. Failure knobs:
+///   boom=1        -> throw kTrialAborted on every attempt
+///   heal_after=K  -> throw kTrialAborted while attempt < K (succeeds
+///                    on attempt K when the runner retries enough)
+///   spin=1        -> schedule events forever; only a trial deadline
+///                    (event budget / wall clock) ends the run
+///   sleep_ms=T    -> hold the worker for T real milliseconds first
+///                    (lets smoke tests kill a sweep mid-flight)
+///   events=N      -> execute an N-event chain, then succeed
+Row run_poison(const TrialDesc& d) {
+  const double sleep_ms = d.param("sleep_ms", 0.0);
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  if (d.param("boom", 0.0) != 0.0) {
+    throw sim::SimError(sim::SimErrc::kTrialAborted, "poison",
+                        "boom (trial_index " +
+                            std::to_string(d.trial_index) + ", attempt " +
+                            std::to_string(d.attempt) + ")");
+  }
+  if (d.attempt < static_cast<int>(d.param("heal_after", 0.0))) {
+    throw sim::SimError(sim::SimErrc::kTrialAborted, "poison",
+                        "failing until attempt " +
+                            std::to_string(static_cast<int>(
+                                d.param("heal_after", 0.0))) +
+                            " (at attempt " + std::to_string(d.attempt) +
+                            ")");
+  }
+  sim::Simulator sim;  // picks up any ambient trial deadline
+  const bool spin = d.param("spin", 0.0) != 0.0;
+  const auto budget = static_cast<std::uint64_t>(d.param("events", 32.0));
+  std::function<void()> tick = [&] {
+    if (spin || sim.events_executed() < budget) {
+      sim.schedule_in(sim::Time::millis(1), tick);
+    }
+  };
+  sim.schedule_in(sim::Time::millis(1), tick);
+  sim.run();
+  Row r;
+  r.set("value", static_cast<double>(d.seed % 1000));
+  r.set("events_run", static_cast<double>(sim.events_executed()));
+  r.set("attempt", static_cast<double>(d.attempt));
+  return r;
+}
+
 }  // namespace
 
 scenario::FlowSpec parse_flow_spec(std::string_view token) {
@@ -333,6 +385,12 @@ const std::vector<Experiment>& experiments() {
        {"halved", "responsiveness_rtts", "aggressiveness_pkts_per_rtt"},
        {"warmup=30", "horizon=120"},
        run_responsiveness},
+      {"poison",
+       "deterministic failure injector exercising quarantine, retries, "
+       "deadlines, and checkpoint/resume (self-test only)",
+       {"value", "events_run", "attempt"},
+       {"boom=0", "heal_after=0", "spin=0", "sleep_ms=0", "events=32"},
+       run_poison},
   };
   return kExperiments;
 }
@@ -352,9 +410,16 @@ Row run_trial(const TrialDesc& desc) {
   Row row;
   try {
     row = e->run(desc);
+  } catch (const sim::SimError& ex) {
+    row.metrics.clear();
+    row.error = ex.what();
+    row.outcome.ok = false;
+    row.outcome.error_kind = sim::to_string(ex.code());
   } catch (const std::exception& ex) {
     row.metrics.clear();
     row.error = ex.what();
+    row.outcome.ok = false;
+    row.outcome.error_kind = "exception";
   }
   row.trial_id = desc.trial_id;
   row.experiment = desc.experiment;

@@ -1,9 +1,15 @@
 #include "exp/result_sink.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <sstream>
 
 #include "exp/serialize.hpp"
+#include "sim/error.hpp"
 
 namespace slowcc::exp {
 namespace {
@@ -24,7 +30,7 @@ void write_rows_csv(std::ostream& out, const std::vector<Row>& rows) {
   out << "trial_id,experiment,algorithm,cell,trial_index,seed";
   for (const std::string& a : axes) out << ',' << csv_escape(a);
   for (const std::string& m : metrics) out << ',' << csv_escape(m);
-  out << ",error\n";
+  out << ",attempts,error,error_kind\n";
   for (const Row& r : rows) {
     out << r.trial_id << ',' << csv_escape(r.experiment) << ','
         << csv_escape(r.algorithm) << ',' << csv_escape(r.cell) << ','
@@ -42,7 +48,8 @@ void write_rows_csv(std::ostream& out, const std::vector<Row>& rows) {
       out << ',';
       csv_number_field(out, r.get(m));
     }
-    out << ',' << csv_escape(r.error) << '\n';
+    out << ',' << r.outcome.attempts << ',' << csv_escape(r.error) << ','
+        << csv_escape(r.outcome.error_kind) << '\n';
   }
 }
 
@@ -77,6 +84,146 @@ std::string cells_to_jsonl(const std::vector<CellStats>& cells) {
   std::ostringstream out;
   write_cells_jsonl(out, cells);
   return out.str();
+}
+
+void write_manifest_jsonl(std::ostream& out, const std::vector<Row>& rows) {
+  struct CellRecord {
+    const Row* first = nullptr;
+    std::size_t trials = 0;
+    std::size_t failed = 0;
+    std::string failed_ids;
+    std::vector<std::string> kinds;
+    std::int64_t attempts = 0;
+    std::uint64_t events = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<std::string> order;
+  std::map<std::string, CellRecord> cells;
+  for (const Row& r : rows) {
+    auto [it, inserted] = cells.try_emplace(r.cell);
+    CellRecord& c = it->second;
+    if (inserted) {
+      c.first = &r;
+      order.push_back(r.cell);
+    }
+    ++c.trials;
+    c.attempts += r.outcome.attempts;
+    c.events += r.outcome.events;
+    c.wall_ms += r.outcome.wall_ms;
+    if (!r.error.empty()) {
+      ++c.failed;
+      if (!c.failed_ids.empty()) c.failed_ids += ',';
+      c.failed_ids += std::to_string(r.trial_id);
+      const std::string& kind =
+          r.outcome.error_kind.empty() ? "exception" : r.outcome.error_kind;
+      if (std::find(c.kinds.begin(), c.kinds.end(), kind) == c.kinds.end()) {
+        c.kinds.push_back(kind);
+      }
+    }
+  }
+  for (const std::string& cell : order) {
+    const CellRecord& c = cells.at(cell);
+    std::string kinds;
+    for (const std::string& k : c.kinds) {
+      if (!kinds.empty()) kinds += ',';
+      kinds += k;
+    }
+    JsonObjectBuilder o;
+    o.add("cell", cell)
+        .add("experiment", c.first->experiment)
+        .add("algorithm", c.first->algorithm)
+        .add("trials", static_cast<std::uint64_t>(c.trials))
+        .add("ok", static_cast<std::uint64_t>(c.trials - c.failed))
+        .add("failed", static_cast<std::uint64_t>(c.failed))
+        .add("status", c.failed == 0 ? "ok" : "failed");
+    if (c.failed > 0) {
+      o.add("failed_trial_ids", c.failed_ids).add("error_kinds", kinds);
+    }
+    o.add("attempts", c.attempts)
+        .add("events", c.events)
+        .add("wall_ms", c.wall_ms);
+    out << o.str() << '\n';
+  }
+}
+
+std::string manifest_to_jsonl(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  write_manifest_jsonl(out, rows);
+  return out.str();
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open " + tmp;
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      if (error) *error = "write failed: " + tmp;
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error) *error = "rename " + tmp + " -> " + path + ": " + ec.message();
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+JsonlAppender::JsonlAppender(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "JsonlAppender",
+                        "cannot open journal for append: " + path);
+  }
+}
+
+JsonlAppender::~JsonlAppender() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool JsonlAppender::append(const std::string& line) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  if (std::fputc('\n', file_) == EOF) return false;
+  return std::fflush(file_) == 0;
+}
+
+JsonlLoad load_jsonl(const std::string& path) {
+  JsonlLoad out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.error = "cannot open " + path;
+    return out;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  out.ok = true;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      // A writer died mid-append: keep what is complete, report the
+      // rest instead of failing the whole load.
+      out.torn_tail = true;
+      out.tail = text.substr(start);
+      break;
+    }
+    out.lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return out;
 }
 
 }  // namespace slowcc::exp

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdio>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -30,5 +31,61 @@ void write_cells_csv(std::ostream& out, const std::vector<CellStats>& cells);
 /// byte-compare the full serialization of two runs).
 [[nodiscard]] std::string rows_to_jsonl(const std::vector<Row>& rows);
 [[nodiscard]] std::string cells_to_jsonl(const std::vector<CellStats>& cells);
+
+/// Per-cell execution summary over `rows` — the failure manifest. One
+/// JSON line per grid cell, in first-appearance (trial-id) order:
+/// cell identity, trial/ok/failed counts, the failed trial ids, the
+/// distinct error kinds, and cost meters (attempts, events, wall_ms —
+/// the wall meter is the one nondeterministic field, which is why the
+/// manifest is never part of a byte-identity check).
+void write_manifest_jsonl(std::ostream& out, const std::vector<Row>& rows);
+[[nodiscard]] std::string manifest_to_jsonl(const std::vector<Row>& rows);
+
+/// Crash-safe whole-file write: the content goes to `path + ".tmp"`,
+/// is flushed, and is renamed over `path` — a reader (or a resumed
+/// sweep) sees either the old file or the complete new one, never a
+/// torn prefix. Returns false (with `*error` set) on I/O failure.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     const std::string& content,
+                                     std::string* error = nullptr);
+
+/// Append-mode JSONL journal with per-line flush: after `append`
+/// returns, the line is in the OS page cache (fflush), so a killed
+/// process loses at most the line being written — which the loader
+/// below detects as a torn tail.
+class JsonlAppender {
+ public:
+  /// Opens (creating or appending) `path`; throws sim::SimError
+  /// (kBadConfig) when the file cannot be opened.
+  explicit JsonlAppender(const std::string& path);
+  ~JsonlAppender();
+
+  JsonlAppender(const JsonlAppender&) = delete;
+  JsonlAppender& operator=(const JsonlAppender&) = delete;
+
+  /// Write `line` plus '\n' and flush. Returns false on write failure.
+  bool append(const std::string& line);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Result of loading a JSONL file that may have died mid-append.
+struct JsonlLoad {
+  bool ok = false;           // file opened and read
+  std::vector<std::string> lines;  // complete lines, in file order
+  bool torn_tail = false;    // trailing bytes without a newline
+  std::string tail;          // those bytes (diagnostics)
+  std::string error;         // open/read failure detail
+};
+
+/// Load complete lines from `path`, tolerating — and reporting — a
+/// trailing partial line from a killed writer instead of failing.
+/// A missing file yields ok=false with `error` set (callers treat
+/// that as "no checkpoint yet").
+[[nodiscard]] JsonlLoad load_jsonl(const std::string& path);
 
 }  // namespace slowcc::exp

@@ -24,7 +24,16 @@ std::string Row::to_json() const {
       .add("seed", seed);
   for (const auto& [k, v] : axes) o.add(k, v);
   for (const auto& [k, v] : metrics) o.add(k, v);
-  if (!error.empty()) o.add("error", error);
+  // Only the deterministic outcome fields appear here; wall_ms/events
+  // would break the jobs=1 == jobs=N byte-identity and live in the
+  // manifest instead.
+  if (outcome.attempts > 1) {
+    o.add("attempts", static_cast<std::int64_t>(outcome.attempts));
+  }
+  if (!error.empty()) {
+    o.add("error", error);
+    if (!outcome.error_kind.empty()) o.add("error_kind", outcome.error_kind);
+  }
   return o.str();
 }
 

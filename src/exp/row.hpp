@@ -8,6 +8,29 @@
 
 namespace slowcc::exp {
 
+/// Execution record of one trial, kept beside its scientific payload.
+///
+/// Deterministic fields (ok, error_kind, message, attempts) are
+/// serialized into the row JSON/CSV and must be identical for jobs=1
+/// and jobs=N runs of the same spec+policy. Nondeterministic meters
+/// (wall_ms, events) exist for the failure manifest only and never
+/// enter the byte-compared row serialization.
+struct TrialOutcome {
+  bool ok = true;
+  /// Failure class: sim::to_string(SimErrc) for SimError failures,
+  /// "exception" for anything else. Empty when ok.
+  std::string error_kind;
+  /// attempts made (1 = first try succeeded; > 1 only with a retrying
+  /// runner policy).
+  int attempts = 1;
+  /// Wall-clock cost of the trial, all attempts included (manifest
+  /// only — not serialized into rows).
+  double wall_ms = 0.0;
+  /// Simulator events executed by the trial, all attempts included
+  /// (manifest only).
+  std::uint64_t events = 0;
+};
+
 /// One structured result row: the outcome of a single simulation trial.
 ///
 /// A row carries its grid coordinates (experiment, algorithm, numeric
@@ -25,7 +48,10 @@ struct Row {
   int trial_index = 0;
   std::uint64_t seed = 0;
   /// Non-empty when the trial failed; metrics are then meaningless.
+  /// Mirrors `outcome`: error.empty() == outcome.ok.
   std::string error;
+  /// Structured execution record (quarantine/retry/deadline metadata).
+  TrialOutcome outcome;
 
   /// Numeric axis values (e.g. {"bandwidth_mbps", 15}) — duplicated
   /// from `cell` in machine-readable form.

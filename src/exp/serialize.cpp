@@ -1,7 +1,10 @@
 #include "exp/serialize.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace slowcc::exp {
 
@@ -69,6 +72,167 @@ std::string json_number(double v) {
     if (back == v) break;
   }
   return buf;
+}
+
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          char buf[5] = {s[i + 1], s[i + 2], s[i + 3], s[i + 4], 0};
+          char* end = nullptr;
+          const unsigned long cp = std::strtoul(buf, &end, 16);
+          if (end == buf + 4 && cp < 0x80) {
+            // json_escape only emits \u00xx for control bytes; pass
+            // anything fancier through untouched.
+            out += static_cast<char>(cp);
+            i += 4;
+            break;
+          }
+        }
+        out += "\\u";
+        break;
+      }
+      default:
+        out += '\\';
+        out += e;
+    }
+  }
+  return out;
+}
+
+std::uint64_t JsonScalar::as_u64() const noexcept {
+  if (kind != Kind::kNumber) return 0;
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Scan a double-quoted string starting at s[i] == '"'; on success, i
+/// is one past the closing quote and `body` holds the raw (still
+/// escaped) content.
+bool scan_string(std::string_view s, std::size_t& i, std::string_view* body) {
+  if (i >= s.size() || s[i] != '"') return false;
+  const std::size_t start = ++i;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      i += 2;
+      continue;
+    }
+    if (s[i] == '"') {
+      *body = s.substr(start, i - start);
+      ++i;
+      return true;
+    }
+    ++i;
+  }
+  return false;
+}
+
+bool scan_scalar(std::string_view s, std::size_t& i, JsonScalar* out) {
+  skip_ws(s, i);
+  if (i >= s.size()) return false;
+  if (s[i] == '"') {
+    std::string_view body;
+    if (!scan_string(s, i, &body)) return false;
+    out->kind = JsonScalar::Kind::kString;
+    out->text = json_unescape(body);
+    return true;
+  }
+  if (s.compare(i, 4, "true") == 0) {
+    out->kind = JsonScalar::Kind::kBool;
+    out->boolean = true;
+    out->text = "true";
+    i += 4;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    out->kind = JsonScalar::Kind::kBool;
+    out->text = "false";
+    i += 5;
+    return true;
+  }
+  if (s.compare(i, 4, "null") == 0) {
+    out->kind = JsonScalar::Kind::kNull;
+    out->text = "null";
+    out->number = std::numeric_limits<double>::quiet_NaN();
+    i += 4;
+    return true;
+  }
+  const std::size_t start = i;
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                          s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+  }
+  if (i == start) return false;
+  out->kind = JsonScalar::Kind::kNumber;
+  out->text = std::string(s.substr(start, i - start));
+  char* end = nullptr;
+  out->number = std::strtod(out->text.c_str(), &end);
+  return end == out->text.c_str() + out->text.size();
+}
+
+}  // namespace
+
+bool parse_flat_json(std::string_view text,
+                     std::vector<std::pair<std::string, JsonScalar>>& out) {
+  out.clear();
+  std::size_t i = 0;
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(text, i);
+      std::string_view key_body;
+      if (!scan_string(text, i, &key_body)) return false;
+      skip_ws(text, i);
+      if (i >= text.size() || text[i] != ':') return false;
+      ++i;
+      JsonScalar value;
+      if (!scan_scalar(text, i, &value)) return false;
+      out.emplace_back(json_unescape(key_body), std::move(value));
+      skip_ws(text, i);
+      if (i >= text.size()) return false;
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws(text, i);
+  return i == text.size();
 }
 
 void JsonObjectBuilder::key(std::string_view k) {

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace slowcc::exp {
 
@@ -19,6 +21,36 @@ namespace slowcc::exp {
 /// round-trips, integral values without a trailing ".0" explosion, and
 /// NaN/inf (not representable in JSON) as `null`.
 [[nodiscard]] std::string json_number(double v);
+
+/// Inverse of `json_escape`: decode the body of a double-quoted JSON
+/// string (no surrounding quotes). Invalid escapes pass through
+/// verbatim rather than failing — loaders prefer a best-effort string
+/// to losing the row.
+[[nodiscard]] std::string json_unescape(std::string_view s);
+
+/// One scalar value of a flat JSON object.
+///
+/// Numbers keep their raw source token alongside the parsed double:
+/// `trial_id` and `seed` are full 64-bit integers, which a
+/// double round-trip would silently corrupt above 2^53, so integer
+/// consumers re-parse `text` instead of casting `number`.
+struct JsonScalar {
+  enum class Kind { kNumber, kString, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string text;     // unescaped string, or the raw number token
+  double number = 0.0;  // numeric value (NaN for null)
+  bool boolean = false;
+
+  [[nodiscard]] std::uint64_t as_u64() const noexcept;
+};
+
+/// Parse one flat JSON object (`{"key":scalar,...}`) as emitted by
+/// JsonObjectBuilder, preserving key order. Returns false on malformed
+/// or non-flat input (nested objects/arrays are not supported — rows,
+/// manifests, and journal lines are all flat by construction).
+[[nodiscard]] bool parse_flat_json(
+    std::string_view text,
+    std::vector<std::pair<std::string, JsonScalar>>& out);
 
 /// Incremental builder for one flat JSON object — the single place
 /// where experiment rows, bench JSON lines, and sweep sinks format

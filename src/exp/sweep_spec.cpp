@@ -236,6 +236,40 @@ SweepSpec SweepSpec::parse_file(const std::string& path) {
   return parse_text(buf.str());
 }
 
+std::string SweepSpec::to_text() const {
+  std::ostringstream out;
+  out << "experiment = " << experiment << '\n';
+  out << "algorithms = ";
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    out << (i ? "," : "") << algorithms[i];
+  }
+  out << '\n';
+  const auto list = [&out](const char* key, const std::vector<double>& vs) {
+    if (vs.empty()) return;
+    out << key << " = ";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      out << (i ? "," : "") << json_number(vs[i]);
+    }
+    out << '\n';
+  };
+  list("bandwidths_bps", bandwidths_bps);
+  list("rtts_ms", rtts_ms);
+  for (const auto& [k, v] : fixed) {
+    out << "set " << k << " = " << json_number(v) << '\n';
+  }
+  if (!sweep_param.empty()) {
+    out << "sweep " << sweep_param << " = ";
+    for (std::size_t i = 0; i < sweep_values.size(); ++i) {
+      out << (i ? "," : "") << json_number(sweep_values[i]);
+    }
+    out << '\n';
+  }
+  out << "trials = " << trials << '\n';
+  out << "base_seed = " << base_seed << '\n';
+  out << "duration_scale = " << json_number(duration_scale) << '\n';
+  return out.str();
+}
+
 std::string SweepSpec::describe() const {
   std::ostringstream out;
   out << experiment << ": " << algorithms.size() << " alg";

@@ -1,0 +1,38 @@
+#include "fault/trial_scope.hpp"
+
+#include <memory>
+
+#include "fault/watchdog.hpp"
+#include "sim/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::fault {
+
+ScopedTrialDeadline::ScopedTrialDeadline(const TrialDeadlineConfig& config) {
+  if (config.max_events == 0 && config.max_wall_seconds <= 0.0) return;
+  if (config.check_every_events == 0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ScopedTrialDeadline",
+                        "check_every_events must be >= 1");
+  }
+  sim::Simulator::set_thread_construct_observer(
+      [config](sim::Simulator& sim) {
+        if (config.max_events != 0) sim.set_event_budget(config.max_events);
+        // The wall budget rides on the single event-hook slot; if the
+        // scenario already claimed it (its own watchdog), leave it be —
+        // the event budget above still bounds the trial exactly.
+        if (config.max_wall_seconds > 0.0 && !sim.has_event_hook()) {
+          WatchdogConfig wcfg;
+          wcfg.max_wall_seconds = config.max_wall_seconds;
+          wcfg.check_every_events = config.check_every_events;
+          wcfg.error_code = sim::SimErrc::kDeadlineExceeded;
+          sim.attach_guard(std::make_shared<Watchdog>(sim, wcfg));
+        }
+      });
+  armed_ = true;
+}
+
+ScopedTrialDeadline::~ScopedTrialDeadline() {
+  if (armed_) sim::Simulator::set_thread_construct_observer(nullptr);
+}
+
+}  // namespace slowcc::fault

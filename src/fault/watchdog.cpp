@@ -81,7 +81,7 @@ void Watchdog::on_check() {
   triggered_ = true;
   const char* which = events_blown ? "event budget exhausted"
                                    : "wall-clock budget exhausted";
-  throw sim::SimError(sim::SimErrc::kBudgetExceeded, "Watchdog",
+  throw sim::SimError(config_.error_code, "Watchdog",
                       std::string(which) + "; " + diagnostic_dump());
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "sim/error.hpp"
 #include "sim/simulator.hpp"
 
 namespace slowcc::fault {
@@ -20,6 +21,11 @@ struct WatchdogConfig {
   /// by event count — not simulated time — is what catches livelocks
   /// where the clock stops advancing.
   std::uint64_t check_every_events = 4096;
+  /// Error code carried by the abort. Standalone watchdogs keep the
+  /// default; per-trial deadlines (ScopedTrialDeadline) use
+  /// kDeadlineExceeded so sweep manifests can tell "this run blew its
+  /// own budget" from "the trial harness timed it out".
+  sim::SimErrc error_code = sim::SimErrc::kBudgetExceeded;
 };
 
 /// Aborts runaway simulations. Installs itself as the simulator's

@@ -14,8 +14,29 @@ const char* to_string(SimErrc code) noexcept {
       return "invariant-violation";
     case SimErrc::kBudgetExceeded:
       return "budget-exceeded";
+    case SimErrc::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case SimErrc::kTrialAborted:
+      return "trial-aborted";
   }
   return "?";
+}
+
+const std::vector<SimErrc>& all_errcs() noexcept {
+  static const std::vector<SimErrc> kAll = {
+      SimErrc::kBadConfig,          SimErrc::kBadSchedule,
+      SimErrc::kBadTopology,        SimErrc::kInvariantViolation,
+      SimErrc::kBudgetExceeded,     SimErrc::kDeadlineExceeded,
+      SimErrc::kTrialAborted,
+  };
+  return kAll;
+}
+
+std::optional<SimErrc> errc_from_string(std::string_view text) noexcept {
+  for (const SimErrc code : all_errcs()) {
+    if (text == to_string(code)) return code;
+  }
+  return std::nullopt;
 }
 
 namespace {

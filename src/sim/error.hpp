@@ -1,7 +1,10 @@
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace slowcc::sim {
 
@@ -17,9 +20,23 @@ enum class SimErrc {
   kBadTopology,         // port already bound, build-after-finalize, ...
   kInvariantViolation,  // an InvariantAuditor check failed mid-run
   kBudgetExceeded,      // Watchdog event-count or wall-clock budget hit
+  kDeadlineExceeded,    // a per-trial deadline (event budget or wall
+                        // clock) turned a hung simulation into an error
+  kTrialAborted,        // a trial was cancelled or failed by injection
+                        // (chaos self-test, poison experiment)
 };
 
 [[nodiscard]] const char* to_string(SimErrc code) noexcept;
+
+/// Inverse of `to_string`: parse a code token ("deadline-exceeded"),
+/// std::nullopt for unknown text. Sweep manifests store codes as their
+/// string form; this lets loaders dispatch without a parallel table.
+[[nodiscard]] std::optional<SimErrc> errc_from_string(
+    std::string_view text) noexcept;
+
+/// Every taxonomy code, in declaration order (for exhaustive tests and
+/// documentation generators).
+[[nodiscard]] const std::vector<SimErrc>& all_errcs() noexcept;
 
 /// Structured simulator error: a code, the component that raised it,
 /// and a human-readable detail.

@@ -5,6 +5,44 @@
 #include "sim/error.hpp"
 
 namespace slowcc::sim {
+namespace {
+
+// Per-thread state: the construct observer slot and the cumulative
+// event counter. thread_local keeps concurrent sweep workers fully
+// independent — one worker's trial deadline never leaks into another.
+thread_local Simulator::ConstructObserver t_construct_observer;
+thread_local std::uint64_t t_events_executed = 0;
+
+}  // namespace
+
+Simulator::Simulator() {
+  if (t_construct_observer) {
+    // Swap the slot out while the observer runs so an observer that
+    // constructs helper Simulators cannot recurse into itself.
+    ConstructObserver observer;
+    observer.swap(t_construct_observer);
+    try {
+      observer(*this);
+    } catch (...) {
+      observer.swap(t_construct_observer);
+      throw;
+    }
+    observer.swap(t_construct_observer);
+  }
+}
+
+std::uint64_t Simulator::thread_events_executed() noexcept {
+  return t_events_executed;
+}
+
+void Simulator::set_thread_construct_observer(ConstructObserver observer) {
+  if (observer && t_construct_observer) {
+    throw SimError(SimErrc::kBadConfig, "Simulator",
+                   "set_thread_construct_observer: slot already occupied "
+                   "on this thread (clear it with nullptr first)");
+  }
+  t_construct_observer = std::move(observer);
+}
 
 EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
   if (at < now_) {
@@ -44,11 +82,20 @@ void Simulator::run_until(Time deadline) {
   while (!queue_.empty()) {
     const Time t = queue_.next_time();
     if (t > deadline) break;
+    if (event_budget_ != 0 &&
+        events_executed_ - event_budget_base_ >= event_budget_) {
+      throw SimError(
+          SimErrc::kDeadlineExceeded, "Simulator",
+          "event budget exhausted (" + std::to_string(event_budget_) +
+              " events since armed; clock " + now_.to_string() + ", " +
+              std::to_string(queue_.size()) + " pending)");
+    }
     Time fire_time;
     auto cb = queue_.pop(&fire_time);
     assert(fire_time >= now_);
     now_ = fire_time;
     ++events_executed_;
+    ++t_events_executed;
     cb();
     if (hook_every_ != 0 && events_executed_ % hook_every_ == 0) hook_();
   }

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -17,7 +19,11 @@ namespace slowcc::sim {
 /// `now()`.
 class Simulator {
  public:
-  Simulator() = default;
+  /// Observer invoked at the end of every Simulator constructor on the
+  /// thread it was registered on (see `set_thread_construct_observer`).
+  using ConstructObserver = std::function<void(Simulator&)>;
+
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -47,6 +53,26 @@ class Simulator {
     return events_executed_;
   }
 
+  /// Events executed by every Simulator on the calling thread since
+  /// thread start — lets a trial harness meter a simulation's cost
+  /// without reaching inside the scenario driver that owns it.
+  [[nodiscard]] static std::uint64_t thread_events_executed() noexcept;
+
+  /// Hard per-simulation event budget: once `max_events` further events
+  /// have executed, `run*` throws SimError (kDeadlineExceeded). The
+  /// count starts at the call (re-arming resets it); 0 removes the
+  /// budget. Unlike a fault::Watchdog this needs no hook slot and is
+  /// exact to the event, so it is the deterministic half of a trial
+  /// deadline (the wall-clock half stays with the Watchdog).
+  void set_event_budget(std::uint64_t max_events) noexcept {
+    event_budget_ = max_events;
+    event_budget_base_ = events_executed_;
+  }
+
+  [[nodiscard]] std::uint64_t event_budget() const noexcept {
+    return event_budget_;
+  }
+
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
   }
@@ -71,6 +97,27 @@ class Simulator {
     hook_ = nullptr;
   }
 
+  /// Whether the single event-hook slot is occupied.
+  [[nodiscard]] bool has_event_hook() const noexcept {
+    return hook_every_ != 0;
+  }
+
+  /// Register an observer invoked (on this thread only) at the end of
+  /// every Simulator constructor. This is how an orchestration layer
+  /// imposes per-trial deadlines on simulations built deep inside
+  /// scenario drivers it never sees: the observer can set an event
+  /// budget and attach a fault::Watchdog to each new instance. One
+  /// slot per thread; registering over an occupied slot throws
+  /// SimError (kBadConfig). Passing nullptr clears the slot.
+  static void set_thread_construct_observer(ConstructObserver observer);
+
+  /// Keep `guard` alive for this Simulator's lifetime; guards are
+  /// destroyed first in ~Simulator, while every other member is still
+  /// valid. Lets a construct observer hang a Watchdog off the instance.
+  void attach_guard(std::shared_ptr<void> guard) {
+    guards_.push_back(std::move(guard));
+  }
+
   /// Next unique packet id for this simulation. Lives on the Simulator
   /// (not a global) so concurrent simulations on different threads
   /// never share a counter and every trial's uid sequence is
@@ -84,8 +131,13 @@ class Simulator {
   Time now_;
   std::uint64_t events_executed_ = 0;
   std::uint64_t next_packet_uid_ = 1;
+  std::uint64_t event_budget_ = 0;  // 0 = unlimited
+  std::uint64_t event_budget_base_ = 0;
   std::uint64_t hook_every_ = 0;
   std::function<void()> hook_;
+  // Declared last: guards (e.g. a Watchdog holding our hook slot) are
+  // destroyed first, while the members they release are still alive.
+  std::vector<std::shared_ptr<void>> guards_;
 };
 
 }  // namespace slowcc::sim

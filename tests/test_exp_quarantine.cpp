@@ -1,0 +1,389 @@
+// Crash-safe sweep execution: trial quarantine, deterministic retries
+// and chaos injection, per-trial deadlines, and checkpoint/resume.
+// The through-line of every test: fault tolerance must not break the
+// jobs=1 == jobs=N byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/registry.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/serialize.hpp"
+#include "exp/sweep_spec.hpp"
+#include "sim/error.hpp"
+
+namespace slowcc::exp {
+namespace {
+
+/// Temp dir that removes itself (checkpoint tests write real files).
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "slowcc_ckpt_XXXXXX")
+            .string();
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SweepSpec poison_spec() {
+  SweepSpec spec;
+  spec.experiment = "poison";
+  spec.algorithms = {"tcp"};
+  spec.fixed["events"] = 16;
+  spec.sweep_param = "boom";
+  spec.sweep_values = {0, 1};
+  spec.trials = 4;
+  spec.base_seed = 99;
+  return spec;
+}
+
+TEST(Quarantine, PoisonFailuresBecomeRowsNotCrashes) {
+  const auto trials = poison_spec().expand();
+  ParallelRunner runner(4);
+  const std::vector<Row> rows = runner.run(trials);
+  ASSERT_EQ(rows.size(), trials.size());
+  for (const Row& r : rows) {
+    const bool boomed = r.cell.find("boom=1") != std::string::npos;
+    EXPECT_EQ(r.error.empty(), !boomed) << r.cell;
+    EXPECT_EQ(r.outcome.ok, !boomed);
+    if (boomed) {
+      EXPECT_EQ(r.outcome.error_kind, "trial-aborted");
+      EXPECT_NE(r.error.find("boom"), std::string::npos);
+      EXPECT_TRUE(r.metrics.empty());
+    } else {
+      EXPECT_EQ(r.outcome.error_kind, "");
+      EXPECT_FALSE(r.metrics.empty());
+    }
+  }
+}
+
+TEST(Quarantine, ManifestMarksExactlyTheFailedCells) {
+  const auto trials = poison_spec().expand();
+  ParallelRunner runner(2);
+  const std::string manifest = manifest_to_jsonl(runner.run(trials));
+  // Two cells; boom=0 healthy, boom=1 fully failed.
+  EXPECT_NE(manifest.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"failed_trial_ids\":\"4,5,6,7\""),
+            std::string::npos)
+      << manifest;
+  EXPECT_NE(manifest.find("\"error_kinds\":\"trial-aborted\""),
+            std::string::npos);
+}
+
+TEST(Quarantine, RetryHealsAndStampsAttempts) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};  // no hard failures
+  spec.fixed["heal_after"] = 1;  // attempt 0 throws, attempt 1 succeeds
+  RunnerPolicy policy;
+  policy.max_attempts = 3;
+  ParallelRunner runner(2);
+  runner.set_policy(policy);
+  const std::vector<Row> rows = runner.run(spec.expand());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& r : rows) {
+    EXPECT_TRUE(r.outcome.ok) << r.error;
+    EXPECT_EQ(r.outcome.attempts, 2);
+    EXPECT_EQ(r.get("attempt"), 1.0);  // ran as attempt 1
+    EXPECT_NE(r.to_json().find("\"attempts\":2"), std::string::npos);
+  }
+}
+
+TEST(Quarantine, RetryWithoutPolicyStaysFailedAfterOneAttempt) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};
+  spec.fixed["heal_after"] = 1;
+  ParallelRunner runner(1);  // default policy: max_attempts = 1
+  const std::vector<Row> rows = runner.run(spec.expand());
+  for (const Row& r : rows) {
+    EXPECT_FALSE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.attempts, 1);
+    // attempts == 1 is the default and stays out of the serialization.
+    EXPECT_EQ(r.to_json().find("\"attempts\""), std::string::npos);
+  }
+}
+
+TEST(Quarantine, RetrySeedsAreFreshAndDisjointFromTrialSeed) {
+  const std::uint64_t s = 0xDEADBEEFCAFE1234ull;
+  EXPECT_NE(retry_seed(s, 1), s);
+  EXPECT_NE(retry_seed(s, 2), retry_seed(s, 1));
+  EXPECT_EQ(retry_seed(s, 1), retry_seed(s, 1));  // deterministic
+  EXPECT_NE(retry_seed(s, 1), retry_seed(s + 1, 1));
+}
+
+TEST(Quarantine, EventBudgetDeadlineKillsSpinningTrial) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};
+  spec.fixed["spin"] = 1;  // self-scheduling event chain, never ends
+  RunnerPolicy policy;
+  policy.max_trial_events = 64;
+  ParallelRunner runner(2);
+  runner.set_policy(policy);
+  const std::vector<Row> rows = runner.run(spec.expand());
+  for (const Row& r : rows) {
+    EXPECT_FALSE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.error_kind, "deadline-exceeded") << r.error;
+    EXPECT_NE(r.error.find("event budget"), std::string::npos);
+  }
+}
+
+TEST(Quarantine, WallClockDeadlineKillsSpinningTrial) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};
+  spec.trials = 1;
+  spec.fixed["spin"] = 1;
+  RunnerPolicy policy;
+  policy.max_trial_wall_seconds = 0.05;
+  policy.deadline_check_every = 256;
+  ParallelRunner runner(1);
+  runner.set_policy(policy);
+  const std::vector<Row> rows = runner.run(spec.expand());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].outcome.ok);
+  EXPECT_EQ(rows[0].outcome.error_kind, "deadline-exceeded")
+      << rows[0].error;
+}
+
+TEST(Quarantine, HealthyTrialsPassUnderBenignDeadlines) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};
+  RunnerPolicy policy;
+  policy.max_trial_events = 1'000'000;
+  policy.max_trial_wall_seconds = 60.0;
+  ParallelRunner runner(2);
+  runner.set_policy(policy);
+  for (const Row& r : runner.run(spec.expand())) {
+    EXPECT_TRUE(r.outcome.ok) << r.error;
+  }
+}
+
+TEST(Quarantine, ChaosIsDeterministicAcrossJobCounts) {
+  const SweepSpec spec = poison_spec();
+  RunnerPolicy policy;
+  policy.chaos_rate = 0.5;
+  policy.chaos_seed = spec.base_seed;
+  policy.max_attempts = 2;
+  const auto trials = spec.expand();
+  ParallelRunner serial(1);
+  serial.set_policy(policy);
+  ParallelRunner wide(8);
+  wide.set_policy(policy);
+  EXPECT_EQ(rows_to_jsonl(serial.run(trials)),
+            rows_to_jsonl(wide.run(trials)));
+}
+
+TEST(Quarantine, FullChaosFailsEveryAttempt) {
+  SweepSpec spec = poison_spec();
+  spec.sweep_values = {0};
+  RunnerPolicy policy;
+  policy.chaos_rate = 1.0;
+  policy.chaos_seed = 7;
+  policy.max_attempts = 2;
+  ParallelRunner runner(2);
+  runner.set_policy(policy);
+  for (const Row& r : runner.run(spec.expand())) {
+    EXPECT_FALSE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.attempts, 2);
+    EXPECT_EQ(r.outcome.error_kind, "trial-aborted");
+    EXPECT_NE(r.error.find("ChaosInjector"), std::string::npos);
+  }
+}
+
+TEST(ResultSink, AtomicWriteLeavesNoTempFile) {
+  TempDir dir;
+  const std::string path = dir.path() + "/out.jsonl";
+  std::string err;
+  ASSERT_TRUE(write_file_atomic(path, "line\n", &err)) << err;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "line\n");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ResultSink, LoaderReportsTornTrailingLine) {
+  TempDir dir;
+  const std::string path = dir.path() + "/journal.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"a\":1}\n{\"b\":2}\n{\"c\":";  // killed mid-append
+  }
+  const JsonlLoad load = load_jsonl(path);
+  ASSERT_TRUE(load.ok);
+  ASSERT_EQ(load.lines.size(), 2u);
+  EXPECT_EQ(load.lines[1], "{\"b\":2}");
+  EXPECT_TRUE(load.torn_tail);
+  EXPECT_EQ(load.tail, "{\"c\":");
+  EXPECT_FALSE(load_jsonl(dir.path() + "/missing.jsonl").ok);
+}
+
+TEST(Checkpoint, RowJsonRoundTripsByteIdentically) {
+  const auto trials = poison_spec().expand();
+  for (const TrialDesc& d : {trials.front(), trials.back()}) {
+    const Row row = run_trial(d);
+    Row parsed;
+    ASSERT_TRUE(parse_row_json(row.to_json(), d, &parsed));
+    EXPECT_EQ(parsed.to_json(), row.to_json());
+    EXPECT_EQ(parsed.seed, d.seed);
+    EXPECT_EQ(parsed.outcome.ok, row.outcome.ok);
+  }
+}
+
+TEST(Checkpoint, RowJsonRejectsIdentityMismatch) {
+  const auto trials = poison_spec().expand();
+  const Row row = run_trial(trials[0]);
+  Row parsed;
+  EXPECT_FALSE(parse_row_json(row.to_json(), trials[1], &parsed));
+  EXPECT_FALSE(parse_row_json("not json", trials[0], &parsed));
+}
+
+TEST(Checkpoint, ResumeRerunsExactlyTheFailedTrials) {
+  const SweepSpec spec = poison_spec();
+  const auto trials = spec.expand();
+
+  // Reference: one uninterrupted serial run.
+  ParallelRunner ref_runner(1);
+  const std::vector<Row> ref_rows = ref_runner.run(trials);
+  const std::string ref_jsonl = rows_to_jsonl(ref_rows);
+
+  // Checkpointed run, journaling every row.
+  TempDir dir;
+  Checkpoint first(dir.path());
+  EXPECT_FALSE(first.open(spec, "policy v1\n"));  // fresh directory
+  ParallelRunner runner(4);
+  runner.set_on_row([&first](const Row& r) { first.record(r); });
+  (void)runner.run(trials);
+
+  // "Restart": a new Checkpoint over the same directory resumes.
+  Checkpoint second(dir.path());
+  EXPECT_TRUE(second.open(spec, "policy v1\n"));
+  const Checkpoint::Plan plan = second.plan(trials);
+  EXPECT_EQ(plan.recovered.size() + plan.pending.size(), trials.size());
+  EXPECT_EQ(plan.cells_total, 2u);
+  EXPECT_EQ(plan.cells_done, 1u);  // boom=0 done; boom=1 all failed
+  std::map<std::uint64_t, bool> ref_failed;
+  for (const Row& r : ref_rows) ref_failed[r.trial_id] = !r.error.empty();
+  for (const TrialDesc& d : plan.pending) {
+    EXPECT_TRUE(ref_failed[d.trial_id]) << "re-running a healthy trial";
+  }
+  for (const Row& r : plan.recovered) {
+    EXPECT_FALSE(ref_failed[r.trial_id]);
+  }
+
+  // Run only the pending trials, merge, and compare byte-for-byte.
+  ParallelRunner resumer(2);
+  resumer.set_on_row([&second](const Row& r) { second.record(r); });
+  std::vector<Row> rows = resumer.run(plan.pending);
+  rows.insert(rows.end(), plan.recovered.begin(), plan.recovered.end());
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.trial_id < b.trial_id;
+  });
+  EXPECT_EQ(rows_to_jsonl(rows), ref_jsonl);
+
+  std::string err;
+  ASSERT_TRUE(second.finalize(rows, aggregate(rows), &err)) << err;
+  const JsonlLoad finalized = load_jsonl(second.path("trials.jsonl"));
+  ASSERT_TRUE(finalized.ok);
+  EXPECT_EQ(finalized.lines.size(), trials.size());
+}
+
+TEST(Checkpoint, PartialTornJournalRecoversCompletedTrials) {
+  const SweepSpec spec = poison_spec();
+  const auto trials = spec.expand();
+  ParallelRunner runner(1);
+  const std::vector<Row> rows = runner.run(trials);
+
+  TempDir dir;
+  {
+    Checkpoint ck(dir.path());
+    EXPECT_FALSE(ck.open(spec, "p\n"));
+    for (const Row& r : rows) {
+      if (r.trial_id % 2 == 0) ck.record(r);  // "crashed" halfway
+    }
+  }
+  {  // torn final append, as a SIGKILL mid-write leaves it
+    std::ofstream out(dir.path() + "/journal.jsonl",
+                      std::ios::binary | std::ios::app);
+    out << "{\"trial_id\":3,\"exper";
+  }
+  Checkpoint ck(dir.path());
+  EXPECT_TRUE(ck.open(spec, "p\n"));
+  const Checkpoint::Plan plan = ck.plan(trials);
+  EXPECT_TRUE(plan.torn_tail);
+  for (const Row& r : plan.recovered) {
+    EXPECT_EQ(r.trial_id % 2, 0u);
+    EXPECT_TRUE(r.outcome.ok);
+  }
+  for (const TrialDesc& d : plan.pending) {
+    // Odd ids were never journaled; even boom=1 ids failed — both re-run.
+    EXPECT_TRUE(d.trial_id % 2 == 1 ||
+                d.cell_key().find("boom=1") != std::string::npos);
+  }
+}
+
+TEST(Checkpoint, ResumeUnderDifferentSpecIsRefused) {
+  const SweepSpec spec = poison_spec();
+  TempDir dir;
+  Checkpoint first(dir.path());
+  EXPECT_FALSE(first.open(spec, "p\n"));
+  SweepSpec other = spec;
+  other.trials = 99;
+  Checkpoint second(dir.path());
+  EXPECT_THROW((void)second.open(other, "p\n"), sim::SimError);
+  // Policy drift only warns.
+  Checkpoint third(dir.path());
+  std::string warning;
+  EXPECT_TRUE(third.open(spec, "p v2\n", &warning));
+  EXPECT_FALSE(warning.empty());
+}
+
+TEST(Checkpoint, SpecTextRoundTrips) {
+  const SweepSpec spec = poison_spec();
+  const SweepSpec reparsed = SweepSpec::parse_text(spec.to_text());
+  EXPECT_EQ(reparsed.to_text(), spec.to_text());
+  const auto a = spec.expand();
+  const auto b = reparsed.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cell_key(), b[i].cell_key());
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Serialize, FlatJsonParserHandlesEscapesAndBigIntegers) {
+  std::vector<std::pair<std::string, JsonScalar>> fields;
+  ASSERT_TRUE(parse_flat_json(
+      R"({"a":"x\"y","seed":18446744073709551615,"n":-2.5,"b":true})",
+      fields));
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0].second.text, "x\"y");
+  // 2^64 - 1 survives (a double round-trip would corrupt it).
+  EXPECT_EQ(fields[1].second.as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(fields[2].second.number, -2.5);
+  EXPECT_TRUE(fields[3].second.boolean);
+  EXPECT_FALSE(parse_flat_json("[1,2]", fields));
+  EXPECT_FALSE(parse_flat_json("{\"a\":{}}", fields));  // nested
+}
+
+}  // namespace
+}  // namespace slowcc::exp

@@ -1,0 +1,55 @@
+// SimError taxonomy: every code has a stable string form, the string
+// form parses back to the code, and what() carries the structured
+// [code] component: detail shape downstream tools grep for.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/error.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+TEST(SimError, EveryCodeRoundTripsThroughItsString) {
+  for (const SimErrc code : all_errcs()) {
+    const std::string text = to_string(code);
+    EXPECT_NE(text, "?") << "unnamed error code";
+    const auto parsed = errc_from_string(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, code) << text;
+  }
+}
+
+TEST(SimError, CodeStringsAreDistinct) {
+  std::set<std::string> seen;
+  for (const SimErrc code : all_errcs()) {
+    EXPECT_TRUE(seen.insert(to_string(code)).second)
+        << "duplicate string: " << to_string(code);
+  }
+}
+
+TEST(SimError, TaxonomyIncludesTheDeadlineAndAbortCodes) {
+  EXPECT_STREQ(to_string(SimErrc::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(to_string(SimErrc::kTrialAborted), "trial-aborted");
+  EXPECT_EQ(errc_from_string("deadline-exceeded"),
+            SimErrc::kDeadlineExceeded);
+  EXPECT_EQ(errc_from_string("trial-aborted"), SimErrc::kTrialAborted);
+}
+
+TEST(SimError, UnknownStringParsesToNothing) {
+  EXPECT_FALSE(errc_from_string("").has_value());
+  EXPECT_FALSE(errc_from_string("deadline").has_value());
+  EXPECT_FALSE(errc_from_string("Deadline-Exceeded").has_value());
+}
+
+TEST(SimError, WhatCarriesCodeComponentAndDetail) {
+  const SimError e(SimErrc::kTrialAborted, "poison", "boom (trial 3)");
+  EXPECT_EQ(e.code(), SimErrc::kTrialAborted);
+  EXPECT_EQ(e.component(), "poison");
+  EXPECT_EQ(e.detail(), "boom (trial 3)");
+  EXPECT_STREQ(e.what(), "[trial-aborted] poison: boom (trial 3)");
+}
+
+}  // namespace
+}  // namespace slowcc::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/error.hpp"
@@ -228,6 +229,81 @@ TEST(Timer, DestructionCancelsPendingEvent) {
   }  // destroyed while pending
   sim.run();  // must not crash or fire
   EXPECT_EQ(fires, 0);
+}
+
+TEST(Simulator, EventBudgetThrowsDeadlineExceeded) {
+  Simulator sim;
+  std::function<void()> chain = [&] {
+    sim.schedule_in(Time::millis(1), chain);
+  };
+  sim.schedule_at(Time::millis(1), chain);
+  sim.set_event_budget(50);
+  try {
+    sim.run_until(Time::seconds(10));
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.code(), SimErrc::kDeadlineExceeded);
+    EXPECT_NE(e.detail().find("event budget"), std::string::npos);
+  }
+  EXPECT_EQ(sim.events_executed(), 50u);
+}
+
+TEST(Simulator, EventBudgetCountsFromArming) {
+  Simulator sim;
+  for (int i = 0; i < 40; ++i) sim.schedule_at(Time::millis(i), [] {});
+  sim.run_until(Time::millis(100));  // 40 events, no budget yet
+  sim.set_event_budget(50);          // 50 more from here, not from zero
+  for (int i = 0; i < 45; ++i) {
+    sim.schedule_at(Time::millis(200 + i), [] {});
+  }
+  sim.run_until(Time::seconds(1));  // 45 < 50: fits
+  EXPECT_EQ(sim.events_executed(), 85u);
+  EXPECT_EQ(sim.event_budget(), 50u);
+}
+
+TEST(Simulator, ZeroEventBudgetMeansUnlimited) {
+  Simulator sim;
+  sim.set_event_budget(10);
+  sim.set_event_budget(0);  // disarm
+  for (int i = 0; i < 100; ++i) sim.schedule_at(Time::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, ThreadEventCounterAccumulatesAcrossSimulators) {
+  const std::uint64_t before = Simulator::thread_events_executed();
+  {
+    Simulator sim;
+    for (int i = 0; i < 7; ++i) sim.schedule_at(Time::millis(i), [] {});
+    sim.run();
+  }
+  {
+    Simulator sim;
+    for (int i = 0; i < 5; ++i) sim.schedule_at(Time::millis(i), [] {});
+    sim.run();
+  }
+  EXPECT_EQ(Simulator::thread_events_executed() - before, 12u);
+}
+
+TEST(Simulator, ConstructObserverSeesEveryNewSimulator) {
+  int seen = 0;
+  Simulator::set_thread_construct_observer(
+      [&](Simulator& s) { ++seen; s.set_event_budget(123); });
+  Simulator a;
+  Simulator b;
+  Simulator::set_thread_construct_observer(nullptr);
+  Simulator c;  // after clearing: unobserved
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(a.event_budget(), 123u);
+  EXPECT_EQ(b.event_budget(), 123u);
+  EXPECT_EQ(c.event_budget(), 0u);
+}
+
+TEST(Simulator, SecondConstructObserverIsRejected) {
+  Simulator::set_thread_construct_observer([](Simulator&) {});
+  EXPECT_THROW(Simulator::set_thread_construct_observer([](Simulator&) {}),
+               SimError);
+  Simulator::set_thread_construct_observer(nullptr);
 }
 
 }  // namespace

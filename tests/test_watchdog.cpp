@@ -85,5 +85,22 @@ TEST(Watchdog, DestructorFreesHookSlot) {
   EXPECT_FALSE(again.triggered());
 }
 
+// The orchestration layer reclassifies wall-clock watchdog fires as
+// trial deadline violations (vs the default budget-exceeded).
+TEST(Watchdog, ErrorCodeIsConfigurable) {
+  sim::Simulator sim;
+  Watchdog dog(sim, {.max_events = 1'000,
+                     .check_every_events = 64,
+                     .error_code = sim::SimErrc::kDeadlineExceeded});
+  livelock(sim);
+  try {
+    sim.run();
+    FAIL() << "expected SimError";
+  } catch (const sim::SimError& e) {
+    EXPECT_EQ(e.code(), sim::SimErrc::kDeadlineExceeded);
+  }
+  EXPECT_TRUE(dog.triggered());
+}
+
 }  // namespace
 }  // namespace slowcc::fault

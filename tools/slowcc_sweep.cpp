@@ -1,9 +1,11 @@
-// slowcc_sweep — parallel experiment-orchestration driver.
+// slowcc_sweep — parallel, crash-safe experiment-orchestration driver.
 //
 // Expands a parameter grid (algorithm x bandwidth x RTT x swept
 // parameter x trials) over one registered experiment, runs every trial
-// concurrently with a work-stealing thread pool, and reduces the rows
-// to per-cell statistics (mean / stddev / 95% CI / percentiles).
+// concurrently with a work-stealing thread pool under a quarantine
+// (one throwing or hung trial becomes a failure row, never an abort),
+// and reduces the rows to per-cell statistics (mean / stddev / 95% CI
+// / percentiles) plus a per-cell failure manifest.
 //
 // Examples:
 //   slowcc_sweep --list
@@ -12,23 +14,36 @@
 //   slowcc_sweep --experiment oscillation --algorithms tcp:8,tcp:2,tfrc:6
 //       --sweep on_off_length=0.05,0.2,0.8 --trials 3 --out /tmp/fig14
 //   slowcc_sweep --spec sweep.spec --jobs 8 --selfcheck
+//   slowcc_sweep --spec sweep.spec --resume /tmp/ckpt --max-attempts 2
+//       --trial-wall-seconds 300
 //
-// With --out PREFIX, writes PREFIX.trials.{jsonl,csv} and
-// PREFIX.cells.{jsonl,csv}; otherwise prints an aggregate table and the
-// per-cell JSON lines to stdout. --selfcheck re-runs the whole sweep
-// single-threaded and byte-compares the serialized results — the
-// determinism guarantee the subsystem is built around.
+// With --out PREFIX, writes PREFIX.trials.{jsonl,csv},
+// PREFIX.cells.{jsonl,csv}, and PREFIX.manifest.jsonl; otherwise
+// prints an aggregate table and the per-cell JSON lines to stdout.
+// --resume DIR makes the run crash-safe: every finished trial is
+// journaled (append + flush) into DIR, final outputs land in DIR via
+// atomic tmp+rename, and re-running the same command after a crash —
+// or a SIGKILL — re-executes only the failed/missing trials, yielding
+// byte-identical trials/cells files to an uninterrupted run.
+// --selfcheck re-runs the executed trials single-threaded and
+// byte-compares the serialized results — the determinism guarantee the
+// subsystem is built around.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exp/aggregator.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/parallel_runner.hpp"
 #include "exp/registry.hpp"
 #include "exp/result_sink.hpp"
+#include "exp/serialize.hpp"
 #include "exp/sweep_spec.hpp"
 
 using namespace slowcc;
@@ -53,8 +68,18 @@ int usage(const char* argv0, int code) {
       "  --base-seed S                master seed (default 1)\n"
       "  --duration-scale F           scale all experiment timelines\n"
       "  --jobs N                     worker threads (default: all cores)\n"
-      "  --out PREFIX                 write PREFIX.trials/.cells "
-      ".jsonl/.csv\n"
+      "  --max-attempts N             retries per failed trial (default 1 = "
+      "no retry)\n"
+      "  --trial-max-events N         per-trial simulator event budget "
+      "(deterministic deadline)\n"
+      "  --trial-wall-seconds S       per-trial wall-clock backstop "
+      "(hang killer)\n"
+      "  --chaos P                    inject a deterministic synthetic "
+      "failure into each attempt with probability P (self-test)\n"
+      "  --resume DIR                 crash-safe checkpointed run in DIR; "
+      "re-running resumes it\n"
+      "  --out PREFIX                 write PREFIX.trials/.cells/.manifest "
+      "files\n"
       "  --selfcheck                  verify jobs=N output == jobs=1 "
       "output\n"
       "  --quiet                      no progress on stderr\n",
@@ -75,13 +100,12 @@ void list_experiments() {
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "slowcc_sweep: cannot write %s\n", path.c_str());
+  std::string err;
+  if (!exp::write_file_atomic(path, content, &err)) {
+    std::fprintf(stderr, "slowcc_sweep: %s\n", err.c_str());
     return false;
   }
-  out << content;
-  return out.good();
+  return true;
 }
 
 void print_cells_table(const std::vector<exp::CellStats>& cells) {
@@ -99,13 +123,66 @@ void print_cells_table(const std::vector<exp::CellStats>& cells) {
   }
 }
 
+/// Removes its files on every exit path — the selfcheck comparison
+/// dumps must never outlive the process, pass or fail.
+class TempFileGuard {
+ public:
+  ~TempFileGuard() {
+    std::error_code ec;
+    for (const std::string& p : paths_) std::filesystem::remove(p, ec);
+  }
+  void track(std::string path) { paths_.push_back(std::move(path)); }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+/// Canonical fingerprint of the fault-tolerance policy, stored in a
+/// checkpoint so a resume under different flags at least warns.
+std::string policy_text(const exp::RunnerPolicy& p) {
+  std::string out;
+  out += "max_attempts = " + std::to_string(p.max_attempts) + "\n";
+  out += "chaos = " + exp::json_number(p.chaos_rate) + "\n";
+  out += "trial_max_events = " + std::to_string(p.max_trial_events) + "\n";
+  out += "trial_wall_seconds = " +
+         exp::json_number(p.max_trial_wall_seconds) + "\n";
+  return out;
+}
+
+/// First line where the two serializations diverge (diagnostics).
+void report_divergence(const std::string& a, const std::string& b) {
+  std::size_t line = 1;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const std::size_t ea = a.find('\n', ia);
+    const std::size_t eb = b.find('\n', ib);
+    const std::string la = a.substr(ia, ea - ia);
+    const std::string lb = b.substr(ib, eb - ib);
+    if (la != lb) {
+      std::fprintf(stderr,
+                   "slowcc_sweep: first divergence at line %zu:\n"
+                   "  jobs=N: %s\n  jobs=1: %s\n",
+                   line, la.c_str(), lb.c_str());
+      return;
+    }
+    if (ea == std::string::npos || eb == std::string::npos) break;
+    ia = ea + 1;
+    ib = eb + 1;
+    ++line;
+  }
+  std::fprintf(stderr, "slowcc_sweep: outputs diverge in length\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   exp::SweepSpec spec;
+  exp::RunnerPolicy policy;
   bool spec_loaded = false;
   int jobs = exp::ParallelRunner::default_jobs();
   std::string out_prefix;
+  std::string resume_dir;
   bool selfcheck = false;
   bool quiet = false;
 
@@ -159,6 +236,17 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "slowcc_sweep: --jobs must be >= 1\n");
           return 2;
         }
+      } else if (arg == "--max-attempts") {
+        policy.max_attempts = std::atoi(value().c_str());
+      } else if (arg == "--trial-max-events") {
+        policy.max_trial_events =
+            std::strtoull(value().c_str(), nullptr, 10);
+      } else if (arg == "--trial-wall-seconds") {
+        policy.max_trial_wall_seconds = std::atof(value().c_str());
+      } else if (arg == "--chaos") {
+        policy.chaos_rate = std::atof(value().c_str());
+      } else if (arg == "--resume") {
+        resume_dir = value();
       } else if (arg == "--out") {
         out_prefix = value();
       } else if (arg == "--selfcheck") {
@@ -178,15 +266,52 @@ int main(int argc, char** argv) {
                    spec.experiment.c_str());
       return 2;
     }
+    policy.chaos_seed = spec.base_seed;
 
-    const std::vector<exp::TrialDesc> trials = spec.expand();
+    const std::vector<exp::TrialDesc> all_trials = spec.expand();
     if (!quiet) {
       std::fprintf(stderr, "slowcc_sweep: %s, %d jobs\n",
                    spec.describe().c_str(), jobs);
     }
 
     exp::ParallelRunner runner(jobs);
-    if (!quiet) {
+    runner.set_policy(policy);
+
+    // Checkpoint: recover finished work, journal new work.
+    std::unique_ptr<exp::Checkpoint> checkpoint;
+    std::vector<exp::TrialDesc> trials = all_trials;
+    std::vector<exp::Row> recovered;
+    if (!resume_dir.empty()) {
+      checkpoint = std::make_unique<exp::Checkpoint>(resume_dir);
+      std::string warning;
+      const bool resuming =
+          checkpoint->open(spec, policy_text(policy), &warning);
+      if (!warning.empty()) {
+        std::fprintf(stderr, "slowcc_sweep: warning: %s\n", warning.c_str());
+      }
+      if (resuming) {
+        exp::Checkpoint::Plan plan = checkpoint->plan(all_trials);
+        if (plan.torn_tail && !quiet) {
+          std::fprintf(stderr,
+                       "slowcc_sweep: journal has a torn trailing line "
+                       "(killed mid-write) — ignored\n");
+        }
+        if (!quiet) {
+          std::fprintf(stderr,
+                       "slowcc_sweep: resume: %zu/%zu trials recovered "
+                       "(%zu/%zu cells complete), %zu to run\n",
+                       plan.recovered.size(), all_trials.size(),
+                       plan.cells_done, plan.cells_total,
+                       plan.pending.size());
+        }
+        trials = std::move(plan.pending);
+        recovered = std::move(plan.recovered);
+      }
+      runner.set_on_row(
+          [&checkpoint](const exp::Row& r) { checkpoint->record(r); });
+    }
+
+    if (!quiet && !trials.empty()) {
       runner.set_progress([](std::size_t done, std::size_t total) {
         std::fprintf(stderr, "\rslowcc_sweep: %zu/%zu trials", done, total);
         if (done == total) std::fprintf(stderr, "\n");
@@ -194,26 +319,37 @@ int main(int argc, char** argv) {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<exp::Row> rows = runner.run(trials);
+    std::vector<exp::Row> rows = runner.run(trials);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const std::vector<exp::CellStats> cells = exp::aggregate(rows);
-    if (!quiet) {
-      std::fprintf(stderr, "slowcc_sweep: %zu trials in %.2f s wall\n",
-                   rows.size(), wall);
-    }
 
     if (selfcheck) {
+      // The comparison dumps are real files (handy to diff by hand when
+      // this ever fires) but are removed on every exit path.
+      TempFileGuard tmp_guard;
       exp::ParallelRunner serial(1);
+      serial.set_policy(policy);
       const std::vector<exp::Row> rows1 = serial.run(trials);
-      if (exp::rows_to_jsonl(rows1) != exp::rows_to_jsonl(rows) ||
+      const std::string got = exp::rows_to_jsonl(rows);
+      const std::string want = exp::rows_to_jsonl(rows1);
+      const std::string tmp_base =
+          (out_prefix.empty() ? std::string("slowcc_sweep") : out_prefix) +
+          ".selfcheck";
+      if (write_file(tmp_base + ".jobsN.jsonl", got)) {
+        tmp_guard.track(tmp_base + ".jobsN.jsonl");
+      }
+      if (write_file(tmp_base + ".jobs1.jsonl", want)) {
+        tmp_guard.track(tmp_base + ".jobs1.jsonl");
+      }
+      if (got != want ||
           exp::cells_to_jsonl(exp::aggregate(rows1)) !=
-              exp::cells_to_jsonl(cells)) {
+              exp::cells_to_jsonl(exp::aggregate(rows))) {
         std::fprintf(stderr,
                      "slowcc_sweep: SELFCHECK FAILED — jobs=%d and jobs=1 "
                      "outputs differ\n",
                      jobs);
+        report_divergence(got, want);
         return 1;
       }
       if (!quiet) {
@@ -223,32 +359,77 @@ int main(int argc, char** argv) {
       }
     }
 
-    int failed = 0;
-    for (const exp::Row& r : rows) {
-      if (!r.error.empty()) ++failed;
-    }
-    if (failed > 0) {
-      std::fprintf(stderr, "slowcc_sweep: %d trial(s) errored\n", failed);
+    // Merge recovered and fresh rows back into trial-id order.
+    rows.insert(rows.end(), std::make_move_iterator(recovered.begin()),
+                std::make_move_iterator(recovered.end()));
+    std::sort(rows.begin(), rows.end(),
+              [](const exp::Row& a, const exp::Row& b) {
+                return a.trial_id < b.trial_id;
+              });
+    const std::vector<exp::CellStats> cells = exp::aggregate(rows);
+    if (!quiet) {
+      std::fprintf(stderr, "slowcc_sweep: %zu trials in %.2f s wall\n",
+                   rows.size(), wall);
     }
 
+    std::size_t failed = 0;
+    std::vector<std::string> kinds;
+    for (const exp::Row& r : rows) {
+      if (r.error.empty()) continue;
+      ++failed;
+      const std::string kind =
+          r.outcome.error_kind.empty() ? "exception" : r.outcome.error_kind;
+      if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end()) {
+        kinds.push_back(kind);
+      }
+    }
+    if (failed > 0) {
+      std::string kind_list;
+      for (const std::string& k : kinds) {
+        kind_list += kind_list.empty() ? "" : ", ";
+        kind_list += k;
+      }
+      std::fprintf(stderr,
+                   "slowcc_sweep: %zu trial(s) quarantined as failed "
+                   "(%s); see the failure manifest\n",
+                   failed, kind_list.c_str());
+    }
+
+    if (checkpoint != nullptr) {
+      std::string err;
+      if (!checkpoint->finalize(rows, cells, &err)) {
+        std::fprintf(stderr, "slowcc_sweep: %s\n", err.c_str());
+        return 2;
+      }
+      if (!quiet) {
+        std::fprintf(stderr,
+                     "slowcc_sweep: checkpoint finalized in %s "
+                     "(trials/cells/manifest)\n",
+                     resume_dir.c_str());
+      }
+    }
     if (!out_prefix.empty()) {
-      std::ostringstream tj, tc, cj, cc;
+      std::ostringstream tj, tc, cj, cc, mf;
       exp::write_rows_jsonl(tj, rows);
       exp::write_rows_csv(tc, rows);
       exp::write_cells_jsonl(cj, cells);
       exp::write_cells_csv(cc, cells);
+      exp::write_manifest_jsonl(mf, rows);
       if (!write_file(out_prefix + ".trials.jsonl", tj.str()) ||
           !write_file(out_prefix + ".trials.csv", tc.str()) ||
           !write_file(out_prefix + ".cells.jsonl", cj.str()) ||
-          !write_file(out_prefix + ".cells.csv", cc.str())) {
+          !write_file(out_prefix + ".cells.csv", cc.str()) ||
+          !write_file(out_prefix + ".manifest.jsonl", mf.str())) {
         return 1;
       }
       if (!quiet) {
-        std::fprintf(stderr, "slowcc_sweep: wrote %s.{trials,cells}"
-                             ".{jsonl,csv}\n",
-                     out_prefix.c_str());
+        std::fprintf(stderr,
+                     "slowcc_sweep: wrote %s.{trials,cells}.{jsonl,csv} "
+                     "and %s.manifest.jsonl\n",
+                     out_prefix.c_str(), out_prefix.c_str());
       }
-    } else {
+    }
+    if (checkpoint == nullptr && out_prefix.empty()) {
       print_cells_table(cells);
       std::printf("\n");
       for (const exp::CellStats& c : cells) {
