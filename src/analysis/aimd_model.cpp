@@ -1,18 +1,21 @@
 #include "analysis/aimd_model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::analysis {
 
 double aimd_aggressiveness(double a) {
-  if (a <= 0.0) throw std::invalid_argument("aggressiveness: a must be > 0");
+  if (a <= 0.0) throw sim::SimError(sim::SimErrc::kBadConfig, "aggressiveness",
+                                    "a must be > 0");
   return a;
 }
 
 double aimd_responsiveness_rtts(double b) {
   if (b <= 0.0 || b >= 1.0) {
-    throw std::invalid_argument("responsiveness: b must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "responsiveness",
+                        "b must be in (0, 1)");
   }
   // After n decreases the rate is (1-b)^n of the original; solve
   // (1-b)^n = 1/2.
@@ -21,7 +24,8 @@ double aimd_responsiveness_rtts(double b) {
 
 double aimd_smoothness(double b) {
   if (b <= 0.0 || b >= 1.0) {
-    throw std::invalid_argument("smoothness: b must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "smoothness",
+                        "b must be in (0, 1)");
   }
   return 1.0 - b;
 }

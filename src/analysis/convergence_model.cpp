@@ -1,19 +1,23 @@
 #include "analysis/convergence_model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::analysis {
 
 double expected_acks_to_fairness(double b, double p, double delta) {
   if (b <= 0.0 || b >= 1.0) {
-    throw std::invalid_argument("convergence model: b must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "convergence model",
+                        "b must be in (0, 1)");
   }
   if (p <= 0.0 || p >= 1.0) {
-    throw std::invalid_argument("convergence model: p must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "convergence model",
+                        "p must be in (0, 1)");
   }
   if (delta <= 0.0 || delta >= 1.0) {
-    throw std::invalid_argument("convergence model: delta must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "convergence model",
+                        "delta must be in (0, 1)");
   }
   const double shrink = 1.0 - b * p;
   return std::log(delta) / std::log(shrink);
@@ -22,7 +26,8 @@ double expected_acks_to_fairness(double b, double p, double delta) {
 double expected_rtts_to_fairness(double b, double p, double delta,
                                  double total_window_pkts) {
   if (total_window_pkts <= 0.0) {
-    throw std::invalid_argument("convergence model: window must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "convergence model",
+                        "window must be > 0");
   }
   return expected_acks_to_fairness(b, p, delta) / total_window_pkts;
 }

@@ -1,15 +1,18 @@
 #include "analysis/fk_model.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::analysis {
 
 double fk_aimd_approximation(int k, double a, sim::Time rtt,
                              double lambda_pps) {
-  if (k < 1) throw std::invalid_argument("fk model: k must be >= 1");
+  if (k < 1) throw sim::SimError(sim::SimErrc::kBadConfig, "fk model",
+                                 "k must be >= 1");
   if (a <= 0.0 || lambda_pps <= 0.0 || rtt <= sim::Time()) {
-    throw std::invalid_argument("fk model: parameters must be positive");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "fk model",
+                        "parameters must be positive");
   }
   const double f = 0.5 + static_cast<double>(k) * a /
                              (4.0 * rtt.as_seconds() * lambda_pps);

@@ -1,7 +1,8 @@
 #include "analysis/timeout_model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 #include "cc/response_function.hpp"
 
@@ -9,7 +10,8 @@ namespace slowcc::analysis {
 
 double aimd_with_timeouts_pkts_per_rtt(double p) {
   if (p <= 0.0 || p >= 1.0) {
-    throw std::invalid_argument("timeout model: p must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "timeout model",
+                        "p must be in (0, 1)");
   }
   const double inv = 1.0 / (1.0 - p);
   return inv / (std::pow(2.0, inv) - 1.0);
@@ -17,7 +19,8 @@ double aimd_with_timeouts_pkts_per_rtt(double p) {
 
 double combined_model_pkts_per_rtt(double p) {
   if (p <= 0.0 || p >= 1.0) {
-    throw std::invalid_argument("combined model: p must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "combined model",
+                        "p must be in (0, 1)");
   }
   constexpr double kPureLimit = 1.0 / 3.0;
   constexpr double kTimeoutStart = 0.5;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::cc {
 
@@ -12,7 +13,8 @@ double simple_response_pkts_per_rtt(double loss_rate) {
 
 double aimd_response_pkts_per_rtt(double a, double b, double loss_rate) {
   if (loss_rate <= 0.0) {
-    throw std::invalid_argument("aimd_response: loss rate must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "aimd_response",
+                        "loss rate must be > 0");
   }
   // Deterministic sawtooth: window oscillates between (1-b)W and W with
   // 1/p packets per cycle; average window sqrt(a(2-b)/(2b p)).
@@ -23,7 +25,8 @@ double padhye_rate_bytes_per_sec(double loss_event_rate, sim::Time rtt,
                                  std::int64_t packet_size_bytes,
                                  sim::Time t_rto) {
   if (loss_event_rate <= 0.0) {
-    throw std::invalid_argument("padhye_rate: loss rate must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "padhye_rate",
+                        "loss rate must be > 0");
   }
   const double p = std::min(1.0, loss_event_rate);
   const double r = rtt.as_seconds();

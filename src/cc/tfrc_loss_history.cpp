@@ -1,12 +1,14 @@
 #include "cc/tfrc_loss_history.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::cc {
 
 TfrcLossHistory::TfrcLossHistory(int n) : n_(n) {
-  if (n < 1) throw std::invalid_argument("TfrcLossHistory: n must be >= 1");
+  if (n < 1) throw sim::SimError(sim::SimErrc::kBadConfig, "TfrcLossHistory",
+                                 "n must be >= 1");
 }
 
 std::vector<double> TfrcLossHistory::weights(int n) {

@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::cc {
 
 AimdPolicy::AimdPolicy(double a, double b) : a_(a), b_(b) {
-  if (a <= 0.0) throw std::invalid_argument("AimdPolicy: a must be > 0");
+  if (a <= 0.0) throw sim::SimError(sim::SimErrc::kBadConfig, "AimdPolicy",
+                                    "a must be > 0");
   if (b <= 0.0 || b >= 1.0) {
-    throw std::invalid_argument("AimdPolicy: b must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "AimdPolicy",
+                        "b must be in (0, 1)");
   }
 }
 
@@ -28,7 +31,8 @@ std::string AimdPolicy::name() const {
 
 double AimdPolicy::compatible_a(double b) {
   if (b <= 0.0 || b >= 1.0) {
-    throw std::invalid_argument("compatible_a: b must be in (0, 1)");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "compatible_a",
+                        "b must be in (0, 1)");
   }
   return 4.0 * (2.0 * b - b * b) / 3.0;
 }
@@ -39,11 +43,13 @@ AimdPolicy AimdPolicy::tcp_compatible(double b) {
 
 BinomialPolicy::BinomialPolicy(double k, double l, double a, double b)
     : k_(k), l_(l), a_(a), b_(b) {
-  if (a <= 0.0) throw std::invalid_argument("BinomialPolicy: a must be > 0");
-  if (b <= 0.0) throw std::invalid_argument("BinomialPolicy: b must be > 0");
+  if (a <= 0.0) throw sim::SimError(sim::SimErrc::kBadConfig, "BinomialPolicy",
+                                    "a must be > 0");
+  if (b <= 0.0) throw sim::SimError(sim::SimErrc::kBadConfig, "BinomialPolicy",
+                                    "b must be > 0");
   if (l > 1.0) {
-    throw std::invalid_argument(
-        "BinomialPolicy: l must be <= 1 for convergence to fairness");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "BinomialPolicy",
+                        "l must be <= 1 for convergence to fairness");
   }
 }
 

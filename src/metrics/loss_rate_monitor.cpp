@@ -1,6 +1,7 @@
 #include "metrics/loss_rate_monitor.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
+
 
 namespace slowcc::metrics {
 
@@ -8,7 +9,8 @@ LossRateMonitor::LossRateMonitor(sim::Simulator& sim, net::Link& link,
                                  sim::Time bin_width)
     : sim_(sim), bin_width_(bin_width) {
   if (bin_width <= sim::Time()) {
-    throw std::invalid_argument("LossRateMonitor: bin width must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "LossRateMonitor",
+                        "bin width must be > 0");
   }
   link.add_observer(this);
 }

@@ -1,6 +1,7 @@
 #include "metrics/rate_sampler.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
+
 
 namespace slowcc::metrics {
 
@@ -11,10 +12,12 @@ RateSampler::RateSampler(sim::Simulator& sim, sim::Time interval,
       counter_(std::move(counter)),
       timer_(sim, [this] { on_tick(); }) {
   if (interval <= sim::Time()) {
-    throw std::invalid_argument("RateSampler: interval must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "RateSampler",
+                        "interval must be > 0");
   }
   if (!counter_) {
-    throw std::invalid_argument("RateSampler: counter required");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "RateSampler",
+                        "counter required");
   }
 }
 

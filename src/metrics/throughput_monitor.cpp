@@ -1,7 +1,8 @@
 #include "metrics/throughput_monitor.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::metrics {
 
@@ -9,7 +10,8 @@ ThroughputMonitor::ThroughputMonitor(sim::Simulator& sim, net::Link& link,
                                      sim::Time bin_width, Filter filter)
     : sim_(sim), bin_width_(bin_width), filter_(std::move(filter)) {
   if (bin_width <= sim::Time()) {
-    throw std::invalid_argument("ThroughputMonitor: bin width must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "ThroughputMonitor",
+                        "bin width must be > 0");
   }
   link.add_observer(this);
 }

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <stdexcept>
+
+#include "sim/error.hpp"
 
 namespace slowcc::metrics {
 
@@ -13,10 +14,12 @@ TimeSeriesTracer::TimeSeriesTracer(sim::Simulator& sim, sim::Time interval,
       probe_(std::move(probe)),
       timer_(sim, [this] { on_tick(); }) {
   if (interval <= sim::Time()) {
-    throw std::invalid_argument("TimeSeriesTracer: interval must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "TimeSeriesTracer",
+                        "interval must be > 0");
   }
   if (!probe_) {
-    throw std::invalid_argument("TimeSeriesTracer: probe required");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "TimeSeriesTracer",
+                        "probe required");
   }
 }
 

@@ -10,10 +10,11 @@ namespace slowcc::sim {
 
 /// Machine-readable classification of simulator failures.
 ///
-/// Every throw in `sim/`, `net/`, `fault/`, and the scenario builders
-/// carries one of these codes so harnesses (and the Watchdog /
-/// InvariantAuditor) can dispatch on failure class instead of parsing
-/// message strings. The taxonomy is documented in README.md.
+/// Every throw under `src/` carries one of these codes so harnesses
+/// (and the Watchdog / InvariantAuditor) can dispatch on failure class
+/// instead of parsing message strings. The taxonomy is documented in
+/// README.md and enforced by the `error-taxonomy` rule of slowcc_lint
+/// (tools/lint/), which runs as the tier-1 `lint_smoke` ctest.
 enum class SimErrc {
   kBadConfig,           // invalid construction or reconfiguration parameter
   kBadSchedule,         // scheduling in the past / negative delay

@@ -1,6 +1,7 @@
 #include "traffic/cbr_source.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
+
 
 namespace slowcc::traffic {
 
@@ -11,7 +12,8 @@ CbrSource::CbrSource(sim::Simulator& sim, net::Node& local,
       send_timer_(sim, [this] { on_send_timer(); }),
       rate_bps_(rate_bps) {
   if (rate_bps < 0.0) {
-    throw std::invalid_argument("CbrSource: rate must be >= 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "CbrSource",
+                        "rate must be >= 0");
   }
 }
 
@@ -28,7 +30,8 @@ void CbrSource::stop() {
 
 void CbrSource::set_rate_bps(double rate_bps) {
   if (rate_bps < 0.0) {
-    throw std::invalid_argument("CbrSource: rate must be >= 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "CbrSource",
+                        "rate must be >= 0");
   }
   const bool was_paused = rate_bps_ <= 0.0;
   rate_bps_ = rate_bps;

@@ -1,6 +1,6 @@
 #include "traffic/loss_script.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
 
 namespace slowcc::traffic {
 
@@ -25,11 +25,13 @@ void LossScript::install(net::Link& link) {
 CountedLossScript::CountedLossScript(std::vector<std::int64_t> spacings)
     : spacings_(std::move(spacings)) {
   if (spacings_.empty()) {
-    throw std::invalid_argument("CountedLossScript: spacings required");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "CountedLossScript",
+                        "spacings required");
   }
   for (auto s : spacings_) {
     if (s < 1) {
-      throw std::invalid_argument("CountedLossScript: spacings must be >= 1");
+      throw sim::SimError(sim::SimErrc::kBadConfig, "CountedLossScript",
+                        "spacings must be >= 1");
     }
   }
 }
@@ -51,7 +53,8 @@ IntervalLossScript::IntervalLossScript(sim::Simulator& sim,
                                        sim::Time interval, sim::Time start)
     : sim_(sim), interval_(interval), next_drop_at_(start) {
   if (interval <= sim::Time()) {
-    throw std::invalid_argument("IntervalLossScript: interval must be > 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "IntervalLossScript",
+                        "interval must be > 0");
   }
 }
 
@@ -69,11 +72,13 @@ TimedPhaseLossScript::TimedPhaseLossScript(sim::Simulator& sim,
                                            std::vector<Phase> phases)
     : sim_(sim), phases_(std::move(phases)) {
   if (phases_.empty()) {
-    throw std::invalid_argument("TimedPhaseLossScript: phases required");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "TimedPhaseLossScript",
+                        "phases required");
   }
   for (const auto& ph : phases_) {
     if (ph.drop_every < 1 || ph.duration <= sim::Time()) {
-      throw std::invalid_argument("TimedPhaseLossScript: invalid phase");
+      throw sim::SimError(sim::SimErrc::kBadConfig, "TimedPhaseLossScript",
+                        "invalid phase");
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "traffic/onoff_pattern.hpp"
 
-#include <stdexcept>
+#include "sim/error.hpp"
+
 
 namespace slowcc::traffic {
 
@@ -24,10 +25,12 @@ OnOffPattern::OnOffPattern(sim::Simulator& sim, CbrSource& source,
       }),
       ramp_timer_(sim, [this] { ramp_step(current_step_ + 1); }) {
   if (on_time.is_negative() || off_time.is_negative()) {
-    throw std::invalid_argument("OnOffPattern: times must be >= 0");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "OnOffPattern",
+                        "times must be >= 0");
   }
   if (ramp_steps < 1) {
-    throw std::invalid_argument("OnOffPattern: ramp_steps must be >= 1");
+    throw sim::SimError(sim::SimErrc::kBadConfig, "OnOffPattern",
+                        "ramp_steps must be >= 1");
   }
 }
 

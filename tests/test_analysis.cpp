@@ -53,9 +53,9 @@ TEST(TimeoutModel, TimeoutLineBoundsRenoFromAbove) {
 }
 
 TEST(TimeoutModel, RejectsOutOfRange) {
-  EXPECT_THROW(aimd_with_timeouts_pkts_per_rtt(0.0), std::invalid_argument);
-  EXPECT_THROW(aimd_with_timeouts_pkts_per_rtt(1.0), std::invalid_argument);
-  EXPECT_THROW(combined_model_pkts_per_rtt(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)aimd_with_timeouts_pkts_per_rtt(0.0), std::invalid_argument);
+  EXPECT_THROW((void)aimd_with_timeouts_pkts_per_rtt(1.0), std::invalid_argument);
+  EXPECT_THROW((void)combined_model_pkts_per_rtt(-0.1), std::invalid_argument);
 }
 
 TEST(ConvergenceModel, MatchesClosedForm) {
@@ -82,11 +82,11 @@ TEST(ConvergenceModel, RttConversionDividesByWindow) {
 }
 
 TEST(ConvergenceModel, RejectsBadInput) {
-  EXPECT_THROW(expected_acks_to_fairness(0.0, 0.1, 0.1),
+  EXPECT_THROW((void)expected_acks_to_fairness(0.0, 0.1, 0.1),
                std::invalid_argument);
-  EXPECT_THROW(expected_acks_to_fairness(0.5, 0.0, 0.1),
+  EXPECT_THROW((void)expected_acks_to_fairness(0.5, 0.0, 0.1),
                std::invalid_argument);
-  EXPECT_THROW(expected_acks_to_fairness(0.5, 0.1, 1.5),
+  EXPECT_THROW((void)expected_acks_to_fairness(0.5, 0.1, 1.5),
                std::invalid_argument);
 }
 
@@ -124,7 +124,7 @@ TEST(AimdModel, SmoothnessIsOneMinusB) {
 
 TEST(AimdModel, AggressivenessIsA) {
   EXPECT_DOUBLE_EQ(aimd_aggressiveness(0.31), 0.31);
-  EXPECT_THROW(aimd_aggressiveness(0.0), std::invalid_argument);
+  EXPECT_THROW((void)aimd_aggressiveness(0.0), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+// slowcc_lint rule-engine tests: one positive and one negative fixture
+// per rule, run against small in-memory sources, plus suppression
+// parsing and JSON-reporter escaping. The fixtures use repo-shaped
+// paths ("src/...", "tools/...") because rule scoping keys off them.
+
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using slowcc::lint::Finding;
+using slowcc::lint::SourceFile;
+
+std::vector<Finding> lint_one(std::string path, std::string content) {
+  return slowcc::lint::run({{std::move(path), std::move(content)}});
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintWallClock, FlagsClockReadsOutsideExemptPaths) {
+  const auto findings = lint_one("src/net/foo.cpp", R"cpp(
+#include <chrono>
+void f() {
+  auto t = std::chrono::steady_clock::now();
+  long s = time(nullptr);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-wall-clock"), 2);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(LintWallClock, AllowsWatchdogExpAndMemberCalls) {
+  const std::string clocky = R"cpp(
+void f() { auto t = std::chrono::steady_clock::now(); }
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("src/exp/parallel_runner.cpp", clocky),
+                       "no-wall-clock"),
+            0);
+  EXPECT_EQ(count_rule(lint_one("src/fault/watchdog.cpp", clocky),
+                       "no-wall-clock"),
+            0);
+  // Member functions that happen to be called time() belong to someone
+  // else's API; sim::Time construction is obviously fine too.
+  const auto findings = lint_one("src/net/bar.cpp", R"cpp(
+void g(Probe& p) {
+  auto a = p.time();
+  auto b = Sampler::time();
+  sim::Time t = sim::Time::seconds(2.0);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-wall-clock"), 0);
+}
+
+TEST(LintRawRand, FlagsRandAndStdEngines) {
+  const auto findings = lint_one("bench/foo.cpp", R"cpp(
+int f() {
+  std::mt19937 gen(42);
+  return rand() % 7;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 2);
+}
+
+TEST(LintRawRand, AllowsSimRngAndCommentMentions) {
+  const auto findings = lint_one("src/traffic/foo.cpp", R"cpp(
+// rand() and std::mt19937 are banned; this comment must not trip it.
+double f(slowcc::sim::Rng& rng) {
+  const char* msg = "do not call rand() here";
+  return rng.uniform() + static_cast<double>(sim::derive_seed(1, 2) % 3);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 0);
+}
+
+TEST(LintUnorderedIteration, FlagsRangeForOverUnorderedMember) {
+  const auto findings = lint_one("src/net/table.cpp", R"cpp(
+#include <unordered_map>
+struct T {
+  std::unordered_map<int, double> table_;
+  double sum() const {
+    double s = 0;
+    for (const auto& [k, v] : table_) s += v;
+    return s;
+  }
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 1);
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintUnorderedIteration, SeesDeclarationsAcrossFilesInTheBatch) {
+  // The symbol table is built from the whole batch: a member declared
+  // unordered in a header is flagged when iterated in a .cpp.
+  const std::vector<SourceFile> sources = {
+      {"src/net/reg.hpp", R"cpp(
+#pragma once
+#include <unordered_set>
+struct Reg { std::unordered_set<int> live_ids_; };
+)cpp"},
+      {"src/net/reg.cpp", R"cpp(
+#include "net/reg.hpp"
+int f(const Reg& r) {
+  int n = 0;
+  for (int id : r.live_ids_) n += id;
+  return n;
+}
+)cpp"},
+  };
+  const auto findings = slowcc::lint::run(sources);
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 1);
+}
+
+TEST(LintUnorderedIteration, AllowsOrderedContainersAndSortedCopies) {
+  const auto findings = lint_one("src/net/ok.cpp", R"cpp(
+#include <map>
+#include <unordered_map>
+struct T {
+  std::map<int, double> ordered_;
+  std::unordered_map<int, double> table_;
+  double sum() const {
+    double s = 0;
+    for (const auto& [k, v] : ordered_) s += v;
+    for (const auto& [k, v] : sorted_view(table_)) s += v;  // call: ok
+    return s;
+  }
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 0);
+}
+
+TEST(LintErrorTaxonomy, FlagsAdHocThrowsUnderSrc) {
+  const auto findings = lint_one("src/sim/foo.cpp", R"cpp(
+void f(int x) {
+  if (x < 0) throw std::runtime_error("negative");
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "error-taxonomy"), 1);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintErrorTaxonomy, AllowsSimErrorRethrowAndNonSrcPaths) {
+  const auto findings = lint_one("src/sim/ok.cpp", R"cpp(
+void f(int x) {
+  if (x < 0) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "f", "x must be >= 0");
+  }
+  try {
+    g();
+  } catch (...) {
+    throw;
+  }
+  throw
+      slowcc::sim::SimError(sim::SimErrc::kBadSchedule, "f", "split line");
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "error-taxonomy"), 0);
+  // tools/ is outside the taxonomy's jurisdiction.
+  const auto tool = lint_one("tools/cli.cpp", R"cpp(
+void f() { throw std::runtime_error("cli-only"); }
+)cpp");
+  EXPECT_EQ(count_rule(tool, "error-taxonomy"), 0);
+}
+
+TEST(LintFloatTime, FlagsUnitlessTimeDoubles) {
+  const auto findings = lint_one("src/metrics/foo.cpp", R"cpp(
+void f() {
+  double start_time = 0.0;
+  double deadline = 1.5;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-float-time"), 2);
+}
+
+TEST(LintFloatTime, AllowsUnitSuffixesWallClocksAndFunctions) {
+  const auto findings = lint_one("src/metrics/ok.cpp", R"cpp(
+double stab_time(int x);
+void f() {
+  double stabilization_time_s = 0.0;
+  double trial_wall_seconds = 30.0;
+  double rate_bps = 1e6;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-float-time"), 0);
+}
+
+TEST(LintHeaderHygiene, FlagsMissingPragmaOnceAndUsingNamespace) {
+  const auto findings = lint_one("src/net/bad.hpp", R"cpp(
+#include <vector>
+using namespace std;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "header-hygiene"), 2);
+}
+
+TEST(LintHeaderHygiene, AcceptsCommentThenPragmaOnce) {
+  const auto findings = lint_one("src/net/good.hpp", R"cpp(
+// A documentation block may precede the guard.
+#pragma once
+#include <vector>
+)cpp");
+  EXPECT_EQ(count_rule(findings, "header-hygiene"), 0);
+  // .cpp files are not headers.
+  const auto cpp = lint_one("src/net/impl.cpp", "int x = 1;\n");
+  EXPECT_EQ(count_rule(cpp, "header-hygiene"), 0);
+}
+
+TEST(LintSuppression, TrailingAllowGuardsItsOwnLine) {
+  const auto findings = lint_one("src/net/s1.cpp", R"cpp(
+int f() {
+  return rand();  // slowcc-lint: allow(no-raw-rand) fixture exercises libc
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 0);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
+TEST(LintSuppression, StandaloneAllowGuardsTheNextLine) {
+  const auto findings = lint_one("src/net/s2.cpp", R"cpp(
+int f() {
+  // slowcc-lint: allow(no-raw-rand) seeding comparison baseline
+  return rand();
+}
+int g() {
+  // The allow above must not leak this far down.
+  return rand();
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 1);
+}
+
+TEST(LintSuppression, AllowFileCoversTheWholeFile) {
+  const auto findings = lint_one("src/net/s3.cpp", R"cpp(
+// slowcc-lint: allow-file(no-raw-rand) PRNG comparison harness
+int f() { return rand(); }
+int g() { return rand(); }
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 0);
+}
+
+TEST(LintSuppression, MissingReasonIsItselfAFinding) {
+  const auto findings = lint_one("src/net/s4.cpp", R"cpp(
+int f() {
+  return rand();  // slowcc-lint: allow(no-raw-rand)
+}
+)cpp");
+  // The malformed allow is reported AND does not suppress.
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 1);
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 1);
+}
+
+TEST(LintSuppression, UnknownRuleNameIsRejected) {
+  const auto findings = lint_one("src/net/s5.cpp", R"cpp(
+int f() {
+  return rand();  // slowcc-lint: allow(no-such-rule) typo'd rule name
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 1);
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 1);
+}
+
+TEST(LintRules, RegistryKnowsEveryRule) {
+  EXPECT_GE(slowcc::lint::all_rules().size(), 6u);
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-wall-clock"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("error-taxonomy"));
+  EXPECT_FALSE(slowcc::lint::is_known_rule("bad-suppression"));
+  EXPECT_FALSE(slowcc::lint::is_known_rule(""));
+}
+
+TEST(LintJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(slowcc::lint::json_escape("plain"), "plain");
+  EXPECT_EQ(slowcc::lint::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(slowcc::lint::json_escape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(slowcc::lint::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(LintJson, ReporterEmitsEscapedFindings) {
+  std::vector<Finding> findings = {
+      {"src/a \"b\".cpp", 3, "no-raw-rand", "message with \"quotes\"\n",
+       "hint\\path"}};
+  std::ostringstream out;
+  slowcc::lint::report_json(findings, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("src/a \\\"b\\\".cpp"), std::string::npos);
+  EXPECT_NE(json.find("message with \\\"quotes\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("hint\\\\path"), std::string::npos);
+}
+
+TEST(LintText, ReporterPrintsFileLineRuleAndHint) {
+  std::vector<Finding> findings = {
+      {"src/x.cpp", 7, "no-wall-clock", "bad clock", "use sim::Time"}};
+  std::ostringstream out;
+  slowcc::lint::report_text(findings, out);
+  EXPECT_NE(out.str().find("src/x.cpp:7: [no-wall-clock] bad clock"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("hint: use sim::Time"), std::string::npos);
+}
+
+}  // namespace

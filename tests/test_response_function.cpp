@@ -65,9 +65,9 @@ TEST(ResponseFunction, PadhyeApproachesSimpleAtLowLoss) {
 }
 
 TEST(ResponseFunction, RejectsNonPositiveLoss) {
-  EXPECT_THROW(simple_response_pkts_per_rtt(0.0), std::invalid_argument);
+  EXPECT_THROW((void)simple_response_pkts_per_rtt(0.0), std::invalid_argument);
   EXPECT_THROW(
-      padhye_rate_bytes_per_sec(-0.1, sim::Time::millis(50), 1000),
+      (void)padhye_rate_bytes_per_sec(-0.1, sim::Time::millis(50), 1000),
       std::invalid_argument);
 }
 

@@ -31,7 +31,7 @@ TEST(AimdPolicy, RejectsInvalidParameters) {
   EXPECT_THROW(AimdPolicy(0.0, 0.5), std::invalid_argument);
   EXPECT_THROW(AimdPolicy(1.0, 0.0), std::invalid_argument);
   EXPECT_THROW(AimdPolicy(1.0, 1.0), std::invalid_argument);
-  EXPECT_THROW(AimdPolicy::compatible_a(0.0), std::invalid_argument);
+  EXPECT_THROW((void)AimdPolicy::compatible_a(0.0), std::invalid_argument);
 }
 
 TEST(AimdPolicy, NameMentionsParameters) {

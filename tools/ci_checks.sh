@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Canonical CI entry point — also pleasant to run locally before
+# pushing. Chains, in order:
+#
+#   1. configure with warnings-as-errors (SLOWCC_WERROR=ON)
+#   2. full build
+#   3. slowcc_lint over the tree (the `lint` target)
+#   4. clang-tidy (`tidy` target; no-op when clang-tidy is absent)
+#   5. ctest tier-1 suite
+#
+# Usage: tools/ci_checks.sh [build-dir]   (default: build-ci)
+# Environment: JOBS=<n> overrides the parallelism (default: nproc).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-ci}"
+jobs="${JOBS:-$(nproc)}"
+
+step() { echo; echo "=== ci_checks: $* ==="; }
+
+step "configure (SLOWCC_WERROR=ON) -> $build_dir"
+cmake -B "$build_dir" -S "$repo_root" -DSLOWCC_WERROR=ON
+
+step "build (-j$jobs)"
+cmake --build "$build_dir" -j"$jobs"
+
+step "lint (slowcc_lint over src bench tools examples)"
+cmake --build "$build_dir" --target lint
+
+step "tidy (clang-tidy; no-op when unavailable)"
+cmake --build "$build_dir" --target tidy
+
+step "ctest (-j$jobs)"
+ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+
+echo
+echo "ci_checks: ALL PASS"

@@ -1,0 +1,731 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace slowcc::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source masking: blank out comments, string literals, and character
+// literals (preserving line structure and column positions) so rule
+// matching never fires on prose or message text. Comment text is kept
+// separately per line for suppression parsing.
+// ---------------------------------------------------------------------------
+
+struct MaskedLine {
+  std::string code;     // literals and comments replaced by spaces
+  std::string comment;  // concatenated comment text on this line
+};
+
+std::vector<MaskedLine> mask_source(const std::string& content) {
+  enum class State {
+    kCode,
+    kString,
+    kChar,
+    kRawString,
+    kLineComment,
+    kBlockComment,
+  };
+
+  std::vector<MaskedLine> lines(1);
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of the active R"delim( ... )delim"
+  bool escaped = false;
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      escaped = false;
+      lines.emplace_back();
+      continue;
+    }
+    MaskedLine& line = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          raw_delim.clear();
+          for (std::size_t j = i + 1;
+               j < content.size() && content[j] != '(' && raw_delim.size() < 16;
+               ++j) {
+            raw_delim += content[j];
+          }
+          state = State::kRawString;
+          line.code += ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          line.code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          line.code += ' ';
+        } else if (c == '/' && i + 1 < content.size() &&
+                   content[i + 1] == '/') {
+          state = State::kLineComment;
+          line.code += ' ';
+          ++i;  // consume the second '/' so it never reaches the comment
+          line.code += ' ';
+        } else if (c == '/' && i + 1 < content.size() &&
+                   content[i + 1] == '*') {
+          state = State::kBlockComment;
+          line.code += ' ';
+          ++i;  // consume '*' so "/*/" does not immediately close
+          line.code += ' ';
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        line.code += ' ';
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        line.code += ' ';
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && content.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = 1; k < closer.size(); ++k) line.code += ' ';
+          i += closer.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+      case State::kLineComment:
+        line.code += ' ';
+        line.comment += c;
+        break;
+      case State::kBlockComment:
+        line.code += ' ';
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          ++i;
+          line.code += ' ';
+          state = State::kCode;
+        } else {
+          line.comment += c;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Small lexical helpers over masked code.
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Find `word` in `line` at identifier boundaries, starting at `from`.
+/// Returns npos when absent.
+std::size_t find_word(const std::string& line, std::string_view word,
+                      std::size_t from = 0) {
+  while (from < line.size()) {
+    const std::size_t pos = line.find(word, from);
+    if (pos == std::string::npos) return std::string::npos;
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& line, std::size_t pos) {
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// True when the word at `pos` is reached as a member (`.` / `->`) or as
+/// a namespace member of anything other than `std` / the global scope.
+/// `foo.time()` and `Clock::time()` are someone else's API; `time(...)`,
+/// `std::time(...)`, and `::time(...)` are the libc call.
+bool qualified_as_foreign_member(const std::string& line, std::size_t pos) {
+  std::size_t p = pos;
+  while (p > 0 &&
+         std::isspace(static_cast<unsigned char>(line[p - 1])) != 0) {
+    --p;
+  }
+  if (p == 0) return false;
+  const char prev = line[p - 1];
+  if (prev == '.') return true;
+  if (prev == '>' && p >= 2 && line[p - 2] == '-') return true;
+  if (prev == ':' && p >= 2 && line[p - 2] == ':') {
+    std::size_t q = p - 2;
+    while (q > 0 && ident_char(line[q - 1])) --q;
+    const std::string qualifier = line.substr(q, (p - 2) - q);
+    return !qualifier.empty() && qualifier != "std";
+  }
+  return false;
+}
+
+/// True when the identifier ending just before `pos` continues with a
+/// call: optional whitespace then '('.
+bool followed_by_call(const std::string& line, std::size_t end) {
+  const std::size_t p = skip_spaces(line, end);
+  return p < line.size() && line[p] == '(';
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kDirective = "slowcc-lint:";
+constexpr std::string_view kBadSuppression = "bad-suppression";
+
+struct Suppressions {
+  std::set<std::string> file_rules;
+  // line number (1-based) -> rules allowed on that line
+  std::map<int, std::set<std::string>> line_rules;
+  std::vector<Finding> errors;  // malformed directives
+};
+
+void parse_directive(const std::string& path, int line_no, bool line_has_code,
+                     const std::string& comment, Suppressions* out) {
+  // The directive must open the comment ("// slowcc-lint: ..."); a
+  // mention elsewhere in a comment is prose, not a suppression. This
+  // also keeps documentation *about* the syntax from parsing as one.
+  const std::string trimmed = trim(comment);
+  if (!starts_with(trimmed, kDirective)) return;
+  std::string rest = trim(trimmed.substr(kDirective.size()));
+
+  bool file_scope = false;
+  if (starts_with(rest, "allow-file")) {
+    file_scope = true;
+    rest = trim(rest.substr(std::string_view("allow-file").size()));
+  } else if (starts_with(rest, "allow")) {
+    rest = trim(rest.substr(std::string_view("allow").size()));
+  } else {
+    out->errors.push_back(
+        {path, line_no, std::string(kBadSuppression),
+         "unrecognized slowcc-lint directive (expected allow(...) or "
+         "allow-file(...))",
+         "write: // slowcc-lint: allow(<rule>) <reason>"});
+    return;
+  }
+  if (rest.empty() || rest[0] != '(') {
+    out->errors.push_back({path, line_no, std::string(kBadSuppression),
+                           "suppression is missing its (rule, ...) list",
+                           "write: // slowcc-lint: allow(<rule>) <reason>"});
+    return;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) {
+    out->errors.push_back({path, line_no, std::string(kBadSuppression),
+                           "unterminated rule list in suppression",
+                           "write: // slowcc-lint: allow(<rule>) <reason>"});
+    return;
+  }
+
+  std::set<std::string> rules;
+  std::stringstream list(rest.substr(1, close - 1));
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    const std::string rule = trim(item);
+    if (rule.empty()) continue;
+    if (!is_known_rule(rule)) {
+      out->errors.push_back({path, line_no, std::string(kBadSuppression),
+                             "suppression names unknown rule '" + rule + "'",
+                             "run slowcc_lint --list-rules for valid names"});
+      return;
+    }
+    rules.insert(rule);
+  }
+  const std::string reason = trim(rest.substr(close + 1));
+  if (rules.empty() || reason.empty()) {
+    out->errors.push_back(
+        {path, line_no, std::string(kBadSuppression),
+         rules.empty() ? "suppression allows no rules"
+                       : "suppression is missing its reason string",
+         "every allow() needs at least one rule and a justification"});
+    return;
+  }
+
+  if (file_scope) {
+    out->file_rules.insert(rules.begin(), rules.end());
+  } else {
+    // A trailing comment guards its own line; a comment on a line of its
+    // own guards the next line.
+    const int target = line_has_code ? line_no : line_no + 1;
+    out->line_rules[target].insert(rules.begin(), rules.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping.
+// ---------------------------------------------------------------------------
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+bool wall_clock_exempt(std::string_view path) {
+  // The Watchdog is the one component whose whole job is reading the
+  // wall clock, and src/exp/ owns wall-deadline bookkeeping for sweeps.
+  return path.find("src/fault/watchdog") != std::string_view::npos ||
+         starts_with(path, "src/exp/");
+}
+
+bool in_src(std::string_view path) { return starts_with(path, "src/"); }
+
+// ---------------------------------------------------------------------------
+// Individual rules. Each takes the masked lines and appends findings.
+// ---------------------------------------------------------------------------
+
+void check_wall_clock(const std::string& path,
+                      const std::vector<MaskedLine>& lines,
+                      std::vector<Finding>* out) {
+  if (wall_clock_exempt(path)) return;
+  static constexpr std::array<std::string_view, 8> kAnyUse = {
+      "gettimeofday",          "clock_gettime", "timespec_get",
+      "system_clock",          "steady_clock",  "high_resolution_clock",
+      "localtime",             "gmtime",
+  };
+  static constexpr std::array<std::string_view, 2> kCallOnly = {"time",
+                                                                "clock"};
+  const std::string hint =
+      "use sim::Time / Simulator::now(); wall clocks are only allowed in "
+      "src/fault/watchdog and src/exp/ wall-deadline code";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (const auto word : kAnyUse) {
+      if (find_word(code, word) != std::string::npos) {
+        out->push_back({path, static_cast<int>(i + 1), "no-wall-clock",
+                        "nondeterministic clock '" + std::string(word) + "'",
+                        hint});
+        break;
+      }
+    }
+    for (const auto word : kCallOnly) {
+      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+           pos = find_word(code, word, pos + 1)) {
+        if (!followed_by_call(code, pos + word.size())) continue;
+        if (qualified_as_foreign_member(code, pos)) continue;
+        out->push_back({path, static_cast<int>(i + 1), "no-wall-clock",
+                        "call to libc '" + std::string(word) + "()'", hint});
+        break;
+      }
+    }
+  }
+}
+
+void check_raw_rand(const std::string& path,
+                    const std::vector<MaskedLine>& lines,
+                    std::vector<Finding>* out) {
+  static constexpr std::array<std::string_view, 12> kAnyUse = {
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "ranlux24",      "ranlux48",     "knuth_b",
+      "drand48",       "lrand48",      "mrand48",
+  };
+  static constexpr std::array<std::string_view, 4> kCallOnly = {
+      "rand", "srand", "random", "srandom"};
+  const std::string hint =
+      "draw from a seeded sim::Rng (src/sim/rng.hpp); derive independent "
+      "sub-streams with sim::derive_seed()";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (const auto word : kAnyUse) {
+      if (find_word(code, word) != std::string::npos) {
+        out->push_back({path, static_cast<int>(i + 1), "no-raw-rand",
+                        "raw PRNG '" + std::string(word) + "'", hint});
+        break;
+      }
+    }
+    for (const auto word : kCallOnly) {
+      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+           pos = find_word(code, word, pos + 1)) {
+        if (!followed_by_call(code, pos + word.size())) continue;
+        if (qualified_as_foreign_member(code, pos)) continue;
+        out->push_back({path, static_cast<int>(i + 1), "no-raw-rand",
+                        "call to '" + std::string(word) + "()'", hint});
+        break;
+      }
+    }
+  }
+}
+
+/// Collect identifiers declared with an unordered container type
+/// anywhere in `lines` into `symbols`.
+void collect_unordered_symbols(const std::vector<MaskedLine>& lines,
+                               std::set<std::string>* symbols) {
+  std::string all;
+  for (const auto& line : lines) {
+    all += line.code;
+    all += '\n';
+  }
+  for (const std::string_view container : {"unordered_map", "unordered_set"}) {
+    for (std::size_t pos = find_word(all, container); pos != std::string::npos;
+         pos = find_word(all, container, pos + 1)) {
+      std::size_t p = pos + container.size();
+      if (p >= all.size() || all[p] != '<') continue;
+      int depth = 0;
+      for (; p < all.size(); ++p) {
+        if (all[p] == '<') ++depth;
+        if (all[p] == '>' && --depth == 0) break;
+      }
+      if (depth != 0) continue;
+      ++p;  // past the closing '>'
+      while (p < all.size() &&
+             (std::isspace(static_cast<unsigned char>(all[p])) != 0 ||
+              all[p] == '&' || all[p] == '*')) {
+        ++p;
+      }
+      if (all.compare(p, 5, "const") == 0) p = skip_spaces(all, p + 5);
+      const std::size_t begin = p;
+      while (p < all.size() && ident_char(all[p])) ++p;
+      if (p > begin && !followed_by_call(all, p)) {
+        symbols->insert(all.substr(begin, p - begin));
+      }
+    }
+  }
+}
+
+void check_unordered_iteration(const std::string& path,
+                               const std::vector<MaskedLine>& lines,
+                               const std::set<std::string>& symbols,
+                               std::vector<Finding>* out) {
+  if (symbols.empty()) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (std::size_t pos = find_word(code, "for"); pos != std::string::npos;
+         pos = find_word(code, "for", pos + 1)) {
+      std::size_t p = skip_spaces(code, pos + 3);
+      if (p >= code.size() || code[p] != '(') continue;
+      // Join continuation lines so multi-line range-fors parse.
+      std::string body;
+      int depth = 0;
+      std::size_t j = i;
+      std::size_t k = p;
+      bool closed = false;
+      while (j < lines.size() && j < i + 8 && !closed) {
+        const std::string& src = lines[j].code;
+        for (; k < src.size(); ++k) {
+          const char ch = src[k];
+          if (ch == '(') {
+            ++depth;
+            if (depth == 1) continue;  // the range-for's own '('
+          } else if (ch == ')') {
+            --depth;
+            if (depth == 0) {
+              closed = true;
+              break;
+            }
+          }
+          body += ch;
+        }
+        ++j;
+        k = 0;
+        body += ' ';
+      }
+      if (!closed) continue;
+      if (body.find(';') != std::string::npos) continue;  // classic for
+      // Find the range-for ':' (skip '::').
+      std::size_t colon = std::string::npos;
+      for (std::size_t c = 0; c < body.size(); ++c) {
+        if (body[c] != ':') continue;
+        if (c + 1 < body.size() && body[c + 1] == ':') {
+          ++c;
+          continue;
+        }
+        if (c > 0 && body[c - 1] == ':') continue;
+        colon = c;
+        break;
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = trim(body.substr(colon + 1));
+      if (range.empty() || !ident_char(range.back())) continue;  // call/expr
+      std::size_t b = range.size();
+      while (b > 0 && ident_char(range[b - 1])) --b;
+      const std::string base = range.substr(b);
+      if (symbols.count(base) == 0) continue;
+      out->push_back(
+          {path, static_cast<int>(i + 1), "no-unordered-iteration",
+           "range-for over unordered container '" + base + "'",
+           "iteration order is unspecified and varies across libstdc++ "
+           "versions; iterate a sorted copy or use std::map/std::set when "
+           "order can reach results"});
+    }
+  }
+}
+
+void check_error_taxonomy(const std::string& path,
+                          const std::vector<MaskedLine>& lines,
+                          std::vector<Finding>* out) {
+  if (!in_src(path)) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const std::size_t pos = find_word(code, "throw");
+    if (pos == std::string::npos) continue;
+    std::string rest = trim(code.substr(pos + 5));
+    std::size_t j = i + 1;
+    while (rest.empty() && j < lines.size() && j < i + 4) {
+      rest = trim(lines[j].code);
+      ++j;
+    }
+    if (starts_with(rest, ";")) continue;  // rethrow
+    std::string t = rest;
+    if (starts_with(t, "slowcc::")) t = trim(t.substr(8));
+    if (starts_with(t, "sim::")) t = trim(t.substr(5));
+    if (starts_with(t, "SimError")) continue;
+    out->push_back(
+        {path, static_cast<int>(i + 1), "error-taxonomy",
+         "throw bypasses the sim::SimError taxonomy",
+         "throw sim::SimError(sim::SimErrc::<code>, \"<component>\", detail) "
+         "so harnesses and the quarantine can dispatch on the code"});
+  }
+}
+
+void check_float_time(const std::string& path,
+                      const std::vector<MaskedLine>& lines,
+                      std::vector<Finding>* out) {
+  if (!in_src(path)) return;
+  static constexpr std::array<std::string_view, 4> kBareNames = {
+      "now", "when", "deadline", "timestamp"};
+  static constexpr std::array<std::string_view, 8> kUnitSuffixes = {
+      "_s", "_secs", "_seconds", "_ms", "_us", "_ns", "_rtts", "_rtt"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    for (const std::string_view type : {"double", "float"}) {
+      for (std::size_t pos = find_word(code, type); pos != std::string::npos;
+           pos = find_word(code, type, pos + 1)) {
+        std::size_t p = skip_spaces(code, pos + type.size());
+        const std::size_t begin = p;
+        while (p < code.size() && ident_char(code[p])) ++p;
+        if (p == begin) continue;
+        if (followed_by_call(code, p)) continue;  // function declaration
+        const std::string name = code.substr(begin, p - begin);
+        if (name.find("wall") != std::string::npos) continue;
+        bool unit_suffixed = false;
+        for (const auto suffix : kUnitSuffixes) {
+          if (ends_with(name, suffix)) unit_suffixed = true;
+        }
+        if (unit_suffixed) continue;
+        const bool time_like =
+            ends_with(name, "time") ||
+            std::find(kBareNames.begin(), kBareNames.end(), name) !=
+                kBareNames.end();
+        if (!time_like) continue;
+        out->push_back(
+            {path, static_cast<int>(i + 1), "no-float-time",
+             "unit-less floating-point time variable '" + name + "'",
+             "store simulation time as sim::Time (integer nanoseconds); if a "
+             "double is deliberate, name the unit (" + name + "_s)"});
+      }
+    }
+  }
+}
+
+void check_header_hygiene(const std::string& path,
+                          const std::vector<MaskedLine>& lines,
+                          std::vector<Finding>* out) {
+  if (!is_header(path)) return;
+  bool pragma_seen = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string line = trim(lines[i].code);
+    if (line.empty()) continue;
+    pragma_seen = line == "#pragma once";
+    if (!pragma_seen) {
+      out->push_back({path, static_cast<int>(i + 1), "header-hygiene",
+                      "header does not open with #pragma once",
+                      "make '#pragma once' the first non-comment line"});
+    }
+    break;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    const std::size_t pos = find_word(code, "using");
+    if (pos == std::string::npos) continue;
+    if (find_word(code, "namespace", pos + 5) != std::string::npos) {
+      out->push_back({path, static_cast<int>(i + 1), "header-hygiene",
+                      "'using namespace' in a header leaks into every "
+                      "includer",
+                      "qualify names explicitly; headers must stay "
+                      "self-contained"});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"no-wall-clock",
+       "bans wall/monotonic clock reads outside watchdog and exp deadline "
+       "code"},
+      {"no-raw-rand",
+       "bans rand()/std::random_device/std engines; use seeded sim::Rng"},
+      {"no-unordered-iteration",
+       "flags range-for over unordered_map/unordered_set (order is "
+       "unspecified)"},
+      {"error-taxonomy",
+       "every throw under src/ must construct sim::SimError"},
+      {"no-float-time",
+       "flags unit-less double/float time variables; use sim::Time"},
+      {"header-hygiene",
+       "headers must open with #pragma once and avoid using-namespace"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(std::string_view name) {
+  for (const auto& rule : all_rules()) {
+    if (rule.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> run(const std::vector<SourceFile>& sources) {
+  std::vector<std::vector<MaskedLine>> masked;
+  masked.reserve(sources.size());
+  std::set<std::string> unordered_symbols;
+  for (const auto& source : sources) {
+    masked.push_back(mask_source(source.content));
+    collect_unordered_symbols(masked.back(), &unordered_symbols);
+  }
+
+  std::vector<Finding> findings;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const std::string& path = sources[s].path;
+    const std::vector<MaskedLine>& lines = masked[s];
+
+    Suppressions suppressions;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].comment.empty()) continue;
+      const bool has_code = !trim(lines[i].code).empty();
+      parse_directive(path, static_cast<int>(i + 1), has_code,
+                      lines[i].comment, &suppressions);
+    }
+
+    std::vector<Finding> raw;
+    check_wall_clock(path, lines, &raw);
+    check_raw_rand(path, lines, &raw);
+    check_unordered_iteration(path, lines, unordered_symbols, &raw);
+    check_error_taxonomy(path, lines, &raw);
+    check_float_time(path, lines, &raw);
+    check_header_hygiene(path, lines, &raw);
+
+    for (auto& finding : raw) {
+      if (suppressions.file_rules.count(finding.rule) != 0) continue;
+      const auto it = suppressions.line_rules.find(finding.line);
+      if (it != suppressions.line_rules.end() &&
+          it->second.count(finding.rule) != 0) {
+        continue;
+      }
+      findings.push_back(std::move(finding));
+    }
+    for (auto& error : suppressions.errors) {
+      findings.push_back(std::move(error));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void report_text(const std::vector<Finding>& findings, std::ostream& out) {
+  for (const auto& finding : findings) {
+    out << finding.file << ":" << finding.line << ": [" << finding.rule
+        << "] " << finding.message << "\n";
+    if (!finding.hint.empty()) out << "    hint: " << finding.hint << "\n";
+  }
+}
+
+void report_json(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\"count\": " << findings.size() << ", \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ", ";
+    out << "{\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\", \"hint\": \"" << json_escape(f.hint)
+        << "\"}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace slowcc::lint

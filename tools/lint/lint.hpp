@@ -1,0 +1,92 @@
+#pragma once
+
+// slowcc-lint — a dependency-free static-analysis pass that enforces the
+// project's determinism and error-taxonomy invariants (see DESIGN.md §8).
+//
+// The engine is a token/line-level scanner, not a compiler frontend: it
+// masks comments and string literals, builds a small cross-file symbol
+// table for unordered containers, and then runs named rules over the
+// masked source. It is deliberately heuristic — the goal is to catch
+// the reproducibility hazards that code review keeps missing (wall
+// clocks, raw PRNGs, unordered iteration, ad-hoc exceptions), not to be
+// a type checker.
+//
+// Rules (each suppressible inline, see below):
+//   no-wall-clock          bans time()/clock()/gettimeofday/clock_gettime
+//                          and std::chrono::{system,steady,high_resolution}
+//                          clocks outside src/fault/watchdog and src/exp/
+//   no-raw-rand            bans rand()/srand()/std::random_device/
+//                          std::mt19937-family engines; use sim::Rng
+//   no-unordered-iteration flags range-for over identifiers declared as
+//                          unordered_map/unordered_set anywhere in the
+//                          scanned batch (iteration order is unspecified)
+//   error-taxonomy         every `throw` under src/ must construct a
+//                          sim::SimError (rethrow `throw;` is allowed)
+//   no-float-time          flags double/float variables with unit-less
+//                          time-ish names (time, now, deadline, ...);
+//                          use sim::Time or an explicit _s/_ms suffix
+//   header-hygiene         headers must open with #pragma once and must
+//                          not contain `using namespace`
+//
+// Suppression syntax (a reason is mandatory, rule names must be known,
+// and the directive must open its comment):
+//   code();  // slowcc-lint: allow(rule) reason text
+//   // slowcc-lint: allow(rule-a, rule-b) reason   <- applies to next line
+//   // slowcc-lint: allow-file(rule) reason        <- whole file
+// A malformed suppression (unknown rule, missing reason) is itself
+// reported under the reserved rule name `bad-suppression`, which cannot
+// be suppressed.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slowcc::lint {
+
+/// One diagnostic: where, which rule, what, and how to fix it.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;
+};
+
+/// A source file handed to the engine. `path` is repo-relative with
+/// forward slashes ("src/sim/rng.cpp") — rule scoping keys off it.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// Every rule the engine knows, in stable order (for --list-rules and
+/// for validating allow() directives).
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+
+/// True if `name` names a real rule.
+[[nodiscard]] bool is_known_rule(std::string_view name);
+
+/// Run all rules over the batch. Cross-file state (the unordered
+/// container symbol table) is built from the whole batch, so pass every
+/// file of interest in one call. Findings are ordered by file, then
+/// line, then rule.
+[[nodiscard]] std::vector<Finding> run(const std::vector<SourceFile>& sources);
+
+/// JSON string-escaping used by the JSON reporter ("\&quot;", \\n, \uXXXX
+/// for other control characters). Exposed for tests.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// `file:line: [rule] message` + indented fix hint, one finding per
+/// block. Emits nothing for an empty list.
+void report_text(const std::vector<Finding>& findings, std::ostream& out);
+
+/// `{"count": N, "findings": [{file, line, rule, message, hint}, ...]}`.
+void report_json(const std::vector<Finding>& findings, std::ostream& out);
+
+}  // namespace slowcc::lint

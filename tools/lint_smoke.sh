@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 gate for slowcc_lint (see tools/lint/): the real tree must lint
+# clean, and a synthetic violation seeded into a scratch tree must fail
+# with the rule name and file:line in the output. Also sanity-checks the
+# JSON reporter so CI consumers can rely on its shape.
+#
+# Usage: tools/lint_smoke.sh /path/to/slowcc_lint /path/to/repo-root
+set -euo pipefail
+
+lint="${1:?usage: lint_smoke.sh /path/to/slowcc_lint /path/to/repo-root}"
+root="${2:?usage: lint_smoke.sh /path/to/slowcc_lint /path/to/repo-root}"
+
+if [[ ! -x "$lint" ]]; then
+  echo "lint_smoke: slowcc_lint not found at '$lint' —" \
+       "build it with: cmake --build build --target slowcc_lint" >&2
+  exit 1
+fi
+
+scratch="$(mktemp -d)"
+trap 'rc=$?; rm -rf "$scratch"; exit $rc' EXIT
+
+# 1. The tree itself must be clean (zero unsuppressed findings).
+if ! "$lint" --root "$root" src bench tools examples; then
+  echo "lint_smoke: FAIL (tree has unsuppressed lint findings, see above)" >&2
+  exit 1
+fi
+
+# 2. A seeded violation must be caught, naming the rule and file:line.
+mkdir -p "$scratch/src"
+cat > "$scratch/src/scratch.cpp" <<'EOF'
+int jitter() { return rand() % 7; }
+EOF
+out="$("$lint" --root "$scratch" src 2>&1)" && {
+  echo "lint_smoke: FAIL (seeded rand() violation was not reported)" >&2
+  exit 1
+}
+if ! grep -q "src/scratch.cpp:1" <<<"$out" \
+   || ! grep -q "no-raw-rand" <<<"$out"; then
+  echo "lint_smoke: FAIL (finding lacks rule name or file:line):" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+# 3. The JSON reporter must agree and be non-empty.
+json="$("$lint" --root "$scratch" --format json src || true)"
+if ! grep -q '"rule": "no-raw-rand"' <<<"$json"; then
+  echo "lint_smoke: FAIL (JSON reporter missing the finding): $json" >&2
+  exit 1
+fi
+
+echo "lint_smoke: PASS"

@@ -13,8 +13,15 @@
 set -euo pipefail
 
 sweep="${1:?usage: sweep_chaos_smoke.sh /path/to/slowcc_sweep}"
+if [[ ! -x "$sweep" ]]; then
+  echo "sweep_chaos_smoke: slowcc_sweep not found at '$sweep' —" \
+       "build it with: cmake --build build --target slowcc_sweep" >&2
+  exit 1
+fi
 work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
+# Preserve the failing command's exit code through the cleanup trap so
+# callers (ctest, CI) see the real status, not rm's.
+trap 'rc=$?; rm -rf "$work"; exit $rc' EXIT
 
 # 32 trials over two cells: boom=0 (healthy, modulo chaos) and boom=1
 # (always quarantined). sleep_ms keeps each trial slow enough in real

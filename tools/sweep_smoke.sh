@@ -11,12 +11,21 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir"' EXIT
+# Preserve the failing command's exit code through the cleanup trap so
+# callers (ctest, CI) see the real status, not rm's.
+trap 'rc=$?; rm -rf "$out_dir"; exit $rc' EXIT
 
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j"$(nproc)" --target slowcc_sweep
 
-"$build_dir/tools/slowcc_sweep" \
+sweep="$build_dir/tools/slowcc_sweep"
+if [[ ! -x "$sweep" ]]; then
+  echo "sweep smoke: slowcc_sweep missing at '$sweep' even after a build —" \
+       "check the cmake output above (expected target: slowcc_sweep)" >&2
+  exit 1
+fi
+
+"$sweep" \
   --experiment static_compat --algorithms tcp,tfrc:6 \
   --trials 2 --jobs 4 --duration-scale 0.02 \
   --selfcheck --out "$out_dir/smoke"

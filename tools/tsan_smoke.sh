@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Race-detection gate for the ParallelRunner: build with
+# ThreadSanitizer (the SLOWCC_SANITIZE=thread configuration) into a
+# separate build directory, then run a multi-jobs sweep with the
+# jobs=N-vs-jobs=1 determinism selfcheck plus the runner-focused unit
+# tests. Any TSan report fails the run (halt_on_error below).
+#
+# Registered as a ctest (see tools/CMakeLists.txt) with the same skip
+# discipline as sanitize_smoke: exit 77 (SKIP_RETURN_CODE) when the
+# toolchain has no usable TSan runtime, and — because the nested
+# rebuild costs minutes — when invoked from ctest without the opt-in:
+#
+#   SLOWCC_TSAN_SMOKE=1 ctest -R tsan_smoke --output-on-failure
+#
+# Direct invocation (tools/tsan_smoke.sh) always runs.
+#
+# Usage: tools/tsan_smoke.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+if [[ "${SLOWCC_IN_TSAN_SMOKE:-0}" == "1" ]]; then
+  echo "tsan smoke: SKIP (already inside a tsan smoke run)"
+  exit 77
+fi
+if [[ "${SLOWCC_UNDER_CTEST:-0}" == "1" \
+      && "${SLOWCC_TSAN_SMOKE:-0}" != "1" ]]; then
+  echo "tsan smoke: SKIP (expensive; opt in with SLOWCC_TSAN_SMOKE=1)"
+  exit 77
+fi
+export SLOWCC_IN_TSAN_SMOKE=1
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+# Probe: compiler flag AND runtime library must both exist.
+cxx="${CXX:-c++}"
+probe_dir="$(mktemp -d)"
+trap 'rc=$?; rm -rf "$probe_dir"; exit $rc' EXIT
+if ! echo 'int main() { return 0; }' | "$cxx" -x c++ - \
+    -fsanitize=thread -o "$probe_dir/probe" 2>/dev/null; then
+  echo "tsan smoke: SKIP ($cxx cannot build with -fsanitize=thread)"
+  exit 77
+fi
+if ! "$probe_dir/probe" 2>/dev/null; then
+  echo "tsan smoke: SKIP (TSan binaries do not run here)"
+  exit 77
+fi
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSLOWCC_SANITIZE=thread
+cmake --build "$build_dir" -j"$(nproc)" --target slowcc_sweep slowcc_tests
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+# A real multi-worker sweep: 4 threads racing over the work queue, with
+# the byte-identity selfcheck so ordering bugs surface as diffs too.
+"$build_dir/tools/slowcc_sweep" \
+  --experiment static_compat --algorithms tcp,tfrc:6 \
+  --trials 4 --jobs 4 --duration-scale 0.02 --selfcheck --quiet
+
+# Runner-focused unit tests under TSan (sweep + quarantine suites).
+ctest --test-dir "$build_dir" --output-on-failure \
+  -R 'Sweep|Quarantine|ParallelRunner' -j"$(nproc)" || {
+  echo "tsan smoke: FAIL (runner unit tests under TSan)" >&2
+  exit 1
+}
+
+echo "tsan smoke: PASS"
