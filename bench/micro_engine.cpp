@@ -10,9 +10,13 @@
 
 using namespace slowcc;
 
-static void BM_EventQueueScheduleRun(benchmark::State& state) {
+// The two event-queue benchmarks run once per engine (name suffix
+// /heap, /wheel); tools/bench_report pairs the variants up and reports
+// the wheel:heap speedup in BENCH_engine.json.
+static void BM_EventQueueScheduleRun(benchmark::State& state,
+                                     sim::EngineKind kind) {
   for (auto _ : state) {
-    sim::Simulator sim;
+    sim::Simulator sim{kind};
     for (int i = 0; i < 1000; ++i) {
       sim.schedule_at(sim::Time::micros(i), [] {});
     }
@@ -21,11 +25,13 @@ static void BM_EventQueueScheduleRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_EventQueueScheduleRun);
+BENCHMARK_CAPTURE(BM_EventQueueScheduleRun, heap, sim::EngineKind::kHeap);
+BENCHMARK_CAPTURE(BM_EventQueueScheduleRun, wheel, sim::EngineKind::kWheel);
 
-static void BM_EventQueueCancelHeavy(benchmark::State& state) {
+static void BM_EventQueueCancelHeavy(benchmark::State& state,
+                                     sim::EngineKind kind) {
   for (auto _ : state) {
-    sim::EventQueue q;
+    sim::EventQueue q{kind};
     std::vector<sim::EventId> ids;
     ids.reserve(1000);
     for (int i = 0; i < 1000; ++i) {
@@ -36,7 +42,8 @@ static void BM_EventQueueCancelHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(BM_EventQueueCancelHeavy);
+BENCHMARK_CAPTURE(BM_EventQueueCancelHeavy, heap, sim::EngineKind::kHeap);
+BENCHMARK_CAPTURE(BM_EventQueueCancelHeavy, wheel, sim::EngineKind::kWheel);
 
 static void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q(64);

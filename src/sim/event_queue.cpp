@@ -1,68 +1,5 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-namespace slowcc::sim {
-
-EventId EventQueue::schedule(Time at, Callback cb) {
-  const std::uint64_t id = next_seq_++;
-  heap_.push_back(Entry{at, id, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  ++live_;
-  return EventId(id);
-}
-
-void EventQueue::cancel(EventId id) {
-  if (!id.valid()) return;
-  // Cancelling an event that already fired (or was already cancelled)
-  // is a no-op; only pending events affect the bookkeeping.
-  if (pending_.erase(id.id_) == 0) return;
-  cancelled_.insert(id.id_);
-  --live_;
-}
-
-void EventQueue::purge_cancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
-bool EventQueue::empty() const noexcept { return live_ == 0; }
-
-std::vector<Time> EventQueue::pending_times(std::size_t max_entries) const {
-  std::vector<Time> times;
-  times.reserve(live_);
-  for (const Entry& e : heap_) {
-    if (cancelled_.find(e.id) == cancelled_.end()) times.push_back(e.at);
-  }
-  std::sort(times.begin(), times.end());
-  if (times.size() > max_entries) times.resize(max_entries);
-  return times;
-}
-
-Time EventQueue::next_time() const {
-  auto* self = const_cast<EventQueue*>(this);
-  self->purge_cancelled();
-  assert(!heap_.empty());
-  return heap_.front().at;
-}
-
-EventQueue::Callback EventQueue::pop(Time* fire_time) {
-  purge_cancelled();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(e.id);
-  --live_;
-  if (fire_time != nullptr) *fire_time = e.at;
-  return std::move(e.cb);
-}
-
-}  // namespace slowcc::sim
+// EventQueue is a header-only facade over the engines in
+// heap_scheduler.cpp / wheel_scheduler.cpp; this TU just ensures the
+// header stands alone.

@@ -1,83 +1,90 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace slowcc::sim {
 
-/// Opaque handle to a scheduled event, used for cancellation.
-class EventId {
- public:
-  constexpr EventId() noexcept : id_(0) {}
-  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
-  constexpr bool operator==(const EventId&) const noexcept = default;
-
- private:
-  friend class EventQueue;
-  explicit constexpr EventId(std::uint64_t id) noexcept : id_(id) {}
-  std::uint64_t id_;
-};
-
-/// Priority queue of timestamped callbacks.
+/// Priority queue of timestamped callbacks — a thin facade over a
+/// pluggable `Scheduler` engine (see scheduler.hpp).
 ///
 /// Events with equal timestamps fire in insertion order, which keeps
-/// simulations deterministic. Cancellation is O(1): cancelled ids are
-/// remembered and the corresponding heap entries discarded when popped.
+/// simulations deterministic; every engine honours the same (at, seq)
+/// ordering contract, enforced by the differential tests in
+/// tests/engine_diff.hpp. The default engine is the hierarchical timer
+/// wheel; pass EngineKind::kHeap (or set SLOWCC_ENGINE=heap) to use the
+/// original binary heap.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Scheduler::Callback;
+
+  EventQueue() : EventQueue(default_engine()) {}
+  explicit EventQueue(EngineKind kind)
+      : kind_(kind), engine_(make_scheduler(kind)) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `cb` at absolute time `at`. Returns a handle usable with
   /// `cancel`.
-  EventId schedule(Time at, Callback cb);
+  EventId schedule(Time at, Callback cb) {
+    return engine_->schedule(at, std::move(cb));
+  }
 
   /// Cancel a previously scheduled event. Cancelling an already-fired
   /// or already-cancelled event is a harmless no-op.
-  void cancel(EventId id);
+  void cancel(EventId id) { engine_->cancel(id); }
 
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return engine_->size() == 0; }
 
-  /// Timestamp of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] Time next_time() const;
+  /// Timestamp of the earliest live event. Throws SimError
+  /// (kBadSchedule) when no live event remains — an all-cancelled
+  /// queue counts as empty.
+  [[nodiscard]] Time next_time() const { return engine_->next_time(); }
 
-  /// Pop and return the earliest pending event's callback.
-  /// Precondition: !empty().
-  [[nodiscard]] Callback pop(Time* fire_time);
+  /// Pop and return the earliest live event's callback. Throws SimError
+  /// (kBadSchedule) when no live event remains.
+  [[nodiscard]] Callback pop(Time* fire_time) {
+    PoppedEvent ev;
+    Callback cb = engine_->pop(&ev);
+    if (fire_time != nullptr) *fire_time = ev.at;
+    return cb;
+  }
+
+  /// Like pop(Time*) but also reports the FIFO sequence number, which
+  /// Simulator folds into its trace digest.
+  [[nodiscard]] Callback pop_event(PoppedEvent* out) {
+    return engine_->pop(out);
+  }
 
   /// Number of live (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t size() const noexcept { return engine_->size(); }
 
   /// Timestamps of the earliest live events, ascending, at most
   /// `max_entries` of them. O(n log n); meant for diagnostic dumps
   /// (Watchdog), not hot paths.
-  [[nodiscard]] std::vector<Time> pending_times(
-      std::size_t max_entries) const;
+  [[nodiscard]] std::vector<Time> pending_times(std::size_t max_entries) const {
+    return engine_->pending_times(max_entries);
+  }
+
+  [[nodiscard]] EngineKind engine_kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* engine_name() const noexcept {
+    return engine_->name();
+  }
+  [[nodiscard]] SchedulerStats stats() const noexcept {
+    return engine_->stats();
+  }
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;  // tie-break: FIFO among equal times
-    std::uint64_t id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  void purge_cancelled();
-
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::uint64_t next_seq_ = 1;
-  std::size_t live_ = 0;
+  EngineKind kind_;
+  // next_time() advances engine cursors but is observably const (the
+  // earliest live timestamp does not change), so the facade keeps the
+  // historical const signature.
+  std::unique_ptr<Scheduler> engine_;
 };
 
 }  // namespace slowcc::sim

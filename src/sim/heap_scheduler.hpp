@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace slowcc::sim {
+
+/// The original engine: a binary heap of (time, seq) entries with lazy
+/// cancellation. Cancelled ids are remembered in a hash set and their
+/// heap entries discarded when they reach the front; when tombstones
+/// outnumber live entries the heap is compacted in one pass, so a
+/// cancel-heavy run can no longer grow `cancelled_` without bound
+/// (the pre-split engine leaked every id that was cancelled but never
+/// popped).
+class HeapScheduler final : public Scheduler {
+ public:
+  EventId schedule(Time at, Callback cb) override;
+  bool cancel(EventId id) override;
+  [[nodiscard]] Time next_time() override;
+  [[nodiscard]] Callback pop(PoppedEvent* out) override;
+  [[nodiscard]] std::size_t size() const noexcept override { return live_; }
+  [[nodiscard]] std::vector<Time> pending_times(
+      std::size_t max_entries) const override;
+  [[nodiscard]] SchedulerStats stats() const noexcept override;
+  [[nodiscard]] const char* name() const noexcept override { return "heap"; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // doubles as the event id
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void purge_cancelled();
+  void compact();
+  void throw_empty(const char* op) const;
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace slowcc::sim

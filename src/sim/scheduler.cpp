@@ -1,0 +1,65 @@
+#include "sim/scheduler.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "sim/error.hpp"
+#include "sim/heap_scheduler.hpp"
+#include "sim/wheel_scheduler.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+// Per-thread override so sweep workers and differential tests can pin
+// an engine without affecting concurrently running simulations.
+thread_local std::optional<EngineKind> t_engine_override;
+
+EngineKind env_engine() noexcept {
+  // Read SLOWCC_ENGINE once; an unknown value falls back to the wheel
+  // rather than failing, because this is a tuning knob, not config.
+  static const EngineKind kind = [] {
+    const char* env = std::getenv("SLOWCC_ENGINE");
+    if (env != nullptr && std::strcmp(env, "heap") == 0) {
+      return EngineKind::kHeap;
+    }
+    return EngineKind::kWheel;
+  }();
+  return kind;
+}
+
+}  // namespace
+
+const char* engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kHeap:
+      return "heap";
+    case EngineKind::kWheel:
+      return "wheel";
+  }
+  return "unknown";
+}
+
+EngineKind default_engine() noexcept {
+  if (t_engine_override.has_value()) return *t_engine_override;
+  return env_engine();
+}
+
+void set_thread_default_engine(EngineKind kind) noexcept {
+  t_engine_override = kind;
+}
+
+void clear_thread_default_engine() noexcept { t_engine_override.reset(); }
+
+std::unique_ptr<Scheduler> make_scheduler(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHeap:
+      return std::make_unique<HeapScheduler>();
+    case EngineKind::kWheel:
+      return std::make_unique<WheelScheduler>();
+  }
+  throw SimError(SimErrc::kBadConfig, "EventQueue",
+                 "make_scheduler: unknown engine kind");
+}
+
+}  // namespace slowcc::sim

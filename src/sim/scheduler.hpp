@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace slowcc::sim {
+
+class Scheduler;
+
+/// Opaque handle to a scheduled event, used for cancellation. The raw
+/// encoding is engine-specific (the heap uses the sequence number, the
+/// timer wheel packs a pool slot and a generation counter), so ids must
+/// never be compared across queues or engines.
+class EventId {
+ public:
+  constexpr EventId() noexcept : id_(0) {}
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+
+ private:
+  friend class Scheduler;
+  explicit constexpr EventId(std::uint64_t id) noexcept : id_(id) {}
+  std::uint64_t id_;
+};
+
+/// Which scheduler engine backs an EventQueue / Simulator.
+enum class EngineKind {
+  kHeap,   // binary heap + lazy cancellation (the original engine)
+  kWheel,  // hierarchical timer wheel + far-future overflow heap
+};
+
+/// Stable engine name ("heap" / "wheel") for reports and bench labels.
+[[nodiscard]] const char* engine_kind_name(EngineKind kind) noexcept;
+
+/// The engine a default-constructed EventQueue/Simulator uses. Resolved
+/// as: thread override (set_thread_default_engine) > the SLOWCC_ENGINE
+/// environment variable ("heap" / "wheel", read once) > kWheel.
+[[nodiscard]] EngineKind default_engine() noexcept;
+
+/// Override the default engine for the calling thread only (sweep
+/// workers stay independent). Pair with clear_thread_default_engine();
+/// tests use this to drive whole scenarios through a chosen engine.
+void set_thread_default_engine(EngineKind kind) noexcept;
+void clear_thread_default_engine() noexcept;
+
+/// Timestamp + FIFO sequence number of a popped event. `seq` is
+/// assigned at schedule() time (1, 2, 3, ... per queue) and breaks ties
+/// among equal timestamps, so the executed (at, seq) stream is the
+/// engine-independent observable the golden-trace digests pin.
+struct PoppedEvent {
+  Time at;
+  std::uint64_t seq = 0;
+};
+
+/// Size diagnostics for tests and capacity monitoring.
+struct SchedulerStats {
+  std::size_t stored = 0;      // entries held, live + tombstoned
+  std::size_t tombstones = 0;  // cancelled entries not yet reclaimed
+  std::size_t capacity = 0;    // backing allocation, in entries
+};
+
+/// Engine interface behind EventQueue. Contract shared by every
+/// implementation (and enforced by tests/engine_diff.hpp):
+///   - events fire in (at, seq) order; seq is FIFO at equal times
+///   - cancel is a no-op for fired, cancelled, or stale ids
+///   - next_time()/pop() throw SimError(kBadSchedule) when no live
+///     event remains (an all-cancelled queue is "empty" too)
+class Scheduler {
+ public:
+  // The public callback type IS the API boundary the hot-path rule
+  // carves out; engines pool the POD *entries* around it.
+  // slowcc-lint: allow(no-std-function-hot-path) API-boundary callback type
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  virtual EventId schedule(Time at, Callback cb) = 0;
+
+  /// Returns true when a pending event was actually cancelled.
+  virtual bool cancel(EventId id) = 0;
+
+  /// Timestamp of the earliest live event; throws SimError(kBadSchedule)
+  /// when none remains. Non-const: engines may advance internal cursors.
+  [[nodiscard]] virtual Time next_time() = 0;
+
+  /// Pop the earliest live event; throws SimError(kBadSchedule) when
+  /// none remains. `out` (optional) receives its (at, seq).
+  [[nodiscard]] virtual Callback pop(PoppedEvent* out) = 0;
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Timestamps of the earliest live events, ascending, at most
+  /// `max_entries`. Diagnostic path, not a hot one.
+  [[nodiscard]] virtual std::vector<Time> pending_times(
+      std::size_t max_entries) const = 0;
+
+  [[nodiscard]] virtual SchedulerStats stats() const noexcept = 0;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+ protected:
+  // EventId's raw value is private; engines mint and decode ids through
+  // these so the handle type stays opaque to everyone else.
+  [[nodiscard]] static constexpr EventId make_event_id(
+      std::uint64_t raw) noexcept {
+    return EventId(raw);
+  }
+  [[nodiscard]] static constexpr std::uint64_t raw_event_id(
+      EventId id) noexcept {
+    return id.id_;
+  }
+};
+
+/// Construct an engine. Throws SimError(kBadConfig) on an unknown kind.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(EngineKind kind);
+
+/// FNV-1a (64-bit) folding of one value into a running hash, byte-wise
+/// little-endian. Used by Simulator::trace_digest() and the golden-trace
+/// tests; kept here so tools can reproduce digests bit-for-bit.
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(std::uint64_t hash,
+                                                std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace slowcc::sim

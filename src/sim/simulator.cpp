@@ -15,7 +15,7 @@ thread_local std::uint64_t t_events_executed = 0;
 
 }  // namespace
 
-Simulator::Simulator() {
+Simulator::Simulator(EngineKind engine) : queue_(engine) {
   if (t_construct_observer) {
     // Swap the slot out while the observer runs so an observer that
     // constructs helper Simulators cannot recurse into itself.
@@ -62,7 +62,7 @@ EventId Simulator::schedule_in(Time delay, EventQueue::Callback cb) {
 }
 
 void Simulator::set_event_hook(std::uint64_t every_events,
-                               std::function<void()> hook) {
+                               EventQueue::Callback hook) {
   if (every_events == 0 || hook == nullptr) {
     throw SimError(SimErrc::kBadConfig, "Simulator",
                    "set_event_hook: need every_events >= 1 and a callable");
@@ -90,12 +90,15 @@ void Simulator::run_until(Time deadline) {
               " events since armed; clock " + now_.to_string() + ", " +
               std::to_string(queue_.size()) + " pending)");
     }
-    Time fire_time;
-    auto cb = queue_.pop(&fire_time);
-    assert(fire_time >= now_);
-    now_ = fire_time;
+    PoppedEvent ev;
+    auto cb = queue_.pop_event(&ev);
+    assert(ev.at >= now_);
+    now_ = ev.at;
     ++events_executed_;
     ++t_events_executed;
+    trace_digest_ = fnv1a_u64(
+        fnv1a_u64(trace_digest_, static_cast<std::uint64_t>(ev.at.as_nanos())),
+        ev.seq);
     cb();
     if (hook_every_ != 0 && events_executed_ % hook_every_ == 0) hook_();
   }

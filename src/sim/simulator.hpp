@@ -8,6 +8,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+// slowcc-lint: allow-file(no-std-function-hot-path) observer/hook slots
+// are per-Simulator control-plane state, not per-event; the per-event
+// callbacks live in the pooled engine entries behind EventQueue.
+
 namespace slowcc::sim {
 
 /// Discrete-event simulation driver.
@@ -23,7 +27,11 @@ class Simulator {
   /// thread it was registered on (see `set_thread_construct_observer`).
   using ConstructObserver = std::function<void(Simulator&)>;
 
-  Simulator();
+  /// Default-constructed simulators use `default_engine()` (thread
+  /// override > SLOWCC_ENGINE env > timer wheel); pass a kind to pin
+  /// one explicitly.
+  Simulator() : Simulator(default_engine()) {}
+  explicit Simulator(EngineKind engine);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -51,6 +59,22 @@ class Simulator {
   /// Number of events executed so far (for micro-benchmarks and tests).
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
     return events_executed_;
+  }
+
+  /// FNV-1a digest over the (fire-time, seq) pairs of every event
+  /// executed so far. Engine-independent by contract — the golden-trace
+  /// tests pin scenario digests and the differential harness checks
+  /// heap and wheel produce identical values.
+  [[nodiscard]] std::uint64_t trace_digest() const noexcept {
+    return trace_digest_;
+  }
+
+  /// Which scheduler engine backs this simulation.
+  [[nodiscard]] EngineKind engine_kind() const noexcept {
+    return queue_.engine_kind();
+  }
+  [[nodiscard]] const char* engine_name() const noexcept {
+    return queue_.engine_name();
   }
 
   /// Events executed by every Simulator on the calling thread since
@@ -130,6 +154,7 @@ class Simulator {
   EventQueue queue_;
   Time now_;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t trace_digest_ = kFnvOffsetBasis;
   std::uint64_t next_packet_uid_ = 1;
   std::uint64_t event_budget_ = 0;  // 0 = unlimited
   std::uint64_t event_budget_base_ = 0;

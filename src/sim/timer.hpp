@@ -5,6 +5,9 @@
 
 #include "sim/simulator.hpp"
 
+// slowcc-lint: allow-file(no-std-function-hot-path) one callable per
+// Timer, installed at arm time — the fire path moves only EventIds.
+
 namespace slowcc::sim {
 
 /// A restartable one-shot timer.

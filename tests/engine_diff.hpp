@@ -1,0 +1,199 @@
+#pragma once
+
+// Differential test harness for scheduler engines.
+//
+// A DiffScript is a flat list of schedule/cancel/pop/peek operations.
+// run_script() executes one through a chosen engine and renders every
+// observable (pop order, peek results, cancel outcomes, live size,
+// pending_times, empty-queue throws) into a canonical log string;
+// diff_engines() runs the same script through the heap and the wheel
+// and, when the logs differ, delta-debugs the script down to a minimal
+// failing core and returns a report embedding it. Property tests feed
+// this with randomized 10k-op scripts seeded via sim::Rng.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace slowcc::test {
+
+struct DiffOp {
+  enum class Kind : std::uint8_t { kSchedule, kCancel, kPop, kPeek };
+  Kind kind = Kind::kSchedule;
+  std::int64_t at_ns = 0;   // kSchedule: absolute timestamp
+  std::size_t target = 0;   // kCancel: index into ids minted so far
+};
+
+using DiffScript = std::vector<DiffOp>;
+
+/// Execute `script` on a fresh engine of `kind` and render everything
+/// observable into a log. Two engines agree iff their logs are equal.
+inline std::string run_script(sim::EngineKind kind, const DiffScript& script) {
+  auto engine = sim::make_scheduler(kind);
+  std::vector<sim::EventId> ids;
+  std::ostringstream log;
+  std::uint64_t executed = 0;
+  for (const DiffOp& op : script) {
+    switch (op.kind) {
+      case DiffOp::Kind::kSchedule:
+        ids.push_back(engine->schedule(sim::Time::nanos(op.at_ns), [] {}));
+        break;
+      case DiffOp::Kind::kCancel: {
+        sim::EventId id;  // stays invalid when nothing was scheduled yet
+        if (!ids.empty()) id = ids[op.target % ids.size()];
+        log << "cancel=" << (engine->cancel(id) ? 1 : 0) << "\n";
+        break;
+      }
+      case DiffOp::Kind::kPop:
+        try {
+          sim::PoppedEvent ev;
+          (void)engine->pop(&ev);
+          ++executed;
+          log << "pop=" << ev.at.as_nanos() << "/" << ev.seq << "\n";
+        } catch (const sim::SimError&) {
+          log << "pop=throw\n";
+        }
+        break;
+      case DiffOp::Kind::kPeek:
+        try {
+          log << "peek=" << engine->next_time().as_nanos() << "\n";
+        } catch (const sim::SimError&) {
+          log << "peek=throw\n";
+        }
+        break;
+    }
+    log << "size=" << engine->size() << "\n";
+  }
+  log << "executed=" << executed << "\n";
+  log << "pending=";
+  for (sim::Time t : engine->pending_times(32)) log << t.as_nanos() << ",";
+  log << "\n";
+  // Drain whatever is left so the scripts' full execution order is
+  // compared even when the script itself pops little.
+  while (engine->size() > 0) {
+    sim::PoppedEvent ev;
+    (void)engine->pop(&ev);
+    log << "drain=" << ev.at.as_nanos() << "/" << ev.seq << "\n";
+  }
+  return log.str();
+}
+
+/// Render a script as re-runnable pseudo-code for failure reports.
+inline std::string render_script(const DiffScript& script) {
+  std::ostringstream out;
+  for (const DiffOp& op : script) {
+    switch (op.kind) {
+      case DiffOp::Kind::kSchedule:
+        out << "  schedule(at_ns=" << op.at_ns << ")\n";
+        break;
+      case DiffOp::Kind::kCancel:
+        out << "  cancel(target=" << op.target << ")\n";
+        break;
+      case DiffOp::Kind::kPop:
+        out << "  pop()\n";
+        break;
+      case DiffOp::Kind::kPeek:
+        out << "  peek()\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+inline bool engines_disagree(const DiffScript& script) {
+  return run_script(sim::EngineKind::kHeap, script) !=
+         run_script(sim::EngineKind::kWheel, script);
+}
+
+/// ddmin-style shrink: repeatedly delete chunks of the script while the
+/// heap/wheel disagreement persists, halving the chunk size until even
+/// single-op removals no longer help.
+inline DiffScript shrink_script(DiffScript failing) {
+  std::size_t chunk = std::max<std::size_t>(1, failing.size() / 2);
+  for (;;) {
+    bool removed = false;
+    std::size_t start = 0;
+    while (start < failing.size()) {
+      DiffScript candidate(failing);
+      candidate.erase(
+          candidate.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.begin() +
+              static_cast<std::ptrdiff_t>(
+                  std::min(failing.size(), start + chunk)));
+      if (!candidate.empty() && engines_disagree(candidate)) {
+        failing = std::move(candidate);
+        removed = true;  // retry the same offset at the new layout
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed) return failing;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+}
+
+/// Empty string when both engines agree on `script`; otherwise a
+/// failure report containing the shrunken minimal script and both logs.
+inline std::string diff_engines(const DiffScript& script) {
+  if (!engines_disagree(script)) return {};
+  const DiffScript minimal = shrink_script(script);
+  std::ostringstream out;
+  out << "heap and wheel engines disagree; minimal script ("
+      << minimal.size() << " of " << script.size() << " ops):\n"
+      << render_script(minimal) << "--- heap log ---\n"
+      << run_script(sim::EngineKind::kHeap, minimal)
+      << "--- wheel log ---\n"
+      << run_script(sim::EngineKind::kWheel, minimal);
+  return out.str();
+}
+
+/// Randomized script: schedules dominate, with exponentially
+/// distributed horizons (so every wheel level and the overflow heap see
+/// traffic), deliberate equal-time ties (FIFO order must hold), and a
+/// time base that drifts forward so later schedules land behind already
+/// drained slots.
+inline DiffScript random_script(std::uint64_t seed, std::size_t num_ops) {
+  sim::Rng rng(seed);
+  DiffScript script;
+  script.reserve(num_ops);
+  std::int64_t base = 0;
+  std::int64_t last_at = 0;
+  std::size_t scheduled = 0;
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const double roll = rng.uniform();
+    DiffOp op;
+    if (roll < 0.45 || scheduled == 0) {
+      op.kind = DiffOp::Kind::kSchedule;
+      if (scheduled > 0 && rng.chance(0.2)) {
+        op.at_ns = last_at;  // exact tie
+      } else {
+        const auto magnitude = static_cast<int>(rng.uniform_int(49));
+        const auto delta = static_cast<std::int64_t>(
+            rng.uniform_int(std::uint64_t{1} << magnitude));
+        op.at_ns = base + delta;
+      }
+      last_at = op.at_ns;
+      ++scheduled;
+    } else if (roll < 0.70) {
+      op.kind = DiffOp::Kind::kCancel;
+      op.target = static_cast<std::size_t>(rng.uniform_int(scheduled));
+    } else if (roll < 0.95) {
+      op.kind = DiffOp::Kind::kPop;
+      if (rng.chance(0.5)) {
+        base += static_cast<std::int64_t>(rng.uniform_int(1u << 20));
+      }
+    } else {
+      op.kind = DiffOp::Kind::kPeek;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+}  // namespace slowcc::test

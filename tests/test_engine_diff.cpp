@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+#include "engine_diff.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::test {
+namespace {
+
+// Property test: randomized 10k-op schedule/cancel/pop/peek scripts,
+// heap and wheel must agree on every observable. On failure the report
+// embeds the delta-debugged minimal script, so the assertion message is
+// directly actionable.
+TEST(EngineDiff, RandomizedScriptsAgree) {
+  constexpr std::uint64_t kBaseSeed = 0x5107cc5eedULL;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const std::uint64_t seed = sim::derive_seed(kBaseSeed, trial);
+    const std::string report = diff_engines(random_script(seed, 10000));
+    EXPECT_TRUE(report.empty()) << "seed " << seed << ":\n" << report;
+  }
+}
+
+// Short scripts shake out horizon-edge bugs that long ones average
+// away (first advance, first overflow jump, pop-through-empty).
+TEST(EngineDiff, ShortScriptsAgree) {
+  constexpr std::uint64_t kBaseSeed = 0x51075407ULL;
+  for (std::uint64_t trial = 0; trial < 64; ++trial) {
+    const std::uint64_t seed = sim::derive_seed(kBaseSeed, trial);
+    const std::string report = diff_engines(random_script(seed, 40));
+    EXPECT_TRUE(report.empty()) << "seed " << seed << ":\n" << report;
+  }
+}
+
+TEST(EngineDiff, MassiveTieBurstAgrees) {
+  DiffScript script;
+  for (int i = 0; i < 2000; ++i) {
+    script.push_back(DiffOp{DiffOp::Kind::kSchedule, 777'000, 0});
+  }
+  for (std::size_t i = 0; i < 600; ++i) {
+    script.push_back(DiffOp{DiffOp::Kind::kCancel, 0, i * 3});
+  }
+  for (int i = 0; i < 900; ++i) {
+    script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});
+  }
+  const std::string report = diff_engines(script);
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+// INT64_MAX timestamps stress the overflow-jump saturation path; the
+// near events interleave with them across the full wheel span.
+TEST(EngineDiff, FarFutureSentinelsAgree) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  DiffScript script;
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, 5, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax - 1, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, 1'000'000'000'000, 0});
+  for (int i = 0; i < 6; ++i) {
+    script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});
+    script.push_back(DiffOp{DiffOp::Kind::kPeek, 0, 0});
+  }
+  const std::string report = diff_engines(script);
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+// Regression: when a level-0 slot and a level-1 slot start at the same
+// timestamp, the wheel must cascade the level-1 slot first — it can
+// hold events earlier than anything in the level-0 slot. Draining the
+// level-0 slot first served events out of time order.
+TEST(EngineDiff, EqualStartCascadeBeatsDrainAgrees) {
+  constexpr std::int64_t kL1 = std::int64_t{1} << 20;  // level-1 slot span
+  DiffScript script;
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kL1 - 100, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kL1 + 10, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});  // advances the horizon
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kL1 + 50, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});  // must be kL1 + 10
+  script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});
+  const std::string report = diff_engines(script);
+  EXPECT_TRUE(report.empty()) << report;
+}
+
+TEST(EngineDiff, RunScriptIsDeterministicPerEngine) {
+  const DiffScript script = random_script(0xd5e7e2ULL, 2000);
+  EXPECT_EQ(run_script(sim::EngineKind::kWheel, script),
+            run_script(sim::EngineKind::kWheel, script));
+  EXPECT_EQ(run_script(sim::EngineKind::kHeap, script),
+            run_script(sim::EngineKind::kHeap, script));
+}
+
+// Simulator-level differential: a self-rescheduling workload where
+// every callback draws from a shared Rng, so any divergence in
+// execution order immediately snowballs into different digests.
+class RespawnWorkload {
+ public:
+  RespawnWorkload(sim::EngineKind kind, std::uint64_t seed, int budget)
+      : sim_(kind), rng_(seed), budget_(budget) {}
+
+  void spawn() {
+    if (budget_ <= 0) return;
+    --budget_;
+    const auto delay = sim::Time::nanos(
+        static_cast<std::int64_t>(rng_.uniform_int(std::uint64_t{1} << 34)));
+    sim_.schedule_in(delay, [this] {
+      if (rng_.chance(0.7)) spawn();
+      if (rng_.chance(0.5)) spawn();
+    });
+  }
+
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  int budget_;
+};
+
+TEST(EngineDiff, SimulatorTraceDigestsMatch) {
+  const auto run = [](sim::EngineKind kind) {
+    RespawnWorkload w(kind, 0xd16e57ULL, 30000);
+    for (int i = 0; i < 100; ++i) w.spawn();
+    w.sim().run();
+    return std::tuple{w.sim().trace_digest(), w.sim().events_executed(),
+                      w.sim().now()};
+  };
+  const auto heap = run(sim::EngineKind::kHeap);
+  const auto wheel = run(sim::EngineKind::kWheel);
+  EXPECT_EQ(std::get<0>(heap), std::get<0>(wheel));
+  EXPECT_EQ(std::get<1>(heap), std::get<1>(wheel));
+  EXPECT_EQ(std::get<2>(heap), std::get<2>(wheel));
+  EXPECT_GT(std::get<1>(heap), 10000u);  // workload actually ran
+}
+
+TEST(EngineDiff, EngineSelectionKnobs) {
+  sim::Simulator heap_sim{sim::EngineKind::kHeap};
+  sim::Simulator wheel_sim{sim::EngineKind::kWheel};
+  EXPECT_STREQ(heap_sim.engine_name(), "heap");
+  EXPECT_STREQ(wheel_sim.engine_name(), "wheel");
+  EXPECT_EQ(heap_sim.engine_kind(), sim::EngineKind::kHeap);
+  EXPECT_EQ(wheel_sim.engine_kind(), sim::EngineKind::kWheel);
+
+  sim::set_thread_default_engine(sim::EngineKind::kHeap);
+  {
+    sim::Simulator s;
+    EXPECT_EQ(s.engine_kind(), sim::EngineKind::kHeap);
+  }
+  sim::set_thread_default_engine(sim::EngineKind::kWheel);
+  {
+    sim::Simulator s;
+    EXPECT_EQ(s.engine_kind(), sim::EngineKind::kWheel);
+  }
+  sim::clear_thread_default_engine();
+}
+
+TEST(EngineDiff, EngineKindNames) {
+  EXPECT_STREQ(sim::engine_kind_name(sim::EngineKind::kHeap), "heap");
+  EXPECT_STREQ(sim::engine_kind_name(sim::EngineKind::kWheel), "wheel");
+}
+
+}  // namespace
+}  // namespace slowcc::test

@@ -2,13 +2,28 @@
 
 #include <vector>
 
+#include "sim/error.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
 
 namespace slowcc::sim {
 namespace {
 
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
+// Every behavioural test runs against both engines; the fixture name in
+// the test listing carries the engine ("AllEngines/EventQueueTest.X/heap").
+class EventQueueTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EventQueueTest,
+    ::testing::Values(EngineKind::kHeap, EngineKind::kWheel),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return engine_kind_name(info.param);
+    });
+
+TEST_P(EventQueueTest, PopsInTimeOrder) {
   std::vector<int> fired;
   q.schedule(Time::millis(30), [&] { fired.push_back(3); });
   q.schedule(Time::millis(10), [&] { fired.push_back(1); });
@@ -17,8 +32,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, EqualTimesFireInInsertionOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, EqualTimesFireInInsertionOrder) {
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
     q.schedule(Time::millis(5), [&fired, i] { fired.push_back(i); });
@@ -27,16 +41,25 @@ TEST(EventQueue, EqualTimesFireInInsertionOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
 }
 
-TEST(EventQueue, ReportsFireTime) {
-  EventQueue q;
+TEST_P(EventQueueTest, ReportsFireTime) {
   q.schedule(Time::millis(42), [] {});
   Time t;
   (void)q.pop(&t);
   EXPECT_EQ(t, Time::millis(42));
 }
 
-TEST(EventQueue, CancelPreventsExecution) {
-  EventQueue q;
+TEST_P(EventQueueTest, PopEventReportsFifoSeq) {
+  q.schedule(Time::millis(7), [] {});
+  q.schedule(Time::millis(7), [] {});
+  PoppedEvent ev;
+  (void)q.pop_event(&ev);
+  EXPECT_EQ(ev.at, Time::millis(7));
+  EXPECT_EQ(ev.seq, 1u);
+  (void)q.pop_event(&ev);
+  EXPECT_EQ(ev.seq, 2u);
+}
+
+TEST_P(EventQueueTest, CancelPreventsExecution) {
   bool ran = false;
   EventId id = q.schedule(Time::millis(1), [&] { ran = true; });
   q.schedule(Time::millis(2), [] {});
@@ -46,8 +69,7 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(EventQueue, CancelAfterFireIsNoOp) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelAfterFireIsNoOp) {
   EventId id = q.schedule(Time::millis(1), [] {});
   (void)q.pop(nullptr);
   q.cancel(id);  // must not corrupt bookkeeping
@@ -56,8 +78,7 @@ TEST(EventQueue, CancelAfterFireIsNoOp) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, DoubleCancelIsNoOp) {
-  EventQueue q;
+TEST_P(EventQueueTest, DoubleCancelIsNoOp) {
   EventId id = q.schedule(Time::millis(1), [] {});
   q.schedule(Time::millis(2), [] {});
   q.cancel(id);
@@ -65,26 +86,23 @@ TEST(EventQueue, DoubleCancelIsNoOp) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, DefaultEventIdIsInvalid) {
+TEST_P(EventQueueTest, DefaultEventIdIsInvalid) {
   EventId id;
   EXPECT_FALSE(id.valid());
-  EventQueue q;
   q.cancel(id);  // harmless
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, NextTimeSkipsCancelledHead) {
-  EventQueue q;
+TEST_P(EventQueueTest, NextTimeSkipsCancelledHead) {
   EventId early = q.schedule(Time::millis(1), [] {});
   q.schedule(Time::millis(5), [] {});
   q.cancel(early);
   EXPECT_EQ(q.next_time(), Time::millis(5));
 }
 
-TEST(EventQueue, CancelOfFiredIdDoesNotAffectLaterEvents) {
+TEST_P(EventQueueTest, CancelOfFiredIdDoesNotAffectLaterEvents) {
   // The already-fired id must not alias any live entry even after the
   // queue is reused for new events.
-  EventQueue q;
   EventId fired_id = q.schedule(Time::millis(1), [] {});
   (void)q.pop(nullptr);
   bool ran = false;
@@ -95,8 +113,7 @@ TEST(EventQueue, CancelOfFiredIdDoesNotAffectLaterEvents) {
   EXPECT_TRUE(ran);
 }
 
-TEST(EventQueue, PendingTimesSkipsCancelledAndSorts) {
-  EventQueue q;
+TEST_P(EventQueueTest, PendingTimesSkipsCancelledAndSorts) {
   q.schedule(Time::millis(30), [] {});
   EventId mid = q.schedule(Time::millis(20), [] {});
   q.schedule(Time::millis(10), [] {});
@@ -107,8 +124,7 @@ TEST(EventQueue, PendingTimesSkipsCancelledAndSorts) {
   EXPECT_EQ(times[1], Time::millis(30));
 }
 
-TEST(EventQueue, PendingTimesHonoursCap) {
-  EventQueue q;
+TEST_P(EventQueueTest, PendingTimesHonoursCap) {
   for (int i = 0; i < 10; ++i) q.schedule(Time::millis(i), [] {});
   const auto times = q.pending_times(3);
   ASSERT_EQ(times.size(), 3u);
@@ -116,8 +132,7 @@ TEST(EventQueue, PendingTimesHonoursCap) {
   EXPECT_EQ(times[2], Time::millis(2));
 }
 
-TEST(EventQueue, ManyInterleavedOperations) {
-  EventQueue q;
+TEST_P(EventQueueTest, ManyInterleavedOperations) {
   int fired = 0;
   std::vector<EventId> ids;
   for (int i = 0; i < 1000; ++i) {
@@ -126,6 +141,115 @@ TEST(EventQueue, ManyInterleavedOperations) {
   for (int i = 0; i < 1000; i += 2) q.cancel(ids[static_cast<size_t>(i)]);
   while (!q.empty()) q.pop(nullptr)();
   EXPECT_EQ(fired, 500);
+}
+
+// Regression: next_time() on an all-cancelled queue used to trip an
+// assert (and silently misbehave in release builds); it must raise the
+// same structured error as a genuinely empty queue.
+TEST_P(EventQueueTest, NextTimeOnAllCancelledThrowsSimError) {
+  std::vector<EventId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(q.schedule(Time::millis(i + 1), [] {}));
+  }
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  try {
+    (void)q.next_time();
+    FAIL() << "next_time() on an all-cancelled queue did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.code(), SimErrc::kBadSchedule);
+    EXPECT_EQ(e.component(), "EventQueue");
+  }
+}
+
+TEST_P(EventQueueTest, PopOnEmptyThrowsSimError) {
+  EXPECT_THROW((void)q.pop(nullptr), SimError);
+  q.schedule(Time::millis(1), [] {});
+  (void)q.pop(nullptr);
+  EXPECT_THROW((void)q.pop(nullptr), SimError);
+}
+
+// Regression: cancelling the last remaining event and then asking for
+// the next event must behave exactly like an empty queue — and the
+// queue must stay usable afterwards.
+TEST_P(EventQueueTest, CancelLastEventLeavesQueueUsable) {
+  EventId only = q.schedule(Time::millis(9), [] {});
+  q.cancel(only);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.next_time(), SimError);
+  bool ran = false;
+  q.schedule(Time::millis(10), [&] { ran = true; });
+  EXPECT_EQ(q.next_time(), Time::millis(10));
+  q.pop(nullptr)();
+  EXPECT_TRUE(ran);
+}
+
+// Regression: a Simulator whose queue was entirely cancelled must
+// complete run() as a no-op instead of dying inside next_time().
+TEST_P(EventQueueTest, SimulatorRunAfterCancelAllCompletes) {
+  Simulator s{GetParam()};
+  bool ran = false;
+  EventId a = s.schedule_in(Time::millis(1), [&] { ran = true; });
+  EventId b = s.schedule_in(Time::millis(2), [&] { ran = true; });
+  s.cancel(a);
+  s.cancel(b);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+// Regression for the heap engine's tombstone leak: ids cancelled but
+// never popped used to accumulate in the cancelled-id set forever.
+// Compaction must keep the tombstone count bounded by a small constant
+// once live entries are outnumbered.
+TEST(EventQueueHeap, CompactionBoundsTombstones) {
+  EventQueue q{EngineKind::kHeap};
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(q.schedule(Time::micros(i), [] {}));
+  }
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  const SchedulerStats stats = q.stats();
+  EXPECT_LE(stats.tombstones, 100u);
+  EXPECT_LE(stats.stored, 100u);
+}
+
+// The wheel reclaims nodes through its free list: a steady-state
+// schedule/fire cycle must not grow the pool.
+TEST(EventQueueWheel, PoolReusesNodes) {
+  EventQueue q{EngineKind::kWheel};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      q.schedule(Time::micros(round * 1000 + i), [] {});
+    }
+    while (!q.empty()) q.pop(nullptr)();
+  }
+  EXPECT_EQ(q.stats().capacity, 100u);  // pool high-water mark, reused
+  EXPECT_EQ(q.stats().stored, 0u);
+}
+
+// Cancelling a wheel-resident event reclaims its node immediately
+// (O(1) unlink), not lazily at pop time.
+TEST(EventQueueWheel, CancelReclaimsSlotResidentNodes) {
+  EventQueue q{EngineKind::kWheel};
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(q.schedule(Time::millis(i + 1), [] {}));
+  }
+  for (EventId id : ids) q.cancel(id);
+  const SchedulerStats stats = q.stats();
+  EXPECT_EQ(stats.stored, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+}
+
+TEST(EventQueueFacade, ReportsEngineIdentity) {
+  EventQueue heap_q{EngineKind::kHeap};
+  EventQueue wheel_q{EngineKind::kWheel};
+  EXPECT_EQ(heap_q.engine_kind(), EngineKind::kHeap);
+  EXPECT_EQ(wheel_q.engine_kind(), EngineKind::kWheel);
+  EXPECT_STREQ(heap_q.engine_name(), "heap");
+  EXPECT_STREQ(wheel_q.engine_name(), "wheel");
 }
 
 }  // namespace

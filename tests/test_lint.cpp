@@ -214,6 +214,57 @@ TEST(LintHeaderHygiene, AcceptsCommentThenPragmaOnce) {
   EXPECT_EQ(count_rule(cpp, "header-hygiene"), 0);
 }
 
+TEST(LintStdFunctionHotPath, FlagsStdFunctionOnlyUnderSrcSim) {
+  const std::string engine = R"cpp(
+#pragma once
+struct Entry {
+  long at_ns;
+  std::function<void()> cb;
+};
+)cpp";
+  const auto findings = lint_one("src/sim/fancy_scheduler.hpp", engine);
+  EXPECT_EQ(count_rule(findings, "no-std-function-hot-path"), 1);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_TRUE(findings[0].advisory);
+  // The same code outside the engine is not the hot path.
+  EXPECT_EQ(count_rule(lint_one("src/net/foo.hpp", engine),
+                       "no-std-function-hot-path"),
+            0);
+  EXPECT_EQ(count_rule(lint_one("tools/cli.cpp", engine),
+                       "no-std-function-hot-path"),
+            0);
+}
+
+TEST(LintStdFunctionHotPath, IgnoresCommentsAndIsSuppressible) {
+  const auto clean = lint_one("src/sim/notes.cpp", R"cpp(
+// std::function in a comment must not trip the advisory rule.
+int x = 1;
+)cpp");
+  EXPECT_EQ(count_rule(clean, "no-std-function-hot-path"), 0);
+
+  const auto suppressed = lint_one("src/sim/api.hpp", R"cpp(
+#pragma once
+// slowcc-lint: allow(no-std-function-hot-path) API-boundary callback
+using Callback = std::function<void()>;
+)cpp");
+  EXPECT_EQ(count_rule(suppressed, "no-std-function-hot-path"), 0);
+  EXPECT_EQ(count_rule(suppressed, "bad-suppression"), 0);
+}
+
+TEST(LintStdFunctionHotPath, EnforcedRulesStayNonAdvisory) {
+  const auto findings = lint_one("src/sim/mixed.cpp", R"cpp(
+void f() {
+  std::function<void()> cb;
+  int r = rand();
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, "no-std-function-hot-path"), 1);
+  ASSERT_EQ(count_rule(findings, "no-raw-rand"), 1);
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.advisory, f.rule == "no-std-function-hot-path") << f.rule;
+  }
+}
+
 TEST(LintSuppression, TrailingAllowGuardsItsOwnLine) {
   const auto findings = lint_one("src/net/s1.cpp", R"cpp(
 int f() {
@@ -269,11 +320,18 @@ int f() {
 }
 
 TEST(LintRules, RegistryKnowsEveryRule) {
-  EXPECT_GE(slowcc::lint::all_rules().size(), 6u);
+  EXPECT_GE(slowcc::lint::all_rules().size(), 7u);
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-wall-clock"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("error-taxonomy"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-std-function-hot-path"));
   EXPECT_FALSE(slowcc::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(slowcc::lint::is_known_rule(""));
+  // Exactly the hot-path rule is advisory today; enforced rules must
+  // never silently flip.
+  for (const auto& rule : slowcc::lint::all_rules()) {
+    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path")
+        << rule.name;
+  }
 }
 
 TEST(LintJson, EscapesControlAndQuoteCharacters) {
@@ -292,8 +350,18 @@ TEST(LintJson, ReporterEmitsEscapedFindings) {
   const std::string json = out.str();
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
   EXPECT_NE(json.find("src/a \\\"b\\\".cpp"), std::string::npos);
+  EXPECT_NE(json.find("\"advisory\": false"), std::string::npos);
   EXPECT_NE(json.find("message with \\\"quotes\\\"\\n"), std::string::npos);
   EXPECT_NE(json.find("hint\\\\path"), std::string::npos);
+}
+
+TEST(LintJson, ReporterMarksAdvisoryFindings) {
+  const auto findings = lint_one("src/sim/hot.cpp",
+                                 "std::function<void()> cb;\n");
+  ASSERT_EQ(count_rule(findings, "no-std-function-hot-path"), 1);
+  std::ostringstream out;
+  slowcc::lint::report_json(findings, out);
+  EXPECT_NE(out.str().find("\"advisory\": true"), std::string::npos);
 }
 
 TEST(LintText, ReporterPrintsFileLineRuleAndHint) {
@@ -304,6 +372,16 @@ TEST(LintText, ReporterPrintsFileLineRuleAndHint) {
   EXPECT_NE(out.str().find("src/x.cpp:7: [no-wall-clock] bad clock"),
             std::string::npos);
   EXPECT_NE(out.str().find("hint: use sim::Time"), std::string::npos);
+}
+
+TEST(LintText, ReporterTagsAdvisoryFindingsInTheRuleBracket) {
+  const auto findings = lint_one("src/sim/hot.cpp",
+                                 "std::function<void()> cb;\n");
+  ASSERT_EQ(count_rule(findings, "no-std-function-hot-path"), 1);
+  std::ostringstream out;
+  slowcc::lint::report_text(findings, out);
+  EXPECT_NE(out.str().find("[no-std-function-hot-path (advisory)]"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+// Timer rides EventQueue's FIFO tie-break at equal timestamps: a
+// rearm (cancel + fresh schedule) mints a new sequence number and so
+// moves the timer behind existing events at the same deadline. These
+// tests pin that contract on both engines, because transport agents
+// (retransmit timers rearmed every packet) depend on it for
+// deterministic traces.
+class TimerTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  Simulator sim{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, TimerTest,
+    ::testing::Values(EngineKind::kHeap, EngineKind::kWheel),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return engine_kind_name(info.param);
+    });
+
+TEST_P(TimerTest, EqualDeadlinesFireInArmingOrder) {
+  std::vector<int> fired;
+  Timer t1(sim, [&] { fired.push_back(1); });
+  Timer t2(sim, [&] { fired.push_back(2); });
+  Timer t3(sim, [&] { fired.push_back(3); });
+  t2.schedule_at(Time::millis(5));
+  t1.schedule_at(Time::millis(5));
+  t3.schedule_at(Time::millis(5));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+}
+
+TEST_P(TimerTest, RescheduleMovesTimerBehindEqualTimePeers) {
+  std::vector<std::string> order;
+  Timer a(sim, [&] { order.push_back("a"); });
+  Timer b(sim, [&] { order.push_back("b"); });
+  a.schedule_at(Time::millis(5));
+  b.schedule_at(Time::millis(5));
+  // Rearming at the unchanged deadline is NOT a no-op: it replaces the
+  // event and therefore surrenders a's place in the tie.
+  a.schedule_at(Time::millis(5));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST_P(TimerTest, CancelDoesNotDisturbRemainingTieOrder) {
+  std::vector<int> fired;
+  Timer t1(sim, [&] { fired.push_back(1); });
+  Timer t2(sim, [&] { fired.push_back(2); });
+  Timer t3(sim, [&] { fired.push_back(3); });
+  t1.schedule_at(Time::millis(7));
+  t2.schedule_at(Time::millis(7));
+  t3.schedule_at(Time::millis(7));
+  t2.cancel();
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST_P(TimerTest, CancelThenRearmAtSameDeadlineGoesToBack) {
+  std::vector<int> fired;
+  Timer t1(sim, [&] { fired.push_back(1); });
+  Timer t2(sim, [&] { fired.push_back(2); });
+  t1.schedule_at(Time::millis(3));
+  t2.schedule_at(Time::millis(3));
+  t1.cancel();
+  t1.schedule_at(Time::millis(3));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+}
+
+TEST_P(TimerTest, RescheduleToEarlierDeadlineFiresEarlier) {
+  std::vector<int> fired;
+  Timer t1(sim, [&] { fired.push_back(1); });
+  Timer t2(sim, [&] { fired.push_back(2); });
+  t1.schedule_at(Time::millis(10));
+  t2.schedule_at(Time::millis(5));
+  t1.schedule_at(Time::millis(2));
+  EXPECT_EQ(t1.deadline(), Time::millis(2));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+// A zero-delay rearm from inside the callback fires at the *same*
+// timestamp but behind every event already pending there — on the
+// wheel this exercises the schedule-behind-the-horizon path, since the
+// slot containing `now` has already been drained.
+TEST_P(TimerTest, ZeroDelayRearmFiresAfterEqualTimePeers) {
+  std::vector<std::string> order;
+  int a_fires = 0;
+  Timer* a_ptr = nullptr;
+  Timer a(sim, [&] {
+    order.push_back("a");
+    if (++a_fires == 1) a_ptr->schedule_in(Time::nanos(0));
+  });
+  a_ptr = &a;
+  Timer b(sim, [&] { order.push_back("b"); });
+  a.schedule_at(Time::millis(5));
+  b.schedule_at(Time::millis(5));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a"}));
+  EXPECT_EQ(sim.now(), Time::millis(5));
+}
+
+TEST_P(TimerTest, PendingTracksArmAndFire) {
+  Timer t(sim, [] {});
+  EXPECT_FALSE(t.pending());
+  t.schedule_in(Time::millis(1));
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_FALSE(t.pending());
+}
+
+}  // namespace
+}  // namespace slowcc::sim

@@ -1,0 +1,279 @@
+// bench_report: perf-regression pipeline runner for the engine
+// micro-benchmarks.
+//
+// Generate mode runs bench/micro_engine with google-benchmark's JSON
+// output, pairs the per-engine variants (BM_X/heap vs BM_X/wheel) and
+// writes BENCH_engine.json (schema slowcc.bench_engine.v1) with
+// ns-per-op, items-per-second, and the wheel:heap speedup per
+// benchmark. Validate mode re-reads such a file and checks the schema
+// and that both engines are present for every required benchmark —
+// that is the bench_smoke ctest — and can optionally enforce a minimum
+// speedup (`--require-speedup 1.5`) for perf gating:
+//
+//   bench_report --bench build/bench/micro_engine --out BENCH_engine.json
+//   bench_report --validate BENCH_engine.json [--require-speedup 1.5]
+//
+// Exit codes: 0 ok, 1 validation failure, 2 usage or execution error.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kSchema = "slowcc.bench_engine.v1";
+// The acceptance benchmarks: both engines must report for each.
+const std::vector<std::string> kRequiredBenchmarks = {
+    "BM_EventQueueScheduleRun", "BM_EventQueueCancelHeavy"};
+
+struct Sample {
+  std::string bench;
+  std::string engine;
+  double ns_per_op = 0.0;
+  double items_per_second = 0.0;
+};
+
+/// Run `cmd` and capture stdout. Returns false when the command could
+/// not be started or exited non-zero.
+bool slurp_command(const std::string& cmd, std::string* out) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out->append(buf.data(), n);
+  }
+  return pclose(pipe) == 0;
+}
+
+/// Extract `"key": <number>` from a JSON fragment; NaN-free: returns
+/// false when the key is absent.
+bool find_number(const std::string& text, const std::string& key,
+                 double* value) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *value = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+/// Extract `"key": "<string>"` from a JSON fragment.
+bool find_string(const std::string& text, const std::string& key,
+                 std::string* value) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = text.find('"', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  const std::size_t end = text.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  *value = text.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+double to_nanos(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  return value * 1e9;  // "s"
+}
+
+/// Parse google-benchmark JSON output into per-engine samples. Chunks
+/// the text on "name" keys — only benchmark entries carry that key.
+std::vector<Sample> parse_benchmark_json(const std::string& text) {
+  std::vector<Sample> samples;
+  const std::string kNameKey = "\"name\":";
+  std::size_t pos = text.find(kNameKey);
+  while (pos != std::string::npos) {
+    const std::size_t next = text.find(kNameKey, pos + kNameKey.size());
+    const std::string chunk =
+        text.substr(pos, next == std::string::npos ? std::string::npos
+                                                   : next - pos);
+    pos = next;
+    std::string name;
+    if (!find_string(chunk, "name", &name)) continue;
+    const std::size_t slash = name.find('/');
+    if (name.rfind("BM_", 0) != 0 || slash == std::string::npos) continue;
+    double cpu_time = 0.0;
+    double items = 0.0;
+    std::string unit = "ns";
+    if (!find_number(chunk, "cpu_time", &cpu_time)) continue;
+    (void)find_string(chunk, "time_unit", &unit);
+    (void)find_number(chunk, "items_per_second", &items);
+    Sample s;
+    s.bench = name.substr(0, slash);
+    s.engine = name.substr(slash + 1);
+    s.ns_per_op = to_nanos(cpu_time, unit);
+    s.items_per_second = items;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+int generate(const std::string& bench_bin, const std::string& out_path,
+             const std::string& min_time) {
+  const std::string cmd = bench_bin +
+                          " --benchmark_filter=BM_EventQueue"
+                          " --benchmark_format=json"
+                          " --benchmark_min_time=" +
+                          min_time + " 2>/dev/null";
+  std::string json;
+  if (!slurp_command(cmd, &json)) {
+    std::cerr << "bench_report: failed to run '" << cmd << "'\n";
+    return 2;
+  }
+  const std::vector<Sample> samples = parse_benchmark_json(json);
+  if (samples.empty()) {
+    std::cerr << "bench_report: no BM_* samples in benchmark output\n";
+    return 2;
+  }
+
+  // bench name -> engine -> sample
+  std::map<std::string, std::map<std::string, Sample>> by_bench;
+  for (const Sample& s : samples) by_bench[s.bench][s.engine] = s;
+
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out << "    {\"name\": \"" << s.bench << "\", \"engine\": \"" << s.engine
+        << "\", \"ns_per_op\": " << s.ns_per_op
+        << ", \"items_per_second\": " << s.items_per_second << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"comparisons\": [\n";
+  std::vector<std::string> lines;
+  for (const auto& [bench, engines] : by_bench) {
+    const auto heap = engines.find("heap");
+    const auto wheel = engines.find("wheel");
+    if (heap == engines.end() || wheel == engines.end()) continue;
+    std::ostringstream line;
+    line << "    {\"name\": \"" << bench
+         << "\", \"heap_ns_per_op\": " << heap->second.ns_per_op
+         << ", \"wheel_ns_per_op\": " << wheel->second.ns_per_op
+         << ", \"wheel_speedup\": "
+         << (wheel->second.ns_per_op > 0.0
+                 ? heap->second.ns_per_op / wheel->second.ns_per_op
+                 : 0.0)
+         << "}";
+    lines.push_back(line.str());
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+
+  std::ofstream file(out_path);
+  if (!file.good()) {
+    std::cerr << "bench_report: cannot write " << out_path << "\n";
+    return 2;
+  }
+  file << out.str();
+  std::cout << "bench_report: wrote " << out_path << " ("
+            << samples.size() << " samples, " << lines.size()
+            << " comparisons)\n";
+  return 0;
+}
+
+int validate(const std::string& path, double require_speedup) {
+  std::ifstream file(path);
+  if (!file.good()) {
+    std::cerr << "bench_report: cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const std::string text = buf.str();
+
+  std::string schema;
+  if (!find_string(text, "schema", &schema) || schema != kSchema) {
+    std::cerr << "bench_report: " << path << " missing schema \"" << kSchema
+              << "\"\n";
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& bench : kRequiredBenchmarks) {
+    for (const char* engine : {"heap", "wheel"}) {
+      const std::string needle = "{\"name\": \"" + bench +
+                                 "\", \"engine\": \"" + engine + "\"";
+      if (text.find(needle) == std::string::npos) {
+        std::cerr << "bench_report: " << path << " lacks " << bench << "/"
+                  << engine << "\n";
+        ++failures;
+      }
+    }
+    const std::size_t cmp = text.find("{\"name\": \"" + bench +
+                                      "\", \"heap_ns_per_op\"");
+    if (cmp == std::string::npos) {
+      std::cerr << "bench_report: " << path << " lacks a comparison for "
+                << bench << "\n";
+      ++failures;
+      continue;
+    }
+    double speedup = 0.0;
+    if (!find_number(text.substr(cmp), "wheel_speedup", &speedup) ||
+        speedup <= 0.0) {
+      std::cerr << "bench_report: " << path << " has no wheel_speedup for "
+                << bench << "\n";
+      ++failures;
+    } else if (speedup < require_speedup) {
+      std::cerr << "bench_report: " << bench << " wheel_speedup " << speedup
+                << " below required " << require_speedup << "\n";
+      ++failures;
+    } else {
+      std::cout << "bench_report: " << bench << " wheel_speedup=" << speedup
+                << "\n";
+    }
+  }
+  if (failures == 0) std::cout << "bench_report: " << path << " valid\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_bin;
+  std::string out_path = "BENCH_engine.json";
+  std::string validate_path;
+  std::string min_time = "0.05";
+  double require_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_report: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench") {
+      bench_bin = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--min-time") {
+      min_time = next();
+    } else if (arg == "--validate") {
+      validate_path = next();
+    } else if (arg == "--require-speedup") {
+      require_speedup = std::strtod(next(), nullptr);
+    } else {
+      std::cerr << "usage: bench_report --bench <micro_engine> [--out F]"
+                   " [--min-time S] | --validate <F>"
+                   " [--require-speedup X]\n";
+      return 2;
+    }
+  }
+  if (!validate_path.empty()) return validate(validate_path, require_speedup);
+  if (bench_bin.empty()) {
+    std::cerr << "bench_report: need --bench or --validate\n";
+    return 2;
+  }
+  return generate(bench_bin, out_path, min_time);
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke-test the engine perf pipeline: run bench_report against
+# bench/micro_engine at a tiny --min-time so it finishes in seconds,
+# then validate the emitted BENCH_engine.json (schema + both engines
+# present for every required benchmark). Speedup thresholds are NOT
+# enforced here — a ctest sharing the machine with the rest of the
+# suite would flake; run
+#   tools/ci_checks.sh bench
+# for an honest, longer measurement.
+#
+# Usage: tools/bench_smoke.sh <bench_report-bin> <micro_engine-bin>
+set -euo pipefail
+
+bench_report="${1:?usage: bench_smoke.sh <bench_report> <micro_engine>}"
+micro_engine="${2:?usage: bench_smoke.sh <bench_report> <micro_engine>}"
+
+out_dir="$(mktemp -d)"
+trap 'rc=$?; rm -rf "$out_dir"; exit $rc' EXIT
+
+out="$out_dir/BENCH_engine.json"
+"$bench_report" --bench "$micro_engine" --out "$out" --min-time 0.01
+"$bench_report" --validate "$out"
+
+echo "bench smoke: OK"

@@ -7,6 +7,10 @@
 #   3. slowcc_lint over the tree (the `lint` target)
 #   4. clang-tidy (`tidy` target; no-op when clang-tidy is absent)
 #   5. ctest tier-1 suite
+#   6. engine perf report: bench_report runs the per-engine event-queue
+#      micro-benchmarks and writes BENCH_engine.json into the build
+#      dir, enforcing the wheel >= 1.5x heap floor on a quiet-machine
+#      measurement (skip with SLOWCC_SKIP_BENCH=1 on noisy runners)
 #
 # Usage: tools/ci_checks.sh [build-dir]   (default: build-ci)
 # Environment: JOBS=<n> overrides the parallelism (default: nproc).
@@ -32,6 +36,17 @@ cmake --build "$build_dir" --target tidy
 
 step "ctest (-j$jobs)"
 ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+
+if [[ "${SLOWCC_SKIP_BENCH:-0}" != "1" ]]; then
+  step "bench (BENCH_engine.json, wheel >= 1.5x heap)"
+  "$build_dir/tools/bench_report" \
+    --bench "$build_dir/bench/micro_engine" \
+    --out "$build_dir/BENCH_engine.json" --min-time 0.25
+  "$build_dir/tools/bench_report" \
+    --validate "$build_dir/BENCH_engine.json" --require-speedup 1.5
+else
+  step "bench (skipped: SLOWCC_SKIP_BENCH=1)"
+fi
 
 echo
 echo "ci_checks: ALL PASS"

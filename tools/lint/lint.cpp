@@ -303,6 +303,8 @@ bool wall_clock_exempt(std::string_view path) {
 
 bool in_src(std::string_view path) { return starts_with(path, "src/"); }
 
+bool in_sim(std::string_view path) { return starts_with(path, "src/sim/"); }
+
 // ---------------------------------------------------------------------------
 // Individual rules. Each takes the masked lines and appends findings.
 // ---------------------------------------------------------------------------
@@ -551,6 +553,28 @@ void check_float_time(const std::string& path,
   }
 }
 
+void check_std_function_hot_path(const std::string& path,
+                                 const std::vector<MaskedLine>& lines,
+                                 std::vector<Finding>* out) {
+  // Advisory, scoped to the event engine: a std::function per entry
+  // costs an allocation and an indirect call on the hottest loop in the
+  // simulator. The public Scheduler::Callback boundary is fine (and
+  // suppressed at its declaration); engines should move pooled POD
+  // entries around it rather than introduce new type-erased state.
+  if (!in_sim(path)) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (find_word(lines[i].code, "std::function") == std::string::npos) {
+      continue;
+    }
+    out->push_back(
+        {path, static_cast<int>(i + 1), "no-std-function-hot-path",
+         "std::function in event-engine hot-path code",
+         "store pooled POD entries (timestamp, seq, node index) in the "
+         "engine and keep type-erased callables at the Scheduler::Callback "
+         "API boundary; suppress with a reason if this is that boundary"});
+  }
+}
+
 void check_header_hygiene(const std::string& path,
                           const std::vector<MaskedLine>& lines,
                           std::vector<Finding>* out) {
@@ -603,9 +627,24 @@ const std::vector<RuleInfo>& all_rules() {
        "flags unit-less double/float time variables; use sim::Time"},
       {"header-hygiene",
        "headers must open with #pragma once and avoid using-namespace"},
+      {"no-std-function-hot-path",
+       "advisory: std::function in src/sim/ engine code; pool POD entries "
+       "and keep type erasure at the Scheduler::Callback boundary",
+       /*advisory=*/true},
   };
   return kRules;
 }
+
+namespace {
+
+bool rule_is_advisory(std::string_view name) {
+  for (const auto& rule : all_rules()) {
+    if (rule.name == name) return rule.advisory;
+  }
+  return false;
+}
+
+}  // namespace
 
 bool is_known_rule(std::string_view name) {
   for (const auto& rule : all_rules()) {
@@ -643,6 +682,7 @@ std::vector<Finding> run(const std::vector<SourceFile>& sources) {
     check_error_taxonomy(path, lines, &raw);
     check_float_time(path, lines, &raw);
     check_header_hygiene(path, lines, &raw);
+    check_std_function_hot_path(path, lines, &raw);
 
     for (auto& finding : raw) {
       if (suppressions.file_rules.count(finding.rule) != 0) continue;
@@ -651,6 +691,7 @@ std::vector<Finding> run(const std::vector<SourceFile>& sources) {
           it->second.count(finding.rule) != 0) {
         continue;
       }
+      finding.advisory = rule_is_advisory(finding.rule);
       findings.push_back(std::move(finding));
     }
     for (auto& error : suppressions.errors) {
@@ -709,7 +750,8 @@ std::string json_escape(std::string_view text) {
 void report_text(const std::vector<Finding>& findings, std::ostream& out) {
   for (const auto& finding : findings) {
     out << finding.file << ":" << finding.line << ": [" << finding.rule
-        << "] " << finding.message << "\n";
+        << (finding.advisory ? " (advisory)" : "") << "] " << finding.message
+        << "\n";
     if (!finding.hint.empty()) out << "    hint: " << finding.hint << "\n";
   }
 }
@@ -721,7 +763,8 @@ void report_json(const std::vector<Finding>& findings, std::ostream& out) {
     if (i != 0) out << ", ";
     out << "{\"file\": \"" << json_escape(f.file)
         << "\", \"line\": " << f.line << ", \"rule\": \""
-        << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.rule) << "\", \"advisory\": "
+        << (f.advisory ? "true" : "false") << ", \"message\": \""
         << json_escape(f.message) << "\", \"hint\": \"" << json_escape(f.hint)
         << "\"}";
   }

@@ -27,6 +27,14 @@
 //                          use sim::Time or an explicit _s/_ms suffix
 //   header-hygiene         headers must open with #pragma once and must
 //                          not contain `using namespace`
+//   no-std-function-hot-path (advisory) flags std::function in the
+//                          event-engine hot path (src/sim/); engines
+//                          should move pooled POD entries, keeping
+//                          type-erased callables at the API boundary
+//
+// Advisory rules are reported (and suppressible) like any other, but
+// they do not fail the lint gate: the CLI exits non-zero only when an
+// enforced finding survives suppression.
 //
 // Suppression syntax (a reason is mandatory, rule names must be known,
 // and the directive must open its comment):
@@ -45,12 +53,15 @@
 namespace slowcc::lint {
 
 /// One diagnostic: where, which rule, what, and how to fix it.
+/// Advisory findings are informational — reporters mark them and the
+/// CLI does not count them toward its exit code.
 struct Finding {
   std::string file;
   int line = 0;
   std::string rule;
   std::string message;
   std::string hint;
+  bool advisory = false;
 };
 
 /// A source file handed to the engine. `path` is repo-relative with
@@ -63,6 +74,7 @@ struct SourceFile {
 struct RuleInfo {
   std::string_view name;
   std::string_view summary;
+  bool advisory = false;
 };
 
 /// Every rule the engine knows, in stable order (for --list-rules and
@@ -83,10 +95,12 @@ struct RuleInfo {
 [[nodiscard]] std::string json_escape(std::string_view text);
 
 /// `file:line: [rule] message` + indented fix hint, one finding per
-/// block. Emits nothing for an empty list.
+/// block; advisory findings render as `[rule (advisory)]`. Emits
+/// nothing for an empty list.
 void report_text(const std::vector<Finding>& findings, std::ostream& out);
 
-/// `{"count": N, "findings": [{file, line, rule, message, hint}, ...]}`.
+/// `{"count": N, "findings": [{file, line, rule, advisory, message,
+/// hint}, ...]}`.
 void report_json(const std::vector<Finding>& findings, std::ostream& out);
 
 }  // namespace slowcc::lint

@@ -4,8 +4,9 @@
 //
 // Walks the given paths (default: src bench tools examples) under
 // --root, lints every .cpp/.cc/.hpp/.h, and prints findings. Exit code:
-// 0 clean, 1 findings, 2 usage or I/O error — suitable for CI and for
-// the `lint` CMake target. Rules, scoping, and the inline suppression
+// 0 clean, 1 enforced findings, 2 usage or I/O error — suitable for CI
+// and for the `lint` CMake target. Advisory findings are printed but do
+// not affect the exit code. Rules, scoping, and the inline suppression
 // syntax are documented in tools/lint/lint.hpp and DESIGN.md §8.
 
 #include <algorithm>
@@ -69,7 +70,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
     if (arg == "--list-rules") {
       for (const auto& rule : slowcc::lint::all_rules()) {
-        std::cout << rule.name << "\n    " << rule.summary << "\n";
+        std::cout << rule.name << (rule.advisory ? " (advisory)" : "")
+                  << "\n    " << rule.summary << "\n";
       }
       return 0;
     }
@@ -124,12 +126,16 @@ int main(int argc, char** argv) {
 
   const std::vector<slowcc::lint::Finding> findings =
       slowcc::lint::run(sources);
+  const long advisory =
+      std::count_if(findings.begin(), findings.end(),
+                    [](const slowcc::lint::Finding& f) { return f.advisory; });
+  const long enforced = static_cast<long>(findings.size()) - advisory;
   if (format == "json") {
     slowcc::lint::report_json(findings, std::cout);
   } else {
     slowcc::lint::report_text(findings, std::cout);
-    std::cerr << "slowcc_lint: " << sources.size() << " files, "
-              << findings.size() << " finding(s)\n";
+    std::cerr << "slowcc_lint: " << sources.size() << " files, " << enforced
+              << " finding(s), " << advisory << " advisory\n";
   }
-  return findings.empty() ? 0 : 1;
+  return enforced == 0 ? 0 : 1;
 }

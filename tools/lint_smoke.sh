@@ -48,4 +48,22 @@ if ! grep -q '"rule": "no-raw-rand"' <<<"$json"; then
   exit 1
 fi
 
+# 4. Advisory findings are reported but must not fail the gate: a
+# std::function seeded into src/sim/ trips no-std-function-hot-path
+# (advisory) while the exit code stays 0.
+mkdir -p "$scratch/src/sim"
+cat > "$scratch/src/sim/hot.cpp" <<'EOF'
+std::function<void()> pending_cb;
+EOF
+if ! out="$("$lint" --root "$scratch" src/sim 2>&1)"; then
+  echo "lint_smoke: FAIL (advisory-only finding changed the exit code):" >&2
+  echo "$out" >&2
+  exit 1
+fi
+if ! grep -q "no-std-function-hot-path (advisory)" <<<"$out"; then
+  echo "lint_smoke: FAIL (advisory finding was not reported):" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
 echo "lint_smoke: PASS"
