@@ -43,8 +43,9 @@ class EventQueue {
 
   /// Timestamp of the earliest live event. Throws SimError
   /// (kBadSchedule) when no live event remains — an all-cancelled
-  /// queue counts as empty.
-  [[nodiscard]] Time next_time() const { return engine_->next_time(); }
+  /// queue counts as empty. Non-const because engines may advance
+  /// internal cursors (the result is still observably pure).
+  [[nodiscard]] Time next_time() { return engine_->next_time(); }
 
   /// Pop and return the earliest live event's callback. Throws SimError
   /// (kBadSchedule) when no live event remains.
@@ -81,9 +82,6 @@ class EventQueue {
 
  private:
   EngineKind kind_;
-  // next_time() advances engine cursors but is observably const (the
-  // earliest live timestamp does not change), so the facade keeps the
-  // historical const signature.
   std::unique_ptr<Scheduler> engine_;
 };
 

@@ -9,19 +9,21 @@
 namespace slowcc::sim {
 
 namespace {
-// End of the top-level wheel's reach from `horizon`: 256 top-level
-// slots starting at the one containing the horizon. This — not
-// horizon + 2^44 — is the exact bound below which place() is
-// guaranteed to land in a wheel slot; when the horizon sits mid-way
-// through a top-level slot the two differ, and migrating past the
-// cover would bounce entries straight back into the overflow heap.
-[[nodiscard]] std::int64_t wheel_cover_end(std::int64_t horizon) noexcept {
+// Last nanosecond of the top-level wheel's reach from `horizon`
+// (inclusive): 256 top-level slots starting at the one containing the
+// horizon. This — not horizon + 2^44 — is the exact bound at or below
+// which place() is guaranteed to land in a wheel slot; when the
+// horizon sits mid-way through a top-level slot the two differ, and
+// migrating past the cover would bounce entries straight back into
+// the overflow heap. Inclusive so the bound saturates exactly at
+// INT64_MAX instead of needing an unrepresentable exclusive end.
+[[nodiscard]] std::int64_t wheel_cover_last(std::int64_t horizon) noexcept {
   constexpr int kTopShift = 12 + 8 * 3;  // kBaseShift + kSlotBits * (kLevels-1)
   const std::int64_t top_word = horizon >> kTopShift;
   constexpr std::int64_t kMaxWord =
       std::numeric_limits<std::int64_t>::max() >> kTopShift;
   if (top_word + 256 > kMaxWord) return std::numeric_limits<std::int64_t>::max();
-  return (top_word + 256) << kTopShift;
+  return ((top_word + 256) << kTopShift) - 1;
 }
 }  // namespace
 
@@ -151,9 +153,9 @@ bool WheelScheduler::first_occupied(int level, int* slot,
   return true;
 }
 
-std::size_t WheelScheduler::drain_overflow_below(std::int64_t limit_ns) {
+std::size_t WheelScheduler::drain_overflow_through(std::int64_t last_ns) {
   std::size_t moved = 0;
-  while (!overflow_.empty() && overflow_.front().at_ns < limit_ns) {
+  while (!overflow_.empty() && overflow_.front().at_ns <= last_ns) {
     std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
     const HeapEntry e = overflow_.back();
     overflow_.pop_back();
@@ -191,26 +193,24 @@ void WheelScheduler::advance() {
     const std::int64_t top_ns = overflow_.front().at_ns;
     horizon_ = static_cast<std::int64_t>(
         (static_cast<std::uint64_t>(top_ns) >> kBaseShift) << kBaseShift);
-    // The minimum now lands in level 0; migrate it unconditionally so a
-    // saturated cover bound (INT64_MAX timestamps) cannot stall
-    // progress, then pull in everything the wheels can reach.
-    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
-    const HeapEntry top = overflow_.back();
-    overflow_.pop_back();
-    if (pool_[top.node].cancelled) {
-      release_node(top.node);
-    } else {
-      place(top.node);
-    }
-    drain_overflow_below(wheel_cover_end(horizon_));
+    // The minimum lands in level 0, and the inclusive cover bound
+    // saturates exactly at INT64_MAX, so even far-future sentinel
+    // timestamps migrate — progress is guaranteed.
+    drain_overflow_through(wheel_cover_last(horizon_));
     return;
   }
 
   const int shift = kBaseShift + kSlotBits * best_level;
-  const std::int64_t slot_end = best_start + (std::int64_t{1} << shift);
-  // Overflow entries parked relative to an older horizon can predate a
-  // slot chosen now; migrate them first so ordering stays exact.
-  if (drain_overflow_below(slot_end) > 0) return;
+  // Work with the slot's last covered nanosecond, not its exclusive
+  // end: for the slot abutting INT64_MAX the nominal end is
+  // INT64_MAX + 1, and computing that in signed arithmetic is UB. The
+  // last covered nanosecond is always a representable timestamp.
+  constexpr std::int64_t kMaxNs = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t slot_last = best_start + ((std::int64_t{1} << shift) - 1);
+  // Overflow entries parked relative to an older horizon can fall
+  // within a slot chosen now; migrate them first so ordering stays
+  // exact.
+  if (drain_overflow_through(slot_last) > 0) return;
 
   std::uint32_t idx = slot_head_[static_cast<std::size_t>(best_level)]
                                 [static_cast<std::size_t>(best_slot)];
@@ -222,8 +222,11 @@ void WheelScheduler::advance() {
 
   if (best_level == 0) {
     // Drain the slot into the due heap; the heap re-establishes exact
-    // (at, seq) order among the slot's entries.
-    horizon_ = slot_end;
+    // (at, seq) order among the slot's entries. Saturate the horizon
+    // at INT64_MAX instead of wrapping: events scheduled at exactly
+    // INT64_MAX afterwards re-enter the top slot (at >= horizon_) and
+    // the due heap restores exact order among them on the next drain.
+    horizon_ = slot_last < kMaxNs ? slot_last + 1 : kMaxNs;
     while (idx != kNil) {
       Node& n = pool_[idx];
       const std::uint32_t next = n.next;

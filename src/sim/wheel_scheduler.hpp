@@ -103,9 +103,10 @@ class WheelScheduler final : public Scheduler {
   /// `*start_ns` the absolute start of its span.
   [[nodiscard]] bool first_occupied(int level, int* slot,
                                     std::int64_t* start_ns) const;
-  /// Move overflow entries with at < `limit_ns` into the wheels.
+  /// Move overflow entries with at <= `last_ns` into the wheels
+  /// (inclusive, so the bound stays representable at INT64_MAX).
   /// Returns the number migrated.
-  std::size_t drain_overflow_below(std::int64_t limit_ns);
+  std::size_t drain_overflow_through(std::int64_t last_ns);
   /// One step of cursor progress: drain a level-0 slot into due_,
   /// cascade a higher slot down, or migrate from overflow.
   void advance();

@@ -68,6 +68,29 @@ TEST(EngineDiff, FarFutureSentinelsAgree) {
   EXPECT_TRUE(report.empty()) << report;
 }
 
+// Regression: draining the slot abutting INT64_MAX saturates the
+// wheel's horizon (its nominal exclusive end, INT64_MAX + 1, is
+// unrepresentable — computing it was UB). Events scheduled at
+// INT64_MAX afterwards re-enter the top slot and must still fire, in
+// seq order, and events just below it stage straight into the due
+// heap.
+TEST(EngineDiff, ScheduleAtMaxAfterHorizonSaturates) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  DiffScript script;
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});  // saturates the horizon
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kSchedule, kMax - 1, 0});
+  script.push_back(DiffOp{DiffOp::Kind::kPeek, 0, 0});
+  for (int i = 0; i < 3; ++i) {
+    script.push_back(DiffOp{DiffOp::Kind::kPop, 0, 0});
+    script.push_back(DiffOp{DiffOp::Kind::kPeek, 0, 0});
+  }
+  const std::string report = diff_engines(script);
+  EXPECT_TRUE(report.empty()) << report;
+}
+
 // Regression: when a level-0 slot and a level-1 slot start at the same
 // timestamp, the wheel must cascade the level-1 slot first — it can
 // hold events earlier than anything in the level-0 slot. Draining the

@@ -7,11 +7,15 @@
 // ns-per-op, items-per-second, and the wheel:heap speedup per
 // benchmark. Validate mode re-reads such a file and checks the schema
 // and that both engines are present for every required benchmark —
-// that is the bench_smoke ctest — and can optionally enforce a minimum
-// speedup (`--require-speedup 1.5`) for perf gating:
+// that is the bench_smoke ctest — and can check a minimum speedup:
+// `--require-speedup 1.5` fails validation below the floor (for a
+// dedicated quiet perf runner), while `--advise-speedup 1.5` only
+// warns (for shared/virtualized CI, where wall-clock ratios between
+// two in-process benchmarks are not stable enough to gate on):
 //
 //   bench_report --bench build/bench/micro_engine --out BENCH_engine.json
-//   bench_report --validate BENCH_engine.json [--require-speedup 1.5]
+//   bench_report --validate BENCH_engine.json [--require-speedup 1.5 |
+//                                              --advise-speedup 1.5]
 //
 // Exit codes: 0 ok, 1 validation failure, 2 usage or execution error.
 
@@ -182,7 +186,7 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   return 0;
 }
 
-int validate(const std::string& path, double require_speedup) {
+int validate(const std::string& path, double floor_speedup, bool advisory) {
   std::ifstream file(path);
   if (!file.good()) {
     std::cerr << "bench_report: cannot read " << path << "\n";
@@ -223,10 +227,16 @@ int validate(const std::string& path, double require_speedup) {
       std::cerr << "bench_report: " << path << " has no wheel_speedup for "
                 << bench << "\n";
       ++failures;
-    } else if (speedup < require_speedup) {
-      std::cerr << "bench_report: " << bench << " wheel_speedup " << speedup
-                << " below required " << require_speedup << "\n";
-      ++failures;
+    } else if (speedup < floor_speedup) {
+      if (advisory) {
+        std::cerr << "bench_report: WARNING: " << bench << " wheel_speedup "
+                  << speedup << " below advisory floor " << floor_speedup
+                  << " (not gating; ratios are unstable on shared runners)\n";
+      } else {
+        std::cerr << "bench_report: " << bench << " wheel_speedup " << speedup
+                  << " below required " << floor_speedup << "\n";
+        ++failures;
+      }
     } else {
       std::cout << "bench_report: " << bench << " wheel_speedup=" << speedup
                 << "\n";
@@ -243,7 +253,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_engine.json";
   std::string validate_path;
   std::string min_time = "0.05";
-  double require_speedup = 0.0;
+  double floor_speedup = 0.0;
+  bool speedup_advisory = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -262,15 +273,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--validate") {
       validate_path = next();
     } else if (arg == "--require-speedup") {
-      require_speedup = std::strtod(next(), nullptr);
+      floor_speedup = std::strtod(next(), nullptr);
+      speedup_advisory = false;
+    } else if (arg == "--advise-speedup") {
+      floor_speedup = std::strtod(next(), nullptr);
+      speedup_advisory = true;
     } else {
       std::cerr << "usage: bench_report --bench <micro_engine> [--out F]"
                    " [--min-time S] | --validate <F>"
-                   " [--require-speedup X]\n";
+                   " [--require-speedup X | --advise-speedup X]\n";
       return 2;
     }
   }
-  if (!validate_path.empty()) return validate(validate_path, require_speedup);
+  if (!validate_path.empty()) {
+    return validate(validate_path, floor_speedup, speedup_advisory);
+  }
   if (bench_bin.empty()) {
     std::cerr << "bench_report: need --bench or --validate\n";
     return 2;

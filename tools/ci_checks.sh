@@ -9,8 +9,12 @@
 #   5. ctest tier-1 suite
 #   6. engine perf report: bench_report runs the per-engine event-queue
 #      micro-benchmarks and writes BENCH_engine.json into the build
-#      dir, enforcing the wheel >= 1.5x heap floor on a quiet-machine
-#      measurement (skip with SLOWCC_SKIP_BENCH=1 on noisy runners)
+#      dir. The wheel >= 1.5x heap floor is advisory by default (warn
+#      only): wall-clock ratios between two in-process benchmarks are
+#      not stable on shared/virtualized runners. Set
+#      SLOWCC_ENFORCE_BENCH=1 on a dedicated quiet perf runner to make
+#      the floor a hard failure, or SLOWCC_SKIP_BENCH=1 to skip the
+#      bench step entirely.
 #
 # Usage: tools/ci_checks.sh [build-dir]   (default: build-ci)
 # Environment: JOBS=<n> overrides the parallelism (default: nproc).
@@ -38,12 +42,18 @@ step "ctest (-j$jobs)"
 ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
 
 if [[ "${SLOWCC_SKIP_BENCH:-0}" != "1" ]]; then
-  step "bench (BENCH_engine.json, wheel >= 1.5x heap)"
+  if [[ "${SLOWCC_ENFORCE_BENCH:-0}" == "1" ]]; then
+    step "bench (BENCH_engine.json, enforcing wheel >= 1.5x heap)"
+    speedup_flag="--require-speedup"
+  else
+    step "bench (BENCH_engine.json, wheel >= 1.5x heap advisory)"
+    speedup_flag="--advise-speedup"
+  fi
   "$build_dir/tools/bench_report" \
     --bench "$build_dir/bench/micro_engine" \
     --out "$build_dir/BENCH_engine.json" --min-time 0.25
   "$build_dir/tools/bench_report" \
-    --validate "$build_dir/BENCH_engine.json" --require-speedup 1.5
+    --validate "$build_dir/BENCH_engine.json" "$speedup_flag" 1.5
 else
   step "bench (skipped: SLOWCC_SKIP_BENCH=1)"
 fi
