@@ -20,6 +20,33 @@ namespace slowcc::exp {
 [[nodiscard]] bool parse_row_json(const std::string& line,
                                   const TrialDesc& desc, Row* out);
 
+/// Last-valid-line-wins merge of one or more journals against a sweep
+/// expansion — the shared core of single-process resume
+/// (Checkpoint::plan) and the fleet's multi-shard drain. Rows are
+/// matched to trials by id and validated via parse_row_json; the raw
+/// journal line of every accepted row rides along so a fleet
+/// compaction can rewrite the canonical journal byte-identically to
+/// what a --jobs 1 run would have produced (one line per trial, id
+/// order).
+struct JournalMerge {
+  std::vector<Row> rows;           // accepted rows, trial-id order
+  std::vector<std::string> lines;  // raw journal line per accepted row
+  std::vector<TrialDesc> pending;  // trials with no accepted row
+  std::size_t journal_lines = 0;   // lines inspected across journals
+  bool torn_tail = false;          // any journal ended mid-line
+};
+
+/// `rerun_failures` selects the resume contract. true — the
+/// single-process contract: failure rows count as pending so a fresh
+/// invocation retries them. false — the fleet drain contract: any
+/// journaled row (ok or failed) is complete, so a deterministic
+/// failure cannot livelock N workers into re-claiming it forever
+/// (rows are deterministic per trial, so either choice preserves
+/// byte-identity; only termination differs).
+[[nodiscard]] JournalMerge merge_journals(
+    const std::vector<TrialDesc>& trials,
+    const std::vector<JsonlLoad>& journals, bool rerun_failures);
+
 /// Crash-safe sweep state in one directory.
 ///
 /// Layout:
@@ -42,7 +69,12 @@ namespace slowcc::exp {
 /// policy, and any --jobs value.
 class Checkpoint {
  public:
-  explicit Checkpoint(std::string dir);
+  /// `journal_name` is the append-target inside `dir`: the canonical
+  /// "journal.jsonl" for single-process runs, a per-worker shard
+  /// ("journal.worker-<id>.jsonl") for fleet workers so N processes
+  /// never interleave appends into one file.
+  explicit Checkpoint(std::string dir,
+                      std::string journal_name = "journal.jsonl");
   ~Checkpoint();
 
   Checkpoint(const Checkpoint&) = delete;
@@ -78,7 +110,9 @@ class Checkpoint {
   bool record(const Row& row);
 
   /// Atomically write trials.{jsonl,csv}, cells.{jsonl,csv}, and
-  /// manifest.jsonl. Returns false with `*error` set on failure.
+  /// manifest.jsonl (each via tmp + fsync + rename + directory fsync,
+  /// so a crash immediately after any rename cannot lose a final).
+  /// Returns false with `*error` set on failure.
   [[nodiscard]] bool finalize(const std::vector<Row>& rows,
                               const std::vector<CellStats>& cells,
                               std::string* error = nullptr);
@@ -88,6 +122,7 @@ class Checkpoint {
 
  private:
   std::string dir_;
+  std::string journal_name_;
   std::unique_ptr<JsonlAppender> journal_;
 };
 

@@ -1,0 +1,493 @@
+#include "exp/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
+
+#include "exp/aggregator.hpp"
+#include "exp/registry.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/seed.hpp"
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace slowcc::exp {
+namespace {
+
+// Stream constant keeping fleet backoff jitter disjoint from the
+// scenario / retry / chaos sub-streams.
+constexpr std::uint64_t kFleetStream = 0x666c656574;  // "fleet"
+
+[[noreturn]] void bad(const std::string& detail) {
+  throw sim::SimError(sim::SimErrc::kBadConfig, "FleetWorker", detail);
+}
+
+/// Worker ids become lease-file and shard-file name components, so
+/// they are restricted to a filename-safe alphabet.
+bool valid_worker_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// FNV-1a — folds the worker id into the jitter seed so co-started
+/// workers back off on distinct schedules.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Same identity stamping the runner applies to synthesized failure
+/// rows — quarantine rows must be byte-identical no matter which
+/// worker writes them.
+void stamp_identity(Row& row, const TrialDesc& d) {
+  row.trial_id = d.trial_id;
+  row.experiment = d.experiment;
+  row.algorithm = d.algorithm;
+  row.cell = d.cell_key();
+  row.trial_index = d.trial_index;
+  row.seed = d.seed;
+}
+
+/// Last time a foreign lease's bytes changed, by this worker's clock.
+struct Observation {
+  std::string raw;
+  std::chrono::steady_clock::time_point since;
+};
+
+}  // namespace
+
+Heartbeater::Heartbeater(LeaseLedger& ledger, double interval_seconds)
+    : ledger_(ledger), interval_seconds_(interval_seconds) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Heartbeater::~Heartbeater() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Heartbeater::add(std::uint64_t trial_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  held_.insert(trial_id);
+  lost_.erase(trial_id);  // fresh claim supersedes an old theft
+}
+
+void Heartbeater::remove(std::uint64_t trial_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  held_.erase(trial_id);
+}
+
+bool Heartbeater::lost(std::uint64_t trial_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lost_.count(trial_id) > 0;
+}
+
+void Heartbeater::beat_now() {
+  std::vector<std::uint64_t> held;
+  std::uint64_t beat = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    held.assign(held_.begin(), held_.end());
+    beat = ++beat_;
+  }
+  for (const std::uint64_t trial : held) {
+    switch (ledger_.refresh(trial, beat)) {
+      case LeaseRefresh::kOk:
+        break;
+      case LeaseRefresh::kLost: {
+        // A sibling judged us dead and stole the trial; record the
+        // theft so the worker discards its in-flight result.
+        const std::lock_guard<std::mutex> lock(mu_);
+        held_.erase(trial);
+        lost_.insert(trial);
+        break;
+      }
+      case LeaseRefresh::kError:
+        io_failures_.fetch_add(1);
+        break;
+    }
+  }
+}
+
+void Heartbeater::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  while (!stop_) {
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    beat_now();
+    lock.lock();
+  }
+}
+
+FleetWorker::FleetWorker(FleetConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty()) bad("empty fleet directory");
+  if (!valid_worker_id(config_.worker_id)) {
+    bad("worker id must be non-empty [A-Za-z0-9._-], <= 64 chars: '" +
+        config_.worker_id + "'");
+  }
+  if (config_.jobs < 1) bad("jobs must be >= 1");
+  if (config_.lease_ttl_seconds <= 0.0) bad("lease ttl must be positive");
+  if (config_.heartbeat_seconds <= 0.0 ||
+      config_.heartbeat_seconds >= config_.lease_ttl_seconds / 2.0) {
+    bad("heartbeat must be positive and under half the lease ttl");
+  }
+  if (config_.poll_seconds <= 0.0) bad("poll must be positive");
+  if (config_.max_lease_breaks < 1) bad("max lease breaks must be >= 1");
+  if (config_.max_io_failures < 1) bad("max io failures must be >= 1");
+  if (config_.max_lease_losses < 1) bad("max lease losses must be >= 1");
+  // Validates the runner policy (throws kBadConfig on a bad one).
+  ParallelRunner probe(1);
+  probe.set_policy(config_.policy);
+}
+
+std::vector<std::string> FleetWorker::shard_paths(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("journal", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> paths;
+  paths.reserve(names.size());
+  for (const std::string& name : names) paths.push_back(dir + "/" + name);
+  return paths;
+}
+
+std::string FleetWorker::quarantine_error(std::uint64_t trial_id,
+                                          int breaks) {
+  return std::string("[") + sim::to_string(sim::SimErrc::kLeaseExpired) +
+         "] FleetWorker: trial " + std::to_string(trial_id) +
+         " quarantined after " + std::to_string(breaks) +
+         " lease claims died mid-trial";
+}
+
+FleetReport FleetWorker::run(const SweepSpec& spec,
+                             const std::string& policy_text) {
+  FleetReport report;
+  const auto note = [&](const std::string& msg) {
+    if (config_.log) config_.log(msg);
+  };
+
+  LeaseLedger ledger(config_.dir, config_.worker_id);
+  Checkpoint shard(config_.dir,
+                   "journal.worker-" + config_.worker_id + ".jsonl");
+  std::string warning;
+  shard.open(spec, policy_text, &warning);  // throws on a spec mismatch
+  if (!warning.empty()) note(warning);
+  std::string err;
+  if (!ledger.prepare(&err)) {
+    report.detail = err;
+    return report;
+  }
+
+  const std::vector<TrialDesc> all = spec.expand();
+  ParallelRunner runner(1);  // claim threads parallelize; trials run solo
+  runner.set_policy(config_.policy);
+  const std::function<Row(const TrialDesc&)> fn =
+      config_.fn ? config_.fn
+                 : [](const TrialDesc& d) { return run_trial(d); };
+  const auto stop_requested = [&] {
+    return config_.should_stop && config_.should_stop();
+  };
+
+  Heartbeater heart(ledger, config_.heartbeat_seconds);
+
+  std::mutex mu;  // shard appender + staleness observations
+  std::map<std::uint64_t, Observation> observed;
+  std::atomic<std::uint64_t> io_failures{0};
+  std::atomic<std::uint64_t> lease_losses{0};
+  std::atomic<std::size_t> trials_run{0};
+  std::atomic<std::size_t> rows_discarded{0};
+  std::atomic<std::size_t> leases_broken{0};
+  std::atomic<std::size_t> quarantined{0};
+
+  const auto run_and_record = [&](const TrialDesc& d) {
+    heart.add(d.trial_id);
+    const std::vector<TrialDesc> one{d};
+    Row row = runner.run(one, fn).front();
+    heart.remove(d.trial_id);
+    if (heart.lost(d.trial_id) || !ledger.still_owned(d.trial_id)) {
+      // kLeaseLost: a sibling judged us dead mid-trial and re-ran it.
+      // Its row is byte-identical to ours, so discarding loses nothing.
+      lease_losses.fetch_add(1);
+      rows_discarded.fetch_add(1);
+      note("worker " + config_.worker_id + ": " +
+           sim::to_string(sim::SimErrc::kLeaseLost) + ": trial " +
+           std::to_string(d.trial_id) + " stolen mid-run; row discarded");
+      return;
+    }
+    bool recorded = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      recorded = shard.record(row);
+      observed.erase(d.trial_id);
+    }
+    if (!recorded) {
+      // Keep the lease: it goes stale once we degrade out, and a
+      // sibling with a working disk re-runs the trial.
+      io_failures.fetch_add(1);
+      return;
+    }
+    trials_run.fetch_add(1);
+    // The lease stays put as a tombstone. Releasing it here would let
+    // a sibling whose pending snapshot predates our journal append see
+    // the trial unclaimed and run it again (harmless but wasteful —
+    // its row is byte-identical); the next merge drops the trial from
+    // pending, and the finalizer sweeps leases/ wholesale.
+  };
+
+  const auto quarantine = [&](const TrialDesc& d, std::uint64_t breaks) {
+    Row row;
+    stamp_identity(row, d);
+    row.outcome.ok = false;
+    row.outcome.attempts = static_cast<int>(breaks);
+    row.outcome.error_kind = sim::to_string(sim::SimErrc::kLeaseExpired);
+    row.error = quarantine_error(d.trial_id, static_cast<int>(breaks));
+    bool recorded = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      recorded = shard.record(row);
+      observed.erase(d.trial_id);
+    }
+    if (!recorded) {
+      io_failures.fetch_add(1);
+      return;
+    }
+    quarantined.fetch_add(1);
+    note("worker " + config_.worker_id + ": trial " +
+         std::to_string(d.trial_id) + " quarantined after " +
+         std::to_string(breaks) + " dead lease claims");
+    // The offending lease file stays put (its raw bytes are the proof
+    // any other observer reaches the same verdict); the finalizer
+    // sweeps leases/ once the grid is drained.
+  };
+
+  const auto process = [&](const TrialDesc& d) {
+    const LeaseView view = ledger.read(d.trial_id);
+    if (view.state == LeaseRead::kAbsent) {
+      std::string claim_err;
+      switch (ledger.claim(d.trial_id, /*attempt=*/1, &claim_err)) {
+        case LeaseClaim::kClaimed:
+          run_and_record(d);
+          return;
+        case LeaseClaim::kHeld:
+          return;  // lost the race; observe the winner next round
+        case LeaseClaim::kError:
+          io_failures.fetch_add(1);
+          note(claim_err);
+          return;
+      }
+    }
+    if (view.state == LeaseRead::kOk && view.info.owner == ledger.owner()) {
+      // Our own lease from a previous incarnation: this worker id was
+      // killed and restarted. Resume the trial as ours — heartbeats
+      // pick the file back up via heart.add().
+      run_and_record(d);
+      return;
+    }
+
+    // Foreign (or torn) lease: stale when its bytes sat unchanged for
+    // a full TTL of our own monotonic clock.
+    const auto now = std::chrono::steady_clock::now();
+    bool stale = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      auto [it, inserted] = observed.try_emplace(d.trial_id);
+      if (inserted || it->second.raw != view.raw) {
+        it->second.raw = view.raw;
+        it->second.since = now;  // owner is alive (or newly observed)
+      } else {
+        stale = std::chrono::duration<double>(now - it->second.since)
+                    .count() >= config_.lease_ttl_seconds;
+      }
+    }
+    if (!stale) return;
+
+    // A torn lease (claimer died inside its O_EXCL write) carries no
+    // readable generation; it was claimed at least once.
+    const std::uint64_t generation =
+        view.state == LeaseRead::kOk ? view.info.attempt : 1;
+    if (generation >= static_cast<std::uint64_t>(config_.max_lease_breaks)) {
+      quarantine(d, generation);
+      return;
+    }
+    std::string break_err;
+    switch (ledger.break_lease(d.trial_id, view.raw, generation + 1,
+                               &break_err)) {
+      case LeaseBreak::kBroken:
+        leases_broken.fetch_add(1);
+        run_and_record(d);
+        return;
+      case LeaseBreak::kChanged: {
+        // Heartbeat or a faster breaker landed between our read and
+        // rename — the staleness verdict is void; observe afresh.
+        const std::lock_guard<std::mutex> lock(mu);
+        observed.erase(d.trial_id);
+        return;
+      }
+      case LeaseBreak::kError:
+        io_failures.fetch_add(1);
+        note(break_err);
+        return;
+    }
+  };
+
+  const auto degrade = [&](const std::string& why) {
+    report.outcome = FleetOutcome::kDegraded;
+    report.detail = why;
+    note("worker " + config_.worker_id + ": " +
+         sim::to_string(sim::SimErrc::kFleetDegraded) + ": " + why);
+  };
+  const auto snapshot = [&] {
+    report.trials_run = trials_run.load();
+    report.rows_discarded = rows_discarded.load();
+    report.leases_broken = leases_broken.load();
+    report.quarantined = quarantined.load();
+  };
+
+  std::uint64_t idle_rounds = 0;
+  for (std::uint64_t round = 0;; ++round) {
+    report.rounds = round + 1;
+    if (stop_requested()) {
+      snapshot();
+      degrade("stop requested");
+      return report;
+    }
+
+    std::vector<JsonlLoad> loads;
+    for (const std::string& path : shard_paths(config_.dir)) {
+      JsonlLoad load = load_jsonl(path);
+      if (load.ok) loads.push_back(std::move(load));
+    }
+    // Fleet drain contract: any journaled row — success or failure —
+    // is done. Re-running deterministic failures would livelock the
+    // fleet (see merge_journals).
+    const JournalMerge merge =
+        merge_journals(all, loads, /*rerun_failures=*/false);
+    report.torn_tail = merge.torn_tail;
+    report.journal_lines = merge.journal_lines;
+
+    if (merge.pending.empty()) {
+      // Compaction: rewrite the canonical journal as one validated
+      // line per trial in id order — exactly the bytes a --jobs 1 run
+      // journals — then the finals. Both are atomic and deterministic,
+      // so concurrent finalizers write identical files.
+      std::string canonical;
+      for (const std::string& line : merge.lines) {
+        canonical += line;
+        canonical += '\n';
+      }
+      std::string final_err;
+      if (!write_file_atomic(config_.dir + "/journal.jsonl", canonical,
+                             &final_err) ||
+          !shard.finalize(merge.rows, aggregate(merge.rows), &final_err)) {
+        snapshot();
+        report.outcome = FleetOutcome::kError;
+        report.detail = final_err;
+        return report;
+      }
+      // Any lease left is an orphan of a dead owner (no trial is
+      // pending); sweep them so the directory ends clean. Races with a
+      // straggler's release() are benign — release tolerates kAbsent.
+      std::error_code ec;
+      std::filesystem::remove_all(config_.dir + "/leases", ec);
+      snapshot();
+      for (const Row& r : merge.rows) {
+        if (!r.error.empty()) ++report.rows_failed;
+      }
+      report.outcome = FleetOutcome::kDrained;
+      report.finalized = true;
+      return report;
+    }
+
+    const std::size_t progress_before =
+        trials_run.load() + quarantined.load();
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      for (;;) {
+        if (stop_requested()) return;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= merge.pending.size()) return;
+        process(merge.pending[i]);
+      }
+    };
+    const int claimers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(config_.jobs), merge.pending.size()));
+    if (claimers <= 1) {
+      drain();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(claimers));
+      for (int t = 0; t < claimers; ++t) threads.emplace_back(drain);
+      for (std::thread& t : threads) t.join();
+    }
+
+    const std::uint64_t io_total = io_failures.load() + heart.io_failures();
+    if (io_total >= static_cast<std::uint64_t>(config_.max_io_failures)) {
+      snapshot();
+      degrade("shared directory failing (" + std::to_string(io_total) +
+              " I/O errors)");
+      return report;
+    }
+    if (lease_losses.load() >=
+        static_cast<std::uint64_t>(config_.max_lease_losses)) {
+      snapshot();
+      degrade("leases repeatedly stolen (" +
+              std::to_string(lease_losses.load()) +
+              " losses) — this worker looks dead to its siblings");
+      return report;
+    }
+
+    const std::size_t progress_after =
+        trials_run.load() + quarantined.load();
+    if (progress_after > progress_before) {
+      idle_rounds = 0;
+      continue;
+    }
+    // Everything pending is held by live siblings: back off with a
+    // bounded, deterministically jittered wait so co-started workers
+    // do not stampede the directory in lockstep.
+    ++idle_rounds;
+    sim::Rng jitter(derive_seed(
+        derive_seed(config_.jitter_seed, kFleetStream),
+        fnv1a(config_.worker_id), round));
+    const double factor =
+        static_cast<double>(std::uint64_t{1} << std::min<std::uint64_t>(
+                                idle_rounds - 1, 3));
+    const double wait = std::min(
+        config_.poll_seconds * factor * (1.0 + jitter.uniform()),
+        config_.lease_ttl_seconds);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(wait));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (stop_requested()) break;  // prompt SIGTERM response
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace slowcc::exp

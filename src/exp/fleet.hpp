@@ -1,0 +1,166 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/lease.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/row.hpp"
+#include "exp/sweep_spec.hpp"
+
+namespace slowcc::exp {
+
+/// Configuration of one fleet worker process (slowcc_sweep --fleet).
+///
+/// N workers with distinct `worker_id`s pointed at the same `dir`
+/// cooperatively drain one sweep grid: each claims trials through a
+/// LeaseLedger, journals finished rows into its own shard
+/// (journal.worker-<id>.jsonl), and whoever observes the grid fully
+/// journaled compacts the shards into the canonical journal.jsonl and
+/// writes the finals — byte-identical to a single `--jobs 1` run.
+struct FleetConfig {
+  std::string dir;        // shared checkpoint directory
+  std::string worker_id;  // unique per process; [A-Za-z0-9._-]
+  int jobs = 1;           // claim threads inside this worker
+
+  /// A lease whose bytes have not changed for this long (by the
+  /// observer's own monotonic clock) is stale and may be broken.
+  double lease_ttl_seconds = 10.0;
+  /// Cadence of the heartbeat thread rewriting held leases. Must be
+  /// well under the TTL (enforced: < ttl / 2).
+  double heartbeat_seconds = 2.0;
+  /// Base wait between drain rounds when every pending trial is held
+  /// by a live sibling; jittered and exponentially bounded (see
+  /// DESIGN.md §11).
+  double poll_seconds = 0.25;
+
+  /// Per-trial cap on claim generations: once a trial's lease shows
+  /// this many claims all gone stale (every owner died mid-trial), the
+  /// observer quarantines the trial as kLeaseExpired instead of
+  /// breaking the lease again.
+  int max_lease_breaks = 3;
+  /// Degraded-mode triggers: cumulative I/O failures against the
+  /// shared directory, and leases stolen from under this worker.
+  int max_io_failures = 5;
+  int max_lease_losses = 16;
+  /// Base of the backoff-jitter sub-streams (conventionally the
+  /// spec's base_seed; fanned out per worker and round).
+  std::uint64_t jitter_seed = 1;
+
+  RunnerPolicy policy;  // per-trial quarantine/retry/chaos, as --jobs
+  /// Trial function; null = the experiment registry's run_trial.
+  std::function<Row(const TrialDesc&)> fn;
+  /// Cooperative stop (SIGTERM): polled between trials; when it turns
+  /// true the worker finishes its in-flight trial, releases leases,
+  /// and returns kDegraded. Null = never stop early.
+  std::function<bool()> should_stop;
+  /// Diagnostic sink (stderr in the CLI). Null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+enum class FleetOutcome {
+  kDrained,   // grid fully journaled; finals verified/written
+  kDegraded,  // stopped early (SIGTERM, I/O trouble, repeated theft) —
+              // leases released, siblings finish the grid
+  kError,     // unrecoverable setup/finalize failure
+};
+
+struct FleetReport {
+  FleetOutcome outcome = FleetOutcome::kError;
+  std::size_t trials_run = 0;      // rows this worker journaled
+  std::size_t rows_discarded = 0;  // kLeaseLost: finished after theft
+  std::size_t leases_broken = 0;   // stale leases this worker stole
+  std::size_t quarantined = 0;     // kLeaseExpired rows synthesized
+  std::size_t rows_failed = 0;     // failure rows in the drained grid
+                                   // (filled when this worker finalizes)
+  std::size_t rounds = 0;          // drain rounds executed
+  std::size_t journal_lines = 0;   // lines inspected at last merge
+  bool torn_tail = false;          // any shard ended mid-line
+  bool finalized = false;          // this worker wrote the finals
+  std::string detail;              // degraded/error reason
+};
+
+/// Background thread rewriting every held lease with a monotonically
+/// increasing beat counter, so sibling observers see the fingerprint
+/// change and keep judging this worker alive. Thread starts in the
+/// constructor and stops/joins in the destructor.
+class Heartbeater {
+ public:
+  Heartbeater(LeaseLedger& ledger, double interval_seconds);
+  ~Heartbeater();
+
+  Heartbeater(const Heartbeater&) = delete;
+  Heartbeater& operator=(const Heartbeater&) = delete;
+
+  /// Start/stop heartbeating `trial_id` (claimed / finished).
+  void add(std::uint64_t trial_id);
+  void remove(std::uint64_t trial_id);
+
+  /// Did a refresh observe the lease stolen (kLost)? Sticky until the
+  /// trial is add()ed again.
+  [[nodiscard]] bool lost(std::uint64_t trial_id) const;
+
+  /// Refresh I/O failures so far (feeds the degraded-mode trigger).
+  [[nodiscard]] std::uint64_t io_failures() const noexcept {
+    return io_failures_.load();
+  }
+
+  /// One synchronous beat over the held set (test hook; the
+  /// background thread calls the same path on its own cadence).
+  void beat_now();
+
+ private:
+  void loop();
+
+  LeaseLedger& ledger_;
+  double interval_seconds_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::set<std::uint64_t> held_;
+  std::set<std::uint64_t> lost_;
+  std::uint64_t beat_ = 0;
+  std::atomic<std::uint64_t> io_failures_{0};
+  std::thread thread_;
+};
+
+/// One fleet worker: the drain loop described in DESIGN.md §11.
+class FleetWorker {
+ public:
+  /// Validates the config (throws sim::SimError kBadConfig on a bad
+  /// worker id, ttl/heartbeat ordering, or invalid runner policy).
+  explicit FleetWorker(FleetConfig config);
+
+  /// Drain `spec`'s grid cooperatively. `policy_text` is the runner
+  /// fingerprint stored in the checkpoint (as slowcc_sweep --resume).
+  [[nodiscard]] FleetReport run(const SweepSpec& spec,
+                                const std::string& policy_text);
+
+  /// Every journal shard in `dir` (canonical journal.jsonl plus
+  /// journal.worker-*.jsonl), sorted by name — the merge input set.
+  [[nodiscard]] static std::vector<std::string> shard_paths(
+      const std::string& dir);
+
+  /// Canonical quarantine-row error text; a pure function of the
+  /// trial id and break count so any worker synthesizes the identical
+  /// row bytes.
+  [[nodiscard]] static std::string quarantine_error(std::uint64_t trial_id,
+                                                    int breaks);
+
+  [[nodiscard]] const FleetConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace slowcc::exp

@@ -1,0 +1,181 @@
+#include "exp/lease.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "exp/result_sink.hpp"
+#include "exp/serialize.hpp"
+#include "sim/error.hpp"
+
+namespace slowcc::exp {
+namespace {
+
+/// Whole-file read; returns false when the file does not exist (or
+/// cannot be opened — indistinguishable here, and both mean "not a
+/// readable lease").
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+LeaseLedger::LeaseLedger(std::string sweep_dir, std::string owner)
+    : dir_(std::move(sweep_dir)), owner_(std::move(owner)) {
+  if (dir_.empty()) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "LeaseLedger",
+                        "empty sweep directory");
+  }
+  if (owner_.empty()) {
+    throw sim::SimError(sim::SimErrc::kBadConfig, "LeaseLedger",
+                        "empty worker id");
+  }
+}
+
+bool LeaseLedger::prepare(std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(leases_dir(), ec);
+  if (ec) {
+    if (error) *error = "cannot create " + leases_dir() + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::string LeaseLedger::leases_dir() const { return dir_ + "/leases"; }
+
+std::string LeaseLedger::lease_path(std::uint64_t trial_id) const {
+  return leases_dir() + "/trial-" + std::to_string(trial_id) + ".lease";
+}
+
+std::string LeaseLedger::render(const LeaseInfo& info) {
+  JsonObjectBuilder o;
+  o.add("owner", info.owner)
+      .add("trial_id", info.trial_id)
+      .add("attempt", info.attempt)
+      .add("beat", info.beat);
+  return o.str();
+}
+
+bool LeaseLedger::parse(const std::string& raw, LeaseInfo* out) {
+  std::vector<std::pair<std::string, JsonScalar>> fields;
+  if (!parse_flat_json(raw, fields)) return false;
+  LeaseInfo info;
+  bool saw_owner = false, saw_trial = false;
+  for (const auto& [key, value] : fields) {
+    if (key == "owner") {
+      info.owner = value.text;
+      saw_owner = true;
+    } else if (key == "trial_id") {
+      info.trial_id = value.as_u64();
+      saw_trial = true;
+    } else if (key == "attempt") {
+      info.attempt = value.as_u64();
+    } else if (key == "beat") {
+      info.beat = value.as_u64();
+    }
+  }
+  if (!saw_owner || !saw_trial || info.owner.empty()) return false;
+  *out = std::move(info);
+  return true;
+}
+
+LeaseClaim LeaseLedger::claim(std::uint64_t trial_id, std::uint64_t attempt,
+                              std::string* error) {
+  LeaseInfo info;
+  info.owner = owner_;
+  info.trial_id = trial_id;
+  info.attempt = attempt;
+  info.beat = 0;
+  switch (write_file_exclusive(lease_path(trial_id), render(info), error)) {
+    case ExclusiveWrite::kCreated:
+      return LeaseClaim::kClaimed;
+    case ExclusiveWrite::kExists:
+      return LeaseClaim::kHeld;
+    case ExclusiveWrite::kError:
+      break;
+  }
+  return LeaseClaim::kError;
+}
+
+LeaseView LeaseLedger::read(std::uint64_t trial_id) const {
+  LeaseView view;
+  if (!read_file(lease_path(trial_id), &view.raw)) {
+    view.state = LeaseRead::kAbsent;
+    return view;
+  }
+  view.state =
+      parse(view.raw, &view.info) ? LeaseRead::kOk : LeaseRead::kTorn;
+  return view;
+}
+
+LeaseRefresh LeaseLedger::refresh(std::uint64_t trial_id, std::uint64_t beat,
+                                  std::string* error) {
+  const LeaseView current = read(trial_id);
+  if (current.state != LeaseRead::kOk || current.info.owner != owner_) {
+    // Gone, torn, or renamed to someone else: a sibling judged us dead
+    // and took the trial (or a breaker died mid-rewrite). Either way
+    // this worker must stop treating the trial as its own.
+    return LeaseRefresh::kLost;
+  }
+  LeaseInfo next = current.info;
+  next.beat = beat;
+  if (!write_file_atomic(lease_path(trial_id), render(next), error)) {
+    return LeaseRefresh::kError;
+  }
+  return LeaseRefresh::kOk;
+}
+
+LeaseBreak LeaseLedger::break_lease(std::uint64_t trial_id,
+                                    const std::string& expected_raw,
+                                    std::uint64_t attempt,
+                                    std::string* error) {
+  std::string raw;
+  if (!read_file(lease_path(trial_id), &raw) || raw != expected_raw) {
+    // Released, heartbeaten, or already stolen since the observation —
+    // the staleness verdict no longer holds.
+    return LeaseBreak::kChanged;
+  }
+  LeaseInfo info;
+  info.owner = owner_;
+  info.trial_id = trial_id;
+  info.attempt = attempt;
+  info.beat = 0;
+  // The compare above and the rename inside write_file_atomic are not
+  // one atomic step: two breakers can pass the compare and both
+  // rename. The last rename stands; the other breaker's worker (and
+  // the original owner, if alive after all) detect the theft at their
+  // next refresh and discard their run of a trial whose row is
+  // byte-identical regardless of who produced it.
+  if (!write_file_atomic(lease_path(trial_id), render(info), error)) {
+    return LeaseBreak::kError;
+  }
+  return LeaseBreak::kBroken;
+}
+
+bool LeaseLedger::release(std::uint64_t trial_id) {
+  const LeaseView current = read(trial_id);
+  if (current.state == LeaseRead::kAbsent) return true;
+  if (current.state == LeaseRead::kOk && current.info.owner != owner_) {
+    return true;  // stolen; the thief owns the file now
+  }
+  // Ours (or torn, which only we could have left behind via a failed
+  // exclusive write): remove it.
+  std::error_code ec;
+  std::filesystem::remove(lease_path(trial_id), ec);
+  return !ec;
+}
+
+bool LeaseLedger::still_owned(std::uint64_t trial_id) const {
+  const LeaseView current = read(trial_id);
+  return current.state == LeaseRead::kOk && current.info.owner == owner_;
+}
+
+}  // namespace slowcc::exp

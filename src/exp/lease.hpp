@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace slowcc::exp {
+
+/// Contents of one trial lease file. A lease is a *hint*, not a lock:
+/// rows are deterministic per trial (seeds are cell-attached, the
+/// serializer is canonical), so two workers running the same trial
+/// produce byte-identical rows and a lost race costs only wasted work,
+/// never correctness. That is why the protocol below can be
+/// best-effort: every race window resolves to "both ran it" or "one
+/// discards a duplicate", both harmless.
+struct LeaseInfo {
+  std::string owner;         // claiming worker's id (--worker-id)
+  std::uint64_t trial_id = 0;
+  std::uint64_t attempt = 0;  // claim generation: 1 on first claim,
+                              // +1 per stale-lease break of this trial
+  std::uint64_t beat = 0;     // owner-side monotonic heartbeat counter
+};
+
+/// What a lease file looked like when read.
+enum class LeaseRead {
+  kAbsent,  // no file — trial unclaimed (or released)
+  kTorn,    // file exists but is short/garbled: a claimer died
+            // mid-write. Held-but-unreadable; ages out via the TTL.
+  kOk,      // parsed cleanly into LeaseView::info
+};
+
+struct LeaseView {
+  LeaseRead state = LeaseRead::kAbsent;
+  std::string raw;  // exact file bytes — the compare token for
+                    // break_lease (a fingerprint: the content changes
+                    // iff owner/attempt/beat change, since the file
+                    // carries no timestamps)
+  LeaseInfo info;   // valid only when state == kOk
+};
+
+enum class LeaseClaim {
+  kClaimed,  // this call created the lease — the trial is ours
+  kHeld,     // someone else's lease file already exists
+  kError,    // I/O failure (shared filesystem trouble)
+};
+
+enum class LeaseRefresh {
+  kOk,    // heartbeat written; we still own the lease
+  kLost,  // the file is gone or names another owner — a sibling
+          // judged us dead and broke the lease. Discard the in-flight
+          // result (theirs is byte-identical anyway).
+  kError, // I/O failure
+};
+
+enum class LeaseBreak {
+  kBroken,   // lease rewritten to name us; the trial is ours
+  kChanged,  // file changed (heartbeat, release, or a faster breaker)
+             // since `expected_raw` was read — back off, re-observe
+  kError,    // I/O failure
+};
+
+/// Per-trial lease files under `<sweep_dir>/leases/`, shared by every
+/// fleet worker draining the directory.
+///
+/// Protocol:
+///   claim    — O_EXCL create; exactly one of N racing workers wins.
+///   refresh  — rewrite (tmp + rename) with an incremented beat; fails
+///              kLost when the file no longer names this worker.
+///   break    — compare-and-swap on the raw bytes: rewrite only when
+///              the file still reads exactly as the staleness observer
+///              last saw it. The read/rename window means two breakers
+///              can both "win"; last rename stands, and the loser's
+///              next refresh reports kLost (benign — see LeaseInfo).
+///   release  — unlink, only while still owned.
+///
+/// Staleness is judged by the *observer*: a lease is stale when its
+/// raw bytes have not changed for a full TTL of the observer's own
+/// monotonic clock. No cross-process clock comparison ever happens —
+/// the file carries a counter, not a timestamp, so fleet workers on
+/// machines with skewed clocks still agree on liveness.
+class LeaseLedger {
+ public:
+  /// `sweep_dir` is the shared checkpoint directory; `owner` is this
+  /// worker's id, stamped into every lease it writes. Throws
+  /// sim::SimError (kBadConfig) on an empty dir or owner.
+  LeaseLedger(std::string sweep_dir, std::string owner);
+
+  /// Create `<dir>/leases/` (idempotent). Returns false with `*error`
+  /// set when the directory cannot be created.
+  [[nodiscard]] bool prepare(std::string* error = nullptr);
+
+  [[nodiscard]] std::string lease_path(std::uint64_t trial_id) const;
+  [[nodiscard]] std::string leases_dir() const;
+  [[nodiscard]] const std::string& owner() const noexcept { return owner_; }
+
+  /// Try to claim `trial_id` at claim-generation `attempt`.
+  [[nodiscard]] LeaseClaim claim(std::uint64_t trial_id,
+                                 std::uint64_t attempt,
+                                 std::string* error = nullptr);
+
+  /// Read the lease file as it is right now.
+  [[nodiscard]] LeaseView read(std::uint64_t trial_id) const;
+
+  /// Heartbeat: rewrite our lease with `beat` (callers pass a counter
+  /// they increment per tick). Preserves the file's claim generation.
+  [[nodiscard]] LeaseRefresh refresh(std::uint64_t trial_id,
+                                     std::uint64_t beat,
+                                     std::string* error = nullptr);
+
+  /// Steal a stale lease. `expected_raw` must be the exact bytes the
+  /// caller's staleness observation was based on; any change since
+  /// aborts the break with kChanged. `attempt` is the new claim
+  /// generation (observed generation + 1) — the per-trial break cap
+  /// compares against it to route repeat offenders into quarantine.
+  [[nodiscard]] LeaseBreak break_lease(std::uint64_t trial_id,
+                                       const std::string& expected_raw,
+                                       std::uint64_t attempt,
+                                       std::string* error = nullptr);
+
+  /// Unlink our lease. A lease we no longer own is left alone (the
+  /// thief is responsible for it now). Returns false only on I/O error.
+  bool release(std::uint64_t trial_id);
+
+  /// Does the lease file still name this worker?
+  [[nodiscard]] bool still_owned(std::uint64_t trial_id) const;
+
+  /// Canonical flat-JSON lease body (deterministic: equal fields give
+  /// equal bytes, which is what makes `raw` a usable fingerprint).
+  [[nodiscard]] static std::string render(const LeaseInfo& info);
+  [[nodiscard]] static bool parse(const std::string& raw, LeaseInfo* out);
+
+ private:
+  std::string dir_;
+  std::string owner_;
+};
+
+}  // namespace slowcc::exp

@@ -1,7 +1,13 @@
 #include "exp/result_sink.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -152,22 +158,72 @@ std::string manifest_to_jsonl(const std::vector<Row>& rows) {
   return out.str();
 }
 
+namespace {
+
+/// Write all of `content` to `fd`, retrying partial writes and EINTR.
+bool write_all(int fd, const std::string& content) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Directory holding `path` ("." for a bare filename).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool fsync_parent_dir(const std::string& path, std::string* error) {
+  std::error_code ec;
+  const std::string dir = std::filesystem::is_directory(path, ec)
+                              ? path
+                              : parent_dir(path);
+  // slowcc-lint: allow(no-unguarded-shared-write) this IS the sanctioned durability helper (read-only open of the directory)
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    if (error) *error = "cannot open directory for fsync: " + dir;
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok && error) *error = "fsync failed on directory: " + dir;
+  return ok;
+}
+
 bool write_file_atomic(const std::string& path, const std::string& content,
                        std::string* error) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error) *error = "cannot open " + tmp;
-      return false;
-    }
-    out << content;
-    out.flush();
-    if (!out.good()) {
-      if (error) *error = "write failed: " + tmp;
-      return false;
-    }
+  // Pid+sequence staging name: two fleet workers finalizing the same
+  // file concurrently must not truncate each other's tmp mid-write —
+  // the pid separates processes, the counter separates threads (e.g.
+  // two in-process FleetWorkers) that share one.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
+  // slowcc-lint: allow(no-unguarded-shared-write) this IS the sanctioned tmp+fsync+rename helper
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = "cannot open " + tmp;
+    return false;
   }
+  if (!write_all(fd, content) || ::fsync(fd) != 0) {
+    if (error) *error = "write failed: " + tmp;
+    ::close(fd);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  ::close(fd);
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -175,10 +231,40 @@ bool write_file_atomic(const std::string& path, const std::string& content,
     std::filesystem::remove(tmp, ec);
     return false;
   }
-  return true;
+  // Persist the rename itself: without the directory fsync a crash
+  // right here can roll the directory entry back to the old file (or
+  // to nothing, for a first write) on journaling filesystems.
+  return fsync_parent_dir(path, error);
+}
+
+ExclusiveWrite write_file_exclusive(const std::string& path,
+                                    const std::string& content,
+                                    std::string* error) {
+  // slowcc-lint: allow(no-unguarded-shared-write) this IS the sanctioned O_EXCL claim helper
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return ExclusiveWrite::kExists;
+    if (error) *error = "cannot create " + path;
+    return ExclusiveWrite::kError;
+  }
+  const bool ok = write_all(fd, content) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    if (error) *error = "write failed: " + path;
+    // Leave the (torn) file in place: we DID win the claim; a torn
+    // lease ages out via the staleness TTL like any dead owner's.
+    return ExclusiveWrite::kError;
+  }
+  std::string dir_err;
+  if (!fsync_parent_dir(path, &dir_err)) {
+    if (error) *error = dir_err;
+    return ExclusiveWrite::kError;
+  }
+  return ExclusiveWrite::kCreated;
 }
 
 JsonlAppender::JsonlAppender(const std::string& path) : path_(path) {
+  // slowcc-lint: allow(no-unguarded-shared-write) this IS the sanctioned append+flush journal primitive
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "JsonlAppender",

@@ -1,5 +1,7 @@
 #include "sim/error.hpp"
 
+#include <iterator>
+
 namespace slowcc::sim {
 
 const char* to_string(SimErrc code) noexcept {
@@ -18,17 +20,21 @@ const char* to_string(SimErrc code) noexcept {
       return "deadline-exceeded";
     case SimErrc::kTrialAborted:
       return "trial-aborted";
+    case SimErrc::kLeaseLost:
+      return "lease-lost";
+    case SimErrc::kLeaseExpired:
+      return "lease-expired";
+    case SimErrc::kFleetDegraded:
+      return "fleet-degraded";
+    case SimErrc::kCount_:
+      break;  // sentinel, never constructed
   }
   return "?";
 }
 
 const std::vector<SimErrc>& all_errcs() noexcept {
-  static const std::vector<SimErrc> kAll = {
-      SimErrc::kBadConfig,          SimErrc::kBadSchedule,
-      SimErrc::kBadTopology,        SimErrc::kInvariantViolation,
-      SimErrc::kBudgetExceeded,     SimErrc::kDeadlineExceeded,
-      SimErrc::kTrialAborted,
-  };
+  static const std::vector<SimErrc> kAll(std::begin(kAllSimErrcs),
+                                         std::end(kAllSimErrcs));
   return kAll;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -25,7 +26,34 @@ enum class SimErrc {
                         // clock) turned a hung simulation into an error
   kTrialAborted,        // a trial was cancelled or failed by injection
                         // (chaos self-test, poison experiment)
+  kLeaseLost,           // a fleet worker's trial lease was broken by a
+                        // sibling (the worker looked dead); its result
+                        // is discarded, the breaker's stands
+  kLeaseExpired,        // a trial lease went stale past its TTL; the
+                        // break-cap variant quarantines the trial
+  kFleetDegraded,       // a fleet worker lost its shared directory or
+                        // was asked to stop and exited early
+  // Count sentinel — keep last; never a real code. Every switch over
+  // SimErrc must still be exhaustive (-Wswitch under SLOWCC_WERROR),
+  // and kAllSimErrcs below is pinned to this count at compile time.
+  kCount_,
 };
+
+/// Every taxonomy code, in declaration order. The static_assert makes
+/// "added an enumerator but not its table entry" a compile error
+/// instead of a runtime "unknown" string; the paired to_string switch
+/// is kept exhaustive by -Wswitch.
+inline constexpr SimErrc kAllSimErrcs[] = {
+    SimErrc::kBadConfig,     SimErrc::kBadSchedule,
+    SimErrc::kBadTopology,   SimErrc::kInvariantViolation,
+    SimErrc::kBudgetExceeded, SimErrc::kDeadlineExceeded,
+    SimErrc::kTrialAborted,  SimErrc::kLeaseLost,
+    SimErrc::kLeaseExpired,  SimErrc::kFleetDegraded,
+};
+static_assert(sizeof(kAllSimErrcs) / sizeof(kAllSimErrcs[0]) ==
+                  static_cast<std::size_t>(SimErrc::kCount_),
+              "kAllSimErrcs must list every SimErrc exactly once — add "
+              "the new code here and to to_string()/README.md");
 
 [[nodiscard]] const char* to_string(SimErrc code) noexcept;
 
@@ -36,7 +64,7 @@ enum class SimErrc {
     std::string_view text) noexcept;
 
 /// Every taxonomy code, in declaration order (for exhaustive tests and
-/// documentation generators).
+/// documentation generators) — a vector view over kAllSimErrcs.
 [[nodiscard]] const std::vector<SimErrc>& all_errcs() noexcept;
 
 /// Structured simulator error: a code, the component that raised it,

@@ -1,0 +1,482 @@
+// Multi-process fleet execution: lease lifecycle (claim race, heartbeat,
+// CAS break, theft detection), stale-lease recovery with the per-trial
+// break cap routing repeat offenders into quarantine, and the drain
+// loop's contract that a fleet of workers converges to the exact bytes
+// a single --jobs 1 run produces. Processes are modeled as LeaseLedger /
+// FleetWorker instances over one shared directory — the real multi-
+// process kill/stop/term matrix lives in tools/fleet_chaos_smoke.sh.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/checkpoint.hpp"
+#include "exp/fleet.hpp"
+#include "exp/lease.hpp"
+#include "exp/parallel_runner.hpp"
+#include "exp/registry.hpp"
+#include "exp/result_sink.hpp"
+#include "exp/sweep_spec.hpp"
+#include "sim/error.hpp"
+
+namespace slowcc::exp {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "slowcc_fleet_XXXXXX")
+            .string();
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Small poison grid: boom=0 trials succeed, boom=1 trials fail
+/// deterministically — so the drained journal carries both row kinds.
+SweepSpec fleet_spec() {
+  SweepSpec spec;
+  spec.experiment = "poison";
+  spec.algorithms = {"tcp"};
+  spec.fixed["events"] = 16;
+  spec.sweep_param = "boom";
+  spec.sweep_values = {0, 1};
+  spec.trials = 2;
+  spec.base_seed = 41;
+  return spec;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The bytes a --jobs 1 run journals: every row's JSON in trial-id
+/// order, one line each.
+std::string golden_journal(const SweepSpec& spec) {
+  ParallelRunner runner(1);
+  std::string out;
+  for (const Row& r : runner.run(spec.expand())) {
+    out += r.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+FleetConfig fleet_config(const std::string& dir, const std::string& id) {
+  FleetConfig cfg;
+  cfg.dir = dir;
+  cfg.worker_id = id;
+  cfg.jobs = 1;
+  cfg.lease_ttl_seconds = 2.0;
+  cfg.heartbeat_seconds = 0.4;
+  cfg.poll_seconds = 0.05;
+  cfg.jitter_seed = fleet_spec().base_seed;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Lease lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(LeaseLedger, RenderParseRoundTripsDeterministically) {
+  LeaseInfo info;
+  info.owner = "w-1";
+  info.trial_id = 42;
+  info.attempt = 2;
+  info.beat = 17;
+  const std::string raw = LeaseLedger::render(info);
+  EXPECT_EQ(raw, LeaseLedger::render(info));  // equal fields, equal bytes
+  LeaseInfo parsed;
+  ASSERT_TRUE(LeaseLedger::parse(raw, &parsed));
+  EXPECT_EQ(parsed.owner, "w-1");
+  EXPECT_EQ(parsed.trial_id, 42u);
+  EXPECT_EQ(parsed.attempt, 2u);
+  EXPECT_EQ(parsed.beat, 17u);
+  EXPECT_FALSE(LeaseLedger::parse("{\"owner\":", &parsed));  // torn
+}
+
+TEST(LeaseLedger, RejectsEmptyDirOrOwner) {
+  EXPECT_THROW(LeaseLedger("", "w"), sim::SimError);
+  EXPECT_THROW(LeaseLedger("/tmp/x", ""), sim::SimError);
+}
+
+TEST(LeaseLedger, ClaimRaceHasExactlyOneWinner) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  LeaseLedger b(dir.path(), "b");
+  ASSERT_TRUE(a.prepare());
+  ASSERT_TRUE(b.prepare());  // idempotent
+  EXPECT_EQ(a.claim(5, 1), LeaseClaim::kClaimed);
+  EXPECT_EQ(b.claim(5, 1), LeaseClaim::kHeld);
+  const LeaseView view = b.read(5);
+  ASSERT_EQ(view.state, LeaseRead::kOk);
+  EXPECT_EQ(view.info.owner, "a");
+  EXPECT_EQ(view.info.attempt, 1u);
+  EXPECT_TRUE(a.still_owned(5));
+  EXPECT_FALSE(b.still_owned(5));
+}
+
+TEST(LeaseLedger, RefreshBumpsBeatAndChangesTheFingerprint) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  ASSERT_TRUE(a.prepare());
+  ASSERT_EQ(a.claim(3, 1), LeaseClaim::kClaimed);
+  const std::string before = a.read(3).raw;
+  EXPECT_EQ(a.refresh(3, 1), LeaseRefresh::kOk);
+  const LeaseView after = a.read(3);
+  EXPECT_NE(after.raw, before);  // observers see the bytes move
+  EXPECT_EQ(after.info.beat, 1u);
+  EXPECT_EQ(after.info.attempt, 1u);  // claim generation preserved
+}
+
+TEST(LeaseLedger, BreakIsACompareAndSwapOnTheRawBytes) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  LeaseLedger b(dir.path(), "b");
+  ASSERT_TRUE(a.prepare());
+  ASSERT_EQ(a.claim(7, 1), LeaseClaim::kClaimed);
+  const std::string observed = b.read(7).raw;
+  // The owner heartbeats between observation and break: CAS must fail.
+  ASSERT_EQ(a.refresh(7, 1), LeaseRefresh::kOk);
+  EXPECT_EQ(b.break_lease(7, observed, 2), LeaseBreak::kChanged);
+  // Re-observe the current bytes: now the break lands.
+  const std::string fresh = b.read(7).raw;
+  EXPECT_EQ(b.break_lease(7, fresh, 2), LeaseBreak::kBroken);
+  const LeaseView stolen = b.read(7);
+  ASSERT_EQ(stolen.state, LeaseRead::kOk);
+  EXPECT_EQ(stolen.info.owner, "b");
+  EXPECT_EQ(stolen.info.attempt, 2u);
+  // The original owner's next heartbeat reports the theft.
+  EXPECT_EQ(a.refresh(7, 2), LeaseRefresh::kLost);
+  EXPECT_FALSE(a.still_owned(7));
+}
+
+TEST(LeaseLedger, TornLeaseReadsTornAndIsBreakable) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  ASSERT_TRUE(a.prepare());
+  {  // a claimer died mid-write: short, unparseable bytes
+    std::ofstream out(a.lease_path(9), std::ios::binary);
+    out << "{\"owner\":\"gho";
+  }
+  const LeaseView torn = a.read(9);
+  EXPECT_EQ(torn.state, LeaseRead::kTorn);
+  EXPECT_FALSE(torn.raw.empty());
+  // Breaking against the torn bytes rewrites it readable.
+  EXPECT_EQ(a.break_lease(9, torn.raw, 2), LeaseBreak::kBroken);
+  EXPECT_EQ(a.read(9).state, LeaseRead::kOk);
+  EXPECT_TRUE(a.still_owned(9));
+}
+
+TEST(LeaseLedger, ReleaseUnlinksOursAndLeavesTheThiefs) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  LeaseLedger b(dir.path(), "b");
+  ASSERT_TRUE(a.prepare());
+  ASSERT_EQ(a.claim(1, 1), LeaseClaim::kClaimed);
+  EXPECT_TRUE(a.release(1));
+  EXPECT_EQ(a.read(1).state, LeaseRead::kAbsent);
+  // Released means claimable again.
+  ASSERT_EQ(b.claim(1, 1), LeaseClaim::kClaimed);
+  // a releasing a lease it no longer owns must not unlink b's file.
+  EXPECT_TRUE(a.release(1));
+  EXPECT_EQ(b.read(1).state, LeaseRead::kOk);
+  EXPECT_TRUE(b.still_owned(1));
+  // Releasing an absent lease is a clean no-op.
+  EXPECT_TRUE(a.release(999));
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeater.
+// ---------------------------------------------------------------------------
+
+TEST(Heartbeater, BeatsHeldLeasesAndStickilyRecordsTheft) {
+  TempDir dir;
+  LeaseLedger a(dir.path(), "a");
+  LeaseLedger b(dir.path(), "b");
+  ASSERT_TRUE(a.prepare());
+  ASSERT_EQ(a.claim(4, 1), LeaseClaim::kClaimed);
+  // Long interval: only the synchronous test hook drives beats here.
+  Heartbeater heart(a, 60.0);
+  heart.add(4);
+  const std::string before = a.read(4).raw;
+  heart.beat_now();
+  EXPECT_NE(a.read(4).raw, before);
+  EXPECT_FALSE(heart.lost(4));
+  // A sibling judges us dead and steals the lease; the next beat must
+  // detect the theft and record it stickily.
+  const std::string observed = b.read(4).raw;
+  ASSERT_EQ(b.break_lease(4, observed, 2), LeaseBreak::kBroken);
+  heart.beat_now();
+  EXPECT_TRUE(heart.lost(4));
+  EXPECT_EQ(heart.io_failures(), 0u);
+  // The stolen lease still names the thief: we must not have clobbered it.
+  EXPECT_EQ(b.read(4).info.owner, "b");
+}
+
+// ---------------------------------------------------------------------------
+// merge_journals: the fleet's shard-merge semantics.
+// ---------------------------------------------------------------------------
+
+TEST(MergeJournals, LastLinePerTrialWinsAcrossShards) {
+  const auto trials = fleet_spec().expand();
+  ParallelRunner runner(1);
+  const std::vector<Row> rows = runner.run(trials);
+  JsonlLoad shard_a;
+  shard_a.ok = true;
+  shard_a.lines = {rows[0].to_json(), rows[2].to_json()};
+  JsonlLoad shard_b;
+  shard_b.ok = true;
+  shard_b.lines = {rows[1].to_json(), rows[0].to_json()};  // duplicate 0
+  const JournalMerge merge =
+      merge_journals(trials, {shard_a, shard_b}, /*rerun_failures=*/false);
+  EXPECT_EQ(merge.journal_lines, 4u);
+  ASSERT_EQ(merge.rows.size(), 3u);  // the duplicate collapses
+  ASSERT_EQ(merge.lines.size(), 3u);
+  EXPECT_EQ(merge.lines[0], rows[0].to_json());
+  ASSERT_EQ(merge.pending.size(), trials.size() - 3u);
+  EXPECT_FALSE(merge.torn_tail);
+}
+
+TEST(MergeJournals, RerunFailuresFlagSplitsTheTwoResumePolicies) {
+  const auto trials = fleet_spec().expand();
+  ParallelRunner runner(1);
+  const std::vector<Row> rows = runner.run(trials);
+  JsonlLoad shard;
+  shard.ok = true;
+  std::size_t failures = 0;
+  for (const Row& r : rows) {
+    shard.lines.push_back(r.to_json());
+    if (!r.outcome.ok) ++failures;
+  }
+  ASSERT_GT(failures, 0u);  // the poison grid must exercise this
+  // Fleet drain: a journaled failure is done — no livelock on
+  // deterministic failures.
+  const JournalMerge drain =
+      merge_journals(trials, {shard}, /*rerun_failures=*/false);
+  EXPECT_EQ(drain.rows.size(), trials.size());
+  EXPECT_TRUE(drain.pending.empty());
+  // Single-process --resume: failures are retried.
+  const JournalMerge resume =
+      merge_journals(trials, {shard}, /*rerun_failures=*/true);
+  EXPECT_EQ(resume.rows.size(), trials.size() - failures);
+  EXPECT_EQ(resume.pending.size(), failures);
+}
+
+// ---------------------------------------------------------------------------
+// FleetWorker.
+// ---------------------------------------------------------------------------
+
+TEST(FleetWorker, ValidatesConfigUpFront) {
+  TempDir dir;
+  FleetConfig bad_id = fleet_config(dir.path(), "no spaces");
+  EXPECT_THROW(FleetWorker{bad_id}, sim::SimError);
+  FleetConfig bad_beat = fleet_config(dir.path(), "w");
+  bad_beat.heartbeat_seconds = bad_beat.lease_ttl_seconds;  // >= ttl/2
+  EXPECT_THROW(FleetWorker{bad_beat}, sim::SimError);
+}
+
+TEST(FleetWorker, QuarantineErrorIsAPureFunction) {
+  EXPECT_EQ(FleetWorker::quarantine_error(3, 3),
+            FleetWorker::quarantine_error(3, 3));
+  EXPECT_NE(FleetWorker::quarantine_error(3, 3),
+            FleetWorker::quarantine_error(4, 3));
+}
+
+TEST(FleetWorker, ShardPathsFindEveryJournalSortedByName) {
+  TempDir dir;
+  for (const char* name : {"journal.worker-b.jsonl", "journal.jsonl",
+                           "journal.worker-a.jsonl", "trials.jsonl"}) {
+    std::ofstream(dir.path() + "/" + name) << "";
+  }
+  const std::vector<std::string> paths = FleetWorker::shard_paths(dir.path());
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_NE(paths[0].find("journal.jsonl"), std::string::npos);
+  EXPECT_NE(paths[1].find("journal.worker-a.jsonl"), std::string::npos);
+  EXPECT_NE(paths[2].find("journal.worker-b.jsonl"), std::string::npos);
+}
+
+TEST(FleetWorker, SingleWorkerDrainMatchesJobs1ByteForByte) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetWorker worker(fleet_config(dir.path(), "solo"));
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_TRUE(report.finalized);
+  EXPECT_EQ(report.trials_run, spec.expand().size());
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_GT(report.rows_failed, 0u);  // the boom=1 rows
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/trials.jsonl"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/leases"))
+      << "leases/ must be swept once the grid is drained";
+}
+
+TEST(FleetWorker, TwoConcurrentWorkersConvergeByteIdentically) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetReport ra;
+  FleetReport rb;
+  std::thread ta([&] {
+    FleetWorker worker(fleet_config(dir.path(), "a"));
+    ra = worker.run(spec, "p\n");
+  });
+  std::thread tb([&] {
+    FleetWorker worker(fleet_config(dir.path(), "b"));
+    rb = worker.run(spec, "p\n");
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(ra.outcome, FleetOutcome::kDrained) << ra.detail;
+  EXPECT_EQ(rb.outcome, FleetOutcome::kDrained) << rb.detail;
+  // Between them every trial ran at least once; duplicates (benign
+  // races) collapse in the merge, so the journal is still canonical.
+  EXPECT_GE(ra.trials_run + rb.trials_run, spec.expand().size());
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/leases"));
+}
+
+TEST(FleetWorker, ResumesASingleProcessCheckpointDirectory) {
+  const SweepSpec spec = fleet_spec();
+  const auto trials = spec.expand();
+  TempDir dir;
+  {  // A --jobs 1 --resume run that "crashed" halfway through.
+    ParallelRunner runner(1);
+    const std::vector<Row> rows = runner.run(trials);
+    Checkpoint ck(dir.path());
+    EXPECT_FALSE(ck.open(spec, "p\n"));
+    for (const Row& r : rows) {
+      if (r.trial_id % 2 == 0) ck.record(r);
+    }
+  }
+  // The canonical journal.jsonl is itself a shard: the fleet picks up
+  // where the single process died.
+  FleetWorker worker(fleet_config(dir.path(), "rescuer"));
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.trials_run, trials.size() / 2);  // only the odd ids
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+TEST(FleetWorker, ConvergesOnAnAlreadyDrainedDirectory) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetWorker first(fleet_config(dir.path(), "a"));
+  ASSERT_EQ(first.run(spec, "p\n").outcome, FleetOutcome::kDrained);
+  const std::string journal = read_file(dir.path() + "/journal.jsonl");
+  FleetWorker second(fleet_config(dir.path(), "b"));
+  const FleetReport report = second.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.trials_run, 0u);  // nothing left to claim
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), journal);
+}
+
+TEST(FleetWorker, BreakCapRoutesRepeatOffendersIntoQuarantine) {
+  SweepSpec spec = fleet_spec();
+  spec.sweep_values = {0};  // healthy grid: the only failure is synthetic
+  const auto trials = spec.expand();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "judge");
+  cfg.lease_ttl_seconds = 0.4;  // short staleness window keeps this fast
+  cfg.heartbeat_seconds = 0.1;
+  // A "ghost" worker claims trial 0 at the break cap — as if
+  // max_lease_breaks successive owners all died mid-trial — and never
+  // heartbeats again.
+  LeaseLedger ghost(dir.path(), "ghost");
+  ASSERT_TRUE(ghost.prepare());
+  ASSERT_EQ(ghost.claim(trials[0].trial_id,
+                        static_cast<std::uint64_t>(cfg.max_lease_breaks)),
+            LeaseClaim::kClaimed);
+
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.rows_failed, 1u);
+  EXPECT_EQ(report.trials_run, trials.size() - 1);
+
+  // The quarantine row is synthesized deterministically: lease-expired,
+  // attempts == the break cap, canonical error text. (Merged with
+  // rerun_failures=false — the drain policy — because under the resume
+  // policy a failure row is pending, not recovered.)
+  const JournalMerge merge = merge_journals(
+      trials, {load_jsonl(dir.path() + "/journal.jsonl")},
+      /*rerun_failures=*/false);
+  ASSERT_TRUE(merge.pending.empty());
+  bool saw_quarantine = false;
+  for (const Row& r : merge.rows) {
+    if (r.trial_id != trials[0].trial_id) {
+      EXPECT_TRUE(r.outcome.ok) << r.error;
+      continue;
+    }
+    saw_quarantine = true;
+    EXPECT_FALSE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.error_kind,
+              to_string(sim::SimErrc::kLeaseExpired));
+    EXPECT_EQ(r.outcome.attempts, cfg.max_lease_breaks);
+    EXPECT_EQ(r.error, FleetWorker::quarantine_error(
+                           trials[0].trial_id, cfg.max_lease_breaks));
+  }
+  EXPECT_TRUE(saw_quarantine);
+}
+
+TEST(FleetWorker, StaleLeaseIsBrokenWithinOneTtl) {
+  SweepSpec spec = fleet_spec();
+  spec.sweep_values = {0};
+  const auto trials = spec.expand();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "survivor");
+  cfg.lease_ttl_seconds = 0.4;
+  cfg.heartbeat_seconds = 0.1;
+  // One dead owner at generation 1: below the cap, so the survivor
+  // breaks the lease and runs the trial itself — no quarantine.
+  LeaseLedger ghost(dir.path(), "ghost");
+  ASSERT_TRUE(ghost.prepare());
+  ASSERT_EQ(ghost.claim(trials[0].trial_id, 1), LeaseClaim::kClaimed);
+
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.leases_broken, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.trials_run, trials.size());
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+TEST(FleetWorker, ShouldStopDegradesBeforeClaimingAnything) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "stopped");
+  cfg.should_stop = [] { return true; };
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDegraded);
+  EXPECT_EQ(report.trials_run, 0u);
+  EXPECT_FALSE(report.finalized);
+  EXPECT_FALSE(report.detail.empty());
+  // A later worker finds an intact, drainable directory.
+  FleetWorker finisher(fleet_config(dir.path(), "finisher"));
+  const FleetReport done = finisher.run(spec, "p\n");
+  EXPECT_EQ(done.outcome, FleetOutcome::kDrained) << done.detail;
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+}  // namespace
+}  // namespace slowcc::exp

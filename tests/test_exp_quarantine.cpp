@@ -218,7 +218,26 @@ TEST(ResultSink, AtomicWriteLeavesNoTempFile) {
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "line\n");
-  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Only the target file remains — no ".tmp.<pid>" staging leftovers.
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path())) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "out.jsonl");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(ResultSink, ExclusiveWriteClaimsExactlyOnce) {
+  TempDir dir;
+  const std::string path = dir.path() + "/trial-7.lease";
+  std::string err;
+  EXPECT_EQ(write_file_exclusive(path, "a\n", &err), ExclusiveWrite::kCreated)
+      << err;
+  EXPECT_EQ(write_file_exclusive(path, "b\n", &err), ExclusiveWrite::kExists);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\n");  // the loser did not clobber the winner
 }
 
 TEST(ResultSink, LoaderReportsTornTrailingLine) {

@@ -265,6 +265,54 @@ void f() {
   }
 }
 
+TEST(LintUnguardedSharedWrite, FlagsRawWritePathsOnlyUnderSrcExp) {
+  const std::string writer = R"cpp(
+#include <fstream>
+void dump(const char* path) {
+  std::ofstream out(path);
+  FILE* f = fopen(path, "w");
+  int fd = ::open(path, 0);
+}
+)cpp";
+  const auto findings = lint_one("src/exp/scratch_sink.cpp", writer);
+  EXPECT_EQ(count_rule(findings, "no-unguarded-shared-write"), 3);
+  for (const auto& f : findings) {
+    if (f.rule == "no-unguarded-shared-write") {
+      EXPECT_TRUE(f.advisory) << f.message;
+    }
+  }
+  // The same code outside the shared-checkpoint layer is fine.
+  EXPECT_EQ(count_rule(lint_one("src/sim/dump.cpp", writer),
+                       "no-unguarded-shared-write"),
+            0);
+  EXPECT_EQ(count_rule(lint_one("tools/report.cpp", writer),
+                       "no-unguarded-shared-write"),
+            0);
+}
+
+TEST(LintUnguardedSharedWrite, SkipsMemberOpenAndQualifiedCalls) {
+  const auto findings = lint_one("src/exp/driver.cpp", R"cpp(
+bool Checkpoint::open(const SweepSpec& spec) { return true; }
+void drive(Checkpoint& cp, const SweepSpec& spec) {
+  cp.open(spec);
+  io::open(spec);
+  std::ifstream in("journal.jsonl");
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unguarded-shared-write"), 0);
+}
+
+TEST(LintUnguardedSharedWrite, IsSuppressibleWithReason) {
+  const auto findings = lint_one("src/exp/result_sink_fixture.cpp", R"cpp(
+int claim(const char* path) {
+  // slowcc-lint: allow(no-unguarded-shared-write) this IS the O_EXCL primitive
+  return ::open(path, 0);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unguarded-shared-write"), 0);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
 TEST(LintSuppression, TrailingAllowGuardsItsOwnLine) {
   const auto findings = lint_one("src/net/s1.cpp", R"cpp(
 int f() {
@@ -320,16 +368,18 @@ int f() {
 }
 
 TEST(LintRules, RegistryKnowsEveryRule) {
-  EXPECT_GE(slowcc::lint::all_rules().size(), 7u);
+  EXPECT_GE(slowcc::lint::all_rules().size(), 8u);
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-wall-clock"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("error-taxonomy"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-std-function-hot-path"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-unguarded-shared-write"));
   EXPECT_FALSE(slowcc::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(slowcc::lint::is_known_rule(""));
-  // Exactly the hot-path rule is advisory today; enforced rules must
-  // never silently flip.
+  // Exactly the hot-path and shared-write rules are advisory today;
+  // enforced rules must never silently flip.
   for (const auto& rule : slowcc::lint::all_rules()) {
-    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path")
+    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path" ||
+                                 rule.name == "no-unguarded-shared-write")
         << rule.name;
   }
 }

@@ -37,6 +37,32 @@ TEST(SimError, TaxonomyIncludesTheDeadlineAndAbortCodes) {
   EXPECT_EQ(errc_from_string("trial-aborted"), SimErrc::kTrialAborted);
 }
 
+TEST(SimError, FleetCodesRoundTrip) {
+  EXPECT_STREQ(to_string(SimErrc::kLeaseLost), "lease-lost");
+  EXPECT_STREQ(to_string(SimErrc::kLeaseExpired), "lease-expired");
+  EXPECT_STREQ(to_string(SimErrc::kFleetDegraded), "fleet-degraded");
+  EXPECT_EQ(errc_from_string("lease-lost"), SimErrc::kLeaseLost);
+  EXPECT_EQ(errc_from_string("lease-expired"), SimErrc::kLeaseExpired);
+  EXPECT_EQ(errc_from_string("fleet-degraded"), SimErrc::kFleetDegraded);
+}
+
+TEST(SimError, TaxonomyListIsExhaustiveAndExcludesTheSentinel) {
+  // The compile-time side: kAllSimErrcs is static_assert-pinned to the
+  // kCount_ sentinel, so a new enumerator cannot be forgotten. Here we
+  // pin the runtime view to the same array and verify no code ever
+  // stringifies to the "unknown" fallback.
+  ASSERT_EQ(all_errcs().size(),
+            static_cast<std::size_t>(SimErrc::kCount_));
+  std::size_t i = 0;
+  for (const SimErrc code : all_errcs()) {
+    EXPECT_EQ(code, kAllSimErrcs[i]) << i;
+    EXPECT_NE(code, SimErrc::kCount_);
+    EXPECT_STRNE(to_string(code), "?");
+    ++i;
+  }
+  EXPECT_STREQ(to_string(SimErrc::kCount_), "?");  // sentinel only
+}
+
 TEST(SimError, UnknownStringParsesToNothing) {
   EXPECT_FALSE(errc_from_string("").has_value());
   EXPECT_FALSE(errc_from_string("deadline").has_value());

@@ -6,7 +6,9 @@
 #   2. full build
 #   3. slowcc_lint over the tree (the `lint` target)
 #   4. clang-tidy (`tidy` target; no-op when clang-tidy is absent)
-#   5. ctest tier-1 suite
+#   5. ctest tier-1 suite (includes fleet_chaos_smoke: multi-process
+#      --fleet workers SIGKILLed/SIGSTOPped/SIGTERMed mid-grid must
+#      converge to the --jobs 1 golden output byte-for-byte)
 #   6. engine perf report: bench_report runs the per-engine event-queue
 #      micro-benchmarks and writes BENCH_engine.json into the build
 #      dir. The wheel >= 1.5x heap floor is advisory by default (warn

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Fleet chaos smoke: N slowcc_sweep --fleet worker processes drain one
+# grid while being SIGKILLed, SIGSTOPped, and SIGTERMed mid-trial. The
+# merged result must be byte-identical to an uninterrupted --jobs 1
+# run of the same spec — journal.jsonl, trials.*, cells.* — and the
+# leases directory must be gone once the grid is drained.
+#
+# Phases:
+#   1  SIGKILL: worker a is killed hard mid-trial; worker b breaks the
+#      stale lease within one TTL and finishes; a restarted worker with
+#      the same id resumes cleanly against the drained directory.
+#   2  SIGSTOP: a paused worker stops heartbeating; its lease goes
+#      stale and is stolen; on SIGCONT the survivor discards its
+#      in-flight row (lease-lost) without corrupting the journal.
+#   3  SIGTERM: a terminated worker finishes its in-flight trial,
+#      exits with the distinct degraded code 4, and a sibling
+#      completes the grid.
+#
+# Usage: tools/fleet_chaos_smoke.sh /path/to/slowcc_sweep
+set -euo pipefail
+
+sweep="${1:?usage: fleet_chaos_smoke.sh /path/to/slowcc_sweep}"
+if [[ ! -x "$sweep" ]]; then
+  echo "fleet_chaos_smoke: slowcc_sweep not found at '$sweep' —" \
+       "build it with: cmake --build build --target slowcc_sweep" >&2
+  exit 1
+fi
+work="$(mktemp -d)"
+# Preserve the failing command's exit code through the cleanup trap so
+# callers (ctest, CI) see the real status, not rm's.
+trap 'rc=$?; kill -CONT 0 2>/dev/null || true; rm -rf "$work"; exit $rc' EXIT
+
+# A clean grid (no poison cells, no chaos) of deliberately slow trials:
+# sleep_ms gives the signals below a wide mid-trial window while the
+# simulated workload stays tiny. All rows succeed, so every run must
+# exit 0 and the fleet output can be byte-compared to the golden run.
+common=(--experiment poison --algorithms tcp
+        --set sleep_ms=400 --set events=16
+        --trials 6 --base-seed 7 --duration-scale 0.01 --jobs 1)
+fleet_opts=(--lease-ttl 2 --fleet-poll 0.2 --quiet)
+
+fail() {
+  echo "fleet_chaos_smoke: FAIL ($*)" >&2
+  exit 1
+}
+
+compare_outputs() {
+  local dir="$1" phase="$2"
+  for f in journal.jsonl trials.jsonl trials.csv cells.jsonl cells.csv; do
+    if ! cmp -s "$work/ref/$f" "$dir/$f"; then
+      echo "fleet_chaos_smoke: FAIL ($phase: $f differs from the" \
+           "uninterrupted --jobs 1 run)" >&2
+      diff "$work/ref/$f" "$dir/$f" >&2 || true
+      exit 1
+    fi
+  done
+  [[ -d "$dir/leases" ]] && fail "$phase: leases/ left behind after drain"
+  return 0
+}
+
+# Golden reference: uninterrupted, single-threaded, checkpointed.
+"$sweep" "${common[@]}" --resume "$work/ref" --quiet \
+  || fail "reference run exited $?"
+
+# ---- Phase 1: SIGKILL a worker mid-trial, survivor + restart drain --
+"$sweep" "${common[@]}" --fleet "$work/kill" --worker-id a \
+  "${fleet_opts[@]}" &
+pid_a=$!
+sleep 0.6   # let a claim and enter a trial
+kill -9 "$pid_a" 2>/dev/null || true
+wait "$pid_a" 2>/dev/null || true
+[[ -d "$work/kill/leases" ]] || fail "phase 1: no lease survived the kill"
+
+"$sweep" "${common[@]}" --fleet "$work/kill" --worker-id b \
+  "${fleet_opts[@]}" 2>"$work/kill.b.log" &
+pid_b=$!
+# Restart the killed worker id against the same directory: it must
+# either help drain or converge on an already-drained grid — never
+# corrupt it.
+"$sweep" "${common[@]}" --fleet "$work/kill" --worker-id a \
+  "${fleet_opts[@]}" || fail "phase 1: restarted worker exited $?"
+wait "$pid_b" || fail "phase 1: surviving worker exited $?"
+compare_outputs "$work/kill" "phase 1 (SIGKILL)"
+
+# ---- Phase 2: SIGSTOP a worker; its stale lease must be stolen ------
+"$sweep" "${common[@]}" --fleet "$work/stop" --worker-id a \
+  "${fleet_opts[@]}" &
+pid_a=$!
+sleep 0.6   # a is inside a trial, heartbeating
+kill -STOP "$pid_a" 2>/dev/null || fail "phase 2: could not pause worker"
+"$sweep" "${common[@]}" --fleet "$work/stop" --worker-id b \
+  "${fleet_opts[@]}" 2>"$work/stop.b.log" \
+  || fail "phase 2: stealing worker exited $?"
+grep -q "leases broken" "$work/stop.b.log" || true
+kill -CONT "$pid_a" 2>/dev/null || true
+# The resumed worker finds its lease stolen (row discarded) or simply
+# an already-drained grid; both are clean exits (0) or degraded (4).
+rc=0; wait "$pid_a" || rc=$?
+[[ $rc -eq 0 || $rc -eq 4 ]] \
+  || fail "phase 2: resumed worker exited $rc (want 0 or 4)"
+compare_outputs "$work/stop" "phase 2 (SIGSTOP)"
+
+# ---- Phase 3: SIGTERM = graceful degrade, distinct exit code 4 ------
+"$sweep" "${common[@]}" --fleet "$work/term" --worker-id a \
+  "${fleet_opts[@]}" &
+pid_a=$!
+sleep 0.6   # a is inside a trial
+kill -TERM "$pid_a" 2>/dev/null || fail "phase 3: could not TERM worker"
+rc=0; wait "$pid_a" || rc=$?
+[[ $rc -eq 4 ]] || fail "phase 3: SIGTERMed worker exited $rc (want 4)"
+# The in-flight trial was finished and journaled before exiting.
+[[ -s "$work/term/journal.worker-a.jsonl" ]] \
+  || fail "phase 3: degraded worker journaled nothing"
+"$sweep" "${common[@]}" --fleet "$work/term" --worker-id b \
+  "${fleet_opts[@]}" || fail "phase 3: finishing worker exited $?"
+compare_outputs "$work/term" "phase 3 (SIGTERM)"
+
+echo "fleet_chaos_smoke: PASS"

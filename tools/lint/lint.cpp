@@ -575,6 +575,65 @@ void check_std_function_hot_path(const std::string& path,
   }
 }
 
+void check_unguarded_shared_write(const std::string& path,
+                                  const std::vector<MaskedLine>& lines,
+                                  std::vector<Finding>* out) {
+  // Advisory, scoped to the checkpoint/fleet layer: files under src/exp/
+  // write into sweep directories that concurrent fleet workers share, so
+  // every write must be crash-atomic (tmp+fsync+rename), exclusive
+  // (O_EXCL claim), or the sanctioned append+flush journal. A raw
+  // ofstream / fopen / ::open can tear mid-write or race a sibling.
+  // The blessed primitives in result_sink.cpp carry suppressions.
+  if (!starts_with(path, "src/exp/")) return;
+  static constexpr std::string_view kRule = "no-unguarded-shared-write";
+  static constexpr std::string_view kHint =
+      "route shared-directory writes through exp::write_file_atomic "
+      "(tmp+fsync+rename), exp::write_file_exclusive (O_EXCL claim), or "
+      "exp::JsonlAppender (append+flush journal); suppress with a reason "
+      "if this line IS one of those primitives";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (find_word(code, "ofstream") != std::string::npos) {
+      out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
+                      "raw ofstream in shared-checkpoint code can tear "
+                      "mid-write",
+                      std::string(kHint)});
+    }
+    for (const std::string_view word : {"fopen", "freopen", "creat"}) {
+      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
+           pos = find_word(code, word, pos + 1)) {
+        if (!followed_by_call(code, pos + word.size())) continue;
+        if (qualified_as_foreign_member(code, pos)) continue;
+        out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
+                        "raw " + std::string(word) +
+                            "() in shared-checkpoint code bypasses the "
+                            "crash-atomic write primitives",
+                        std::string(kHint)});
+        break;
+      }
+    }
+    // Only the globally-qualified `::open(` spelling is flagged: bare
+    // `open(` would hit Checkpoint::open declarations and member calls,
+    // and `Ns::open(` / `obj.open(` are someone else's API.
+    for (std::size_t pos = find_word(code, "open"); pos != std::string::npos;
+         pos = find_word(code, "open", pos + 1)) {
+      if (!followed_by_call(code, pos + 4)) continue;
+      std::size_t p = pos;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+        --p;
+      }
+      if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') continue;
+      if (p >= 3 && ident_char(code[p - 3])) continue;  // Ns::open / std::…
+      out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
+                      "raw ::open() in shared-checkpoint code bypasses the "
+                      "crash-atomic write primitives",
+                      std::string(kHint)});
+      break;
+    }
+  }
+}
+
 void check_header_hygiene(const std::string& path,
                           const std::vector<MaskedLine>& lines,
                           std::vector<Finding>* out) {
@@ -631,6 +690,11 @@ const std::vector<RuleInfo>& all_rules() {
        "advisory: std::function in src/sim/ engine code; pool POD entries "
        "and keep type erasure at the Scheduler::Callback boundary",
        /*advisory=*/true},
+      {"no-unguarded-shared-write",
+       "advisory: raw ofstream/fopen/::open writes in src/exp/ shared "
+       "checkpoint dirs; use write_file_atomic / write_file_exclusive / "
+       "JsonlAppender",
+       /*advisory=*/true},
   };
   return kRules;
 }
@@ -683,6 +747,7 @@ std::vector<Finding> run(const std::vector<SourceFile>& sources) {
     check_float_time(path, lines, &raw);
     check_header_hygiene(path, lines, &raw);
     check_std_function_hot_path(path, lines, &raw);
+    check_unguarded_shared_write(path, lines, &raw);
 
     for (auto& finding : raw) {
       if (suppressions.file_rules.count(finding.rule) != 0) continue;
