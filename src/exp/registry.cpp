@@ -323,8 +323,13 @@ scenario::FlowSpec parse_flow_spec(std::string_view token) {
   bad("unknown algorithm kind: '" + kind + "'");
 }
 
-const std::vector<Experiment>& experiments() {
-  static const std::vector<Experiment> kExperiments = {
+namespace {
+
+/// The registry proper: built-ins first, then anything registered at
+/// runtime. Function-local static so the built-ins self-initialize on
+/// first use; mutable so `register_experiment` can append.
+std::vector<Experiment>& registry_storage() {
+  static std::vector<Experiment> experiments = {
       {"static_compat",
        "single flow vs Bernoulli loss; goodput against the Padhye "
        "prediction (paper SS2)",
@@ -392,7 +397,22 @@ const std::vector<Experiment>& experiments() {
        {"boom=0", "heal_after=0", "spin=0", "sleep_ms=0", "events=32"},
        run_poison},
   };
-  return kExperiments;
+  return experiments;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& experiments() { return registry_storage(); }
+
+void register_experiment(Experiment e) {
+  if (e.name.empty()) bad("cannot register an experiment with no name");
+  if (!e.run) {
+    bad("experiment '" + e.name + "' has no run function");
+  }
+  if (find_experiment(e.name) != nullptr) {
+    bad("experiment '" + e.name + "' is already registered");
+  }
+  registry_storage().push_back(std::move(e));
 }
 
 const Experiment* find_experiment(std::string_view name) {

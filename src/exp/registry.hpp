@@ -26,8 +26,18 @@ struct Experiment {
   std::function<Row(const TrialDesc&)> run;
 };
 
-/// All built-in experiments, in stable order.
+/// Every registered experiment: the built-ins in stable order,
+/// followed by dynamically registered ones (compiled scenario specs)
+/// in registration order.
 [[nodiscard]] const std::vector<Experiment>& experiments();
+
+/// Register an additional experiment (e.g. a compiled `specs/*.toml`
+/// scenario). Throws sim::SimError (kBadConfig) on an empty name, a
+/// missing run function, or a name collision with an already
+/// registered experiment. NOT thread-safe: register during process
+/// startup, before any sweep workers run — the returned vector from
+/// `experiments()` may reallocate on registration.
+void register_experiment(Experiment e);
 
 /// Lookup by name; nullptr when unknown.
 [[nodiscard]] const Experiment* find_experiment(std::string_view name);

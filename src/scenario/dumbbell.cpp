@@ -215,6 +215,11 @@ Dumbbell::Flow& Dumbbell::add_flow(const FlowSpec& spec, bool forward) {
 
 traffic::CbrSource& Dumbbell::add_cbr(double rate_bps,
                                       std::int64_t packet_size) {
+  return *add_cbr_pair(rate_bps, packet_size).source;
+}
+
+Dumbbell::CbrPair Dumbbell::add_cbr_pair(double rate_bps,
+                                         std::int64_t packet_size) {
   if (finalized_) {
     throw sim::SimError(sim::SimErrc::kBadTopology, "Dumbbell",
                         "add_cbr after finalize()");
@@ -227,10 +232,10 @@ traffic::CbrSource& Dumbbell::add_cbr(double rate_bps,
       sim_, src, dst.id(), sink->local_port(), next_flow_id_++, rate_bps);
   source->set_packet_size(packet_size);
 
-  auto& ref = *source;
+  CbrPair pair{source.get(), sink.get()};
   agents_.push_back(std::move(source));
   sinks_.push_back(std::move(sink));
-  return ref;
+  return pair;
 }
 
 void Dumbbell::add_reverse_traffic() {

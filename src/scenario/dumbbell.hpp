@@ -97,6 +97,16 @@ class Dumbbell {
   traffic::CbrSource& add_cbr(double rate_bps,
                               std::int64_t packet_size = 1000);
 
+  /// A CBR source plus its receiving sink. Receiver-side byte counts
+  /// drive closed-loop sources (adaptive media) and goodput metrics.
+  struct CbrPair {
+    traffic::CbrSource* source = nullptr;  // owned by the Dumbbell
+    cc::SinkBase* sink = nullptr;          // owned by the Dumbbell
+  };
+
+  /// Like `add_cbr`, but also expose the sink end.
+  CbrPair add_cbr_pair(double rate_bps, std::int64_t packet_size = 1000);
+
   /// Add `config.reverse_tcp_flows` standard TCP flows in the reverse
   /// direction and start them at t=0 (paper §3's bidirectional data
   /// traffic). Called by scenarios that follow the paper's setup.

@@ -26,6 +26,8 @@ const char* to_string(SimErrc code) noexcept {
       return "lease-expired";
     case SimErrc::kFleetDegraded:
       return "fleet-degraded";
+    case SimErrc::kBadSpec:
+      return "bad-spec";
     case SimErrc::kCount_:
       break;  // sentinel, never constructed
   }

@@ -33,6 +33,9 @@ enum class SimErrc {
                         // break-cap variant quarantines the trial
   kFleetDegraded,       // a fleet worker lost its shared directory or
                         // was asked to stop and exited early
+  kBadSpec,             // a declarative scenario spec failed to parse,
+                        // validate, or compile (src/spec/); the message
+                        // carries file:line and the offending key
   // Count sentinel — keep last; never a real code. Every switch over
   // SimErrc must still be exhaustive (-Wswitch under SLOWCC_WERROR),
   // and kAllSimErrcs below is pinned to this count at compile time.
@@ -49,6 +52,7 @@ inline constexpr SimErrc kAllSimErrcs[] = {
     SimErrc::kBudgetExceeded, SimErrc::kDeadlineExceeded,
     SimErrc::kTrialAborted,  SimErrc::kLeaseLost,
     SimErrc::kLeaseExpired,  SimErrc::kFleetDegraded,
+    SimErrc::kBadSpec,
 };
 static_assert(sizeof(kAllSimErrcs) / sizeof(kAllSimErrcs[0]) ==
                   static_cast<std::size_t>(SimErrc::kCount_),

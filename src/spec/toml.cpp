@@ -1,0 +1,380 @@
+#include "spec/toml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace slowcc::spec {
+
+namespace {
+
+bool is_bare_key_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-';
+}
+
+std::string_view strip(std::string_view s) noexcept {
+  while (!s.empty() &&
+         (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Cursor over one logical line's value text. Scalars never span lines,
+// so a per-line cursor keeps diagnostics trivially accurate.
+struct ValueCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  const std::string& source;
+  int line;
+
+  [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+
+  void skip_space() noexcept {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+};
+
+TomlValue parse_string(ValueCursor& cur) {
+  TomlValue v;
+  v.kind = TomlValue::Kind::kString;
+  v.line = cur.line;
+  ++cur.pos;  // opening quote
+  while (true) {
+    if (cur.done()) {
+      spec_error(cur.source, cur.line, "unterminated string");
+    }
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return v;
+    if (c == '\\') {
+      if (cur.done()) {
+        spec_error(cur.source, cur.line, "unterminated string escape");
+      }
+      const char e = cur.text[cur.pos++];
+      switch (e) {
+        case '"': v.text.push_back('"'); break;
+        case '\\': v.text.push_back('\\'); break;
+        case 'n': v.text.push_back('\n'); break;
+        case 't': v.text.push_back('\t'); break;
+        case 'r': v.text.push_back('\r'); break;
+        default:
+          spec_error(cur.source, cur.line,
+                     std::string("unsupported string escape '\\") + e + "'");
+      }
+      continue;
+    }
+    v.text.push_back(c);
+  }
+}
+
+TomlValue parse_number_or_bool(ValueCursor& cur) {
+  const std::size_t start = cur.pos;
+  while (!cur.done() && cur.peek() != ',' && cur.peek() != ']' &&
+         cur.peek() != ' ' && cur.peek() != '\t' && cur.peek() != '#') {
+    ++cur.pos;
+  }
+  const std::string token(cur.text.substr(start, cur.pos - start));
+  TomlValue v;
+  v.line = cur.line;
+  if (token == "true" || token == "false") {
+    v.kind = TomlValue::Kind::kBool;
+    v.boolean = (token == "true");
+    return v;
+  }
+  if (token.empty()) {
+    spec_error(cur.source, cur.line, "expected a value");
+  }
+  // Integer first ("-3" is integral; "3.5" and "3e2" are floats).
+  const bool looks_integral = token.find_first_of(".eE") == std::string::npos;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  if (looks_integral) {
+    const long long parsed = std::strtoll(begin, &end, 10);
+    if (end == begin + token.size()) {
+      v.kind = TomlValue::Kind::kInteger;
+      v.integer = parsed;
+      v.number = static_cast<double>(parsed);
+      return v;
+    }
+  }
+  end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin + token.size()) {
+    v.kind = TomlValue::Kind::kFloat;
+    v.number = parsed;
+    return v;
+  }
+  spec_error(cur.source, cur.line,
+             "unrecognized value '" + token +
+                 "' (expected integer, float, bool, \"string\", or [array])");
+}
+
+TomlValue parse_value(ValueCursor& cur);  // fwd (arrays recurse)
+
+TomlValue parse_array(ValueCursor& cur) {
+  TomlValue v;
+  v.kind = TomlValue::Kind::kArray;
+  v.line = cur.line;
+  ++cur.pos;  // '['
+  cur.skip_space();
+  if (!cur.done() && cur.peek() == ']') {
+    ++cur.pos;
+    return v;
+  }
+  while (true) {
+    cur.skip_space();
+    if (cur.done()) {
+      spec_error(cur.source, cur.line, "unterminated array");
+    }
+    if (cur.peek() == '[') {
+      spec_error(cur.source, cur.line,
+                 "nested arrays are not supported in scenario specs");
+    }
+    v.array.push_back(parse_value(cur));
+    cur.skip_space();
+    if (cur.done()) {
+      spec_error(cur.source, cur.line, "unterminated array");
+    }
+    if (cur.peek() == ',') {
+      ++cur.pos;
+      cur.skip_space();
+      if (!cur.done() && cur.peek() == ']') {  // trailing comma ok
+        ++cur.pos;
+        return v;
+      }
+      continue;
+    }
+    if (cur.peek() == ']') {
+      ++cur.pos;
+      return v;
+    }
+    spec_error(cur.source, cur.line,
+               "expected ',' or ']' in array");
+  }
+}
+
+TomlValue parse_value(ValueCursor& cur) {
+  cur.skip_space();
+  if (cur.done()) {
+    spec_error(cur.source, cur.line, "expected a value after '='");
+  }
+  if (cur.peek() == '"') return parse_string(cur);
+  if (cur.peek() == '[') return parse_array(cur);
+  return parse_number_or_bool(cur);
+}
+
+// Table header line: returns the name; `is_array` distinguishes
+// [[name]] from [name].
+std::string parse_table_header(std::string_view body, const std::string& source,
+                               int line, bool is_array) {
+  body = strip(body);
+  if (body.empty()) {
+    spec_error(source, line, "empty table name");
+  }
+  for (const char c : body) {
+    if (c == '.') {
+      spec_error(source, line,
+                 "dotted table name '" + std::string(body) +
+                     "' is not supported (use flat [tables])");
+    }
+    if (!is_bare_key_char(c)) {
+      spec_error(source, line,
+                 "invalid character '" + std::string(1, c) +
+                     "' in table name '" + std::string(body) + "'");
+    }
+  }
+  (void)is_array;
+  return std::string(body);
+}
+
+}  // namespace
+
+const TomlValue* TomlTable::find(std::string_view key) const noexcept {
+  for (const auto& kv : entries) {
+    if (kv.key == key) return &kv.value;
+  }
+  return nullptr;
+}
+
+const TomlTable* TomlDoc::find_table(std::string_view name) const {
+  for (const auto& t : tables) {
+    if (t.name == name && !t.is_array) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const TomlTable*> TomlDoc::find_array_tables(
+    std::string_view name) const {
+  std::vector<const TomlTable*> out;
+  for (const auto& t : tables) {
+    if (t.name == name && t.is_array) out.push_back(&t);
+  }
+  return out;
+}
+
+void spec_error(const std::string& source, int line,
+                const std::string& detail) {
+  throw sim::SimError(sim::SimErrc::kBadSpec, "spec",
+                      source + ":" + std::to_string(line) + ": " + detail);
+}
+
+TomlDoc parse_toml(std::string_view text, std::string source) {
+  TomlDoc doc;
+  doc.source = std::move(source);
+
+  std::vector<std::string> plain_tables_seen;  // duplicate-[table] check
+  TomlTable* current = nullptr;
+
+  std::size_t offset = 0;
+  int line_no = 0;
+  while (offset <= text.size()) {
+    if (offset == text.size() && line_no > 0) break;
+    const std::size_t nl = text.find('\n', offset);
+    std::string_view raw =
+        (nl == std::string_view::npos) ? text.substr(offset)
+                                       : text.substr(offset, nl - offset);
+    offset = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments — but not inside a string literal.
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t comment_at = std::string_view::npos;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      if (escaped) {
+        escaped = false;
+        continue;
+      }
+      if (in_string && c == '\\') {
+        escaped = true;
+        continue;
+      }
+      if (c == '"') in_string = !in_string;
+      if (c == '#' && !in_string) {
+        comment_at = i;
+        break;
+      }
+    }
+    if (comment_at != std::string_view::npos) raw = raw.substr(0, comment_at);
+
+    const std::string_view stripped = strip(raw);
+    if (stripped.empty()) continue;
+
+    if (stripped.front() == '[') {
+      const bool is_array =
+          stripped.size() >= 2 && stripped[1] == '[';
+      const std::string_view open = is_array ? stripped.substr(2)
+                                             : stripped.substr(1);
+      const std::string_view closer = is_array ? "]]" : "]";
+      if (open.size() < closer.size() ||
+          open.substr(open.size() - closer.size()) != closer) {
+        spec_error(doc.source, line_no,
+                   "malformed table header '" + std::string(stripped) + "'");
+      }
+      const std::string name = parse_table_header(
+          open.substr(0, open.size() - closer.size()), doc.source, line_no,
+          is_array);
+      // A name must be consistently [t] or [[t]] across the file, and a
+      // plain [t] may appear only once.
+      for (const auto& t : doc.tables) {
+        if (t.name != name) continue;
+        if (t.is_array != is_array) {
+          spec_error(doc.source, line_no,
+                     "table '" + name + "' declared both as [" + name +
+                         "] and [[" + name + "]]");
+        }
+        if (!is_array) {
+          spec_error(doc.source, line_no,
+                     "duplicate table [" + name + "] (first at line " +
+                         std::to_string(t.line) + ")");
+        }
+      }
+      TomlTable table;
+      table.name = name;
+      table.is_array = is_array;
+      table.line = line_no;
+      doc.tables.push_back(std::move(table));
+      current = &doc.tables.back();
+      continue;
+    }
+
+    // key = value
+    const std::size_t eq = [&] {
+      bool in_str = false;
+      for (std::size_t i = 0; i < stripped.size(); ++i) {
+        if (stripped[i] == '"') in_str = !in_str;
+        if (stripped[i] == '=' && !in_str) return i;
+      }
+      return std::string_view::npos;
+    }();
+    if (eq == std::string_view::npos) {
+      spec_error(doc.source, line_no,
+                 "expected 'key = value' or a [table] header, got '" +
+                     std::string(stripped) + "'");
+    }
+    const std::string_view key_sv = strip(stripped.substr(0, eq));
+    if (key_sv.empty()) {
+      spec_error(doc.source, line_no, "missing key before '='");
+    }
+    for (const char c : key_sv) {
+      if (c == '.') {
+        spec_error(doc.source, line_no,
+                   "dotted key '" + std::string(key_sv) +
+                       "' is not supported");
+      }
+      if (!is_bare_key_char(c)) {
+        spec_error(doc.source, line_no,
+                   "invalid character '" + std::string(1, c) + "' in key '" +
+                       std::string(key_sv) + "'");
+      }
+    }
+    if (current == nullptr) {
+      spec_error(doc.source, line_no,
+                 "key '" + std::string(key_sv) +
+                     "' appears before any [table] header");
+    }
+    if (current->find(key_sv) != nullptr) {
+      spec_error(doc.source, line_no,
+                 "duplicate key '" + std::string(key_sv) + "' in [" +
+                     current->name + "]");
+    }
+
+    const std::string_view value_sv = strip(stripped.substr(eq + 1));
+    ValueCursor cur{value_sv, 0, doc.source, line_no};
+    TomlKeyValue kv;
+    kv.key = std::string(key_sv);
+    kv.line = line_no;
+    kv.value = parse_value(cur);
+    cur.skip_space();
+    if (!cur.done()) {
+      spec_error(doc.source, line_no,
+                 "trailing garbage after value for key '" +
+                     std::string(key_sv) + "'");
+    }
+    current->entries.push_back(std::move(kv));
+  }
+  return doc;
+}
+
+TomlDoc parse_toml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw sim::SimError(sim::SimErrc::kBadSpec, "spec",
+                        path + ": cannot open spec file");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_toml(buf.str(), path);
+}
+
+}  // namespace slowcc::spec

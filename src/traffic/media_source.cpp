@@ -1,0 +1,98 @@
+#include "traffic/media_source.hpp"
+
+#include "sim/error.hpp"
+
+namespace slowcc::traffic {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& detail) {
+  throw sim::SimError(sim::SimErrc::kBadConfig, "MediaSource", detail);
+}
+
+}  // namespace
+
+MediaSource::MediaSource(sim::Simulator& sim, CbrSource& source,
+                         const cc::SinkBase& sink,
+                         const MediaSourceConfig& config)
+    : sim_(sim),
+      source_(source),
+      sink_(sink),
+      config_(config),
+      segment_timer_(sim, [this] { on_segment(); }),
+      rung_(config.initial_rung) {
+  if (config_.rungs_bps.empty()) bad("empty encoding ladder");
+  for (std::size_t i = 0; i < config_.rungs_bps.size(); ++i) {
+    if (config_.rungs_bps[i] <= 0.0) bad("ladder rungs must be > 0 bps");
+    if (i > 0 && config_.rungs_bps[i] <= config_.rungs_bps[i - 1]) {
+      bad("ladder must be strictly ascending");
+    }
+  }
+  if (config_.segment <= sim::Time()) bad("segment must be > 0");
+  if (config_.up_fraction <= 0.0 || config_.up_fraction > 1.0 ||
+      config_.down_fraction <= 0.0 || config_.down_fraction > 1.0) {
+    bad("adaptation fractions must be in (0, 1]");
+  }
+  if (config_.down_fraction >= config_.up_fraction) {
+    bad("down_fraction must be < up_fraction (hysteresis)");
+  }
+  if (rung_ < 0 ||
+      rung_ >= static_cast<int>(config_.rungs_bps.size())) {
+    bad("initial_rung outside the ladder");
+  }
+}
+
+void MediaSource::start_at(sim::Time at) {
+  if (at < sim_.now()) {
+    throw sim::SimError(sim::SimErrc::kBadSchedule, "MediaSource",
+                        "start_at in the past");
+  }
+  sim_.schedule_at(at, [this] { begin(); });
+}
+
+void MediaSource::begin() {
+  active_ = true;
+  last_sink_bytes_ = sink_.bytes_received();
+  source_.set_rate_bps(config_.rungs_bps[static_cast<std::size_t>(rung_)]);
+  source_.start();
+  segment_timer_.schedule_in(config_.segment);
+}
+
+void MediaSource::stop() {
+  active_ = false;
+  segment_timer_.cancel();
+  source_.stop();
+}
+
+void MediaSource::on_segment() {
+  if (!active_) return;
+  const std::int64_t delivered = sink_.bytes_received() - last_sink_bytes_;
+  last_sink_bytes_ = sink_.bytes_received();
+  const double delivered_bps =
+      static_cast<double>(delivered) * 8.0 / config_.segment.as_seconds();
+  const double current = config_.rungs_bps[static_cast<std::size_t>(rung_)];
+
+  rung_sum_ += rung_;
+  ++segments_;
+
+  int next = rung_;
+  if (delivered_bps < current * config_.down_fraction) {
+    if (next > 0) --next;
+  } else if (delivered_bps >= current * config_.up_fraction &&
+             next + 1 < static_cast<int>(config_.rungs_bps.size())) {
+    ++next;
+  }
+  if (next != rung_) {
+    rung_ = next;
+    ++switches_;
+    source_.set_rate_bps(config_.rungs_bps[static_cast<std::size_t>(rung_)]);
+  }
+  segment_timer_.schedule_in(config_.segment);
+}
+
+double MediaSource::mean_rung() const noexcept {
+  if (segments_ == 0) return static_cast<double>(rung_);
+  return static_cast<double>(rung_sum_) / static_cast<double>(segments_);
+}
+
+}  // namespace slowcc::traffic

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/agent.hpp"
+#include "sim/timer.hpp"
+#include "traffic/cbr_source.hpp"
+
+namespace slowcc::traffic {
+
+/// Parameters of an adaptive-bitrate media source.
+struct MediaSourceConfig {
+  /// Ascending encoding ladder in bits/sec; the source always sends at
+  /// exactly one rung's rate. Throws kBadConfig when empty or not
+  /// strictly ascending.
+  std::vector<double> rungs_bps;
+  /// Adaptation interval: delivered throughput is re-estimated (from
+  /// receiver byte counts) once per segment.
+  sim::Time segment = sim::Time::seconds(2.0);
+  /// Step up when the last segment delivered at least `up_fraction` of
+  /// the current rung's rate and a higher rung exists.
+  double up_fraction = 0.95;
+  /// Step down when the last segment delivered less than
+  /// `down_fraction` of the current rung's rate.
+  double down_fraction = 0.75;
+  int initial_rung = 0;
+};
+
+/// Drives a `CbrSource` like an ABR video player: pick a ladder rung,
+/// watch what the receiver actually got over the last segment, and
+/// step the rung up or down. Fully deterministic — the only inputs are
+/// the ladder, the thresholds, and the receiver's byte counter — so
+/// media workloads stay bit-reproducible like every other source.
+///
+/// This is the paper's "streaming media over slowly-responsive CC"
+/// motivation turned into a workload: the rung trajectory (mean rung,
+/// switch count) measures how much quality churn the transport's rate
+/// dynamics induce.
+class MediaSource {
+ public:
+  /// Throws sim::SimError (kBadConfig) on an empty/non-ascending
+  /// ladder, thresholds outside (0, 1], or a bad initial rung.
+  MediaSource(sim::Simulator& sim, CbrSource& source,
+              const cc::SinkBase& sink, const MediaSourceConfig& config);
+
+  /// Start the source at `at` on the initial rung and adapt every
+  /// segment thereafter.
+  void start_at(sim::Time at);
+
+  /// Silence the source and stop adapting.
+  void stop();
+
+  [[nodiscard]] int rung() const noexcept { return rung_; }
+  [[nodiscard]] int switches() const noexcept { return switches_; }
+  /// Mean rung index over all completed segments (0 before the first).
+  [[nodiscard]] double mean_rung() const noexcept;
+  [[nodiscard]] const MediaSourceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void begin();
+  void on_segment();
+
+  sim::Simulator& sim_;
+  CbrSource& source_;
+  const cc::SinkBase& sink_;
+  MediaSourceConfig config_;
+  sim::Timer segment_timer_;
+  int rung_;
+  int switches_ = 0;
+  std::int64_t rung_sum_ = 0;
+  std::int64_t segments_ = 0;
+  std::int64_t last_sink_bytes_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace slowcc::traffic

@@ -424,6 +424,52 @@ TEST(LintText, ReporterPrintsFileLineRuleAndHint) {
   EXPECT_NE(out.str().find("hint: use sim::Time"), std::string::npos);
 }
 
+TEST(LintScope, SpecSubsystemPathsAreCoveredBySrcRules) {
+  // src/spec/ joined the tree after the rules were written; the rules
+  // scope by the src/ path prefix, so the new subsystem must be
+  // covered with no carve-outs. One positive + one negative fixture
+  // per rule class that matters for the spec compiler.
+  EXPECT_EQ(count_rule(lint_one("src/spec/toml.cpp", R"cpp(
+void f() { throw std::runtime_error("nope"); }
+)cpp"),
+                       "error-taxonomy"),
+            1);
+  EXPECT_EQ(count_rule(lint_one("src/spec/toml.cpp", R"cpp(
+void f() { throw sim::SimError(sim::SimErrc::kBadSpec, "spec", "d"); }
+)cpp"),
+                       "error-taxonomy"),
+            0);
+
+  EXPECT_EQ(count_rule(lint_one("src/spec/compiler.cpp", R"cpp(
+void f() { double start_time = 3.0; }
+)cpp"),
+                       "no-float-time"),
+            1);
+  EXPECT_EQ(count_rule(lint_one("src/spec/compiler.cpp", R"cpp(
+void f() { double start_s = 3.0; }
+)cpp"),
+                       "no-float-time"),
+            0);
+
+  EXPECT_EQ(count_rule(lint_one("src/spec/compiler.cpp", R"cpp(
+int f() { return rand() % 3; }
+)cpp"),
+                       "no-raw-rand"),
+            1);
+  EXPECT_EQ(count_rule(lint_one("src/spec/compiler.cpp", R"cpp(
+double f(slowcc::sim::Rng& rng) { return rng.uniform(); }
+)cpp"),
+                       "no-raw-rand"),
+            0);
+
+  EXPECT_EQ(count_rule(lint_one("src/spec/scenario_spec.cpp", R"cpp(
+#include <chrono>
+void f() { auto t = std::chrono::steady_clock::now(); }
+)cpp"),
+                       "no-wall-clock"),
+            1);
+}
+
 TEST(LintText, ReporterTagsAdvisoryFindingsInTheRuleBracket) {
   const auto findings = lint_one("src/sim/hot.cpp",
                                  "std::function<void()> cb;\n");

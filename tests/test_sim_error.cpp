@@ -46,6 +46,11 @@ TEST(SimError, FleetCodesRoundTrip) {
   EXPECT_EQ(errc_from_string("fleet-degraded"), SimErrc::kFleetDegraded);
 }
 
+TEST(SimError, SpecCodeRoundTrips) {
+  EXPECT_STREQ(to_string(SimErrc::kBadSpec), "bad-spec");
+  EXPECT_EQ(errc_from_string("bad-spec"), SimErrc::kBadSpec);
+}
+
 TEST(SimError, TaxonomyListIsExhaustiveAndExcludesTheSentinel) {
   // The compile-time side: kAllSimErrcs is static_assert-pinned to the
   // kCount_ sentinel, so a new enumerator cannot be forgotten. Here we

@@ -8,8 +8,13 @@
 #   4. clang-tidy (`tidy` target; no-op when clang-tidy is absent)
 #   5. ctest tier-1 suite (includes fleet_chaos_smoke: multi-process
 #      --fleet workers SIGKILLed/SIGSTOPped/SIGTERMed mid-grid must
-#      converge to the --jobs 1 golden output byte-for-byte)
-#   6. engine perf report: bench_report runs the per-engine event-queue
+#      converge to the --jobs 1 golden output byte-for-byte; and
+#      spec_smoke: the specs/ library vs its committed golden digests
+#      plus spec-driven sweep determinism)
+#   6. spec library golden gate: every specs/*.toml compiled and run
+#      under both event engines, digests byte-compared against
+#      specs/golden/ (regen with SLOWCC_REGEN_GOLDEN=1)
+#   7. engine perf report: bench_report runs the per-engine event-queue
 #      micro-benchmarks and writes BENCH_engine.json into the build
 #      dir. The wheel >= 1.5x heap floor is advisory by default (warn
 #      only): wall-clock ratios between two in-process benchmarks are
@@ -42,6 +47,9 @@ cmake --build "$build_dir" --target tidy
 
 step "ctest (-j$jobs)"
 ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+
+step "spec library golden check (slowcc_spec --check specs)"
+"$build_dir/tools/slowcc_spec" --check "$repo_root/specs"
 
 if [[ "${SLOWCC_SKIP_BENCH:-0}" != "1" ]]; then
   if [[ "${SLOWCC_ENFORCE_BENCH:-0}" == "1" ]]; then

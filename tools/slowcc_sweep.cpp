@@ -16,6 +16,14 @@
 //   slowcc_sweep --spec sweep.spec --jobs 8 --selfcheck
 //   slowcc_sweep --spec sweep.spec --resume /tmp/ckpt --max-attempts 2
 //       --trial-wall-seconds 300
+//   slowcc_sweep --spec specs/wifi_jitter_burst.toml --algorithms
+//       tcp,tfrc:6 --trials 3 --sweep burst_loss=0.2,0.5 --fleet /tmp/f
+//
+// --spec accepts two formats: a legacy key=value sweep file, or a
+// declarative scenario spec (*.toml, see DESIGN.md SS12). A .toml spec
+// is compiled and registered as a first-class experiment named after
+// its [scenario] name; --algorithms fills its "$algorithm" hole and
+// --sweep/--set drive its declared [params].
 //
 // With --out PREFIX, writes PREFIX.trials.{jsonl,csv},
 // PREFIX.cells.{jsonl,csv}, and PREFIX.manifest.jsonl; otherwise
@@ -56,6 +64,7 @@
 #include "exp/result_sink.hpp"
 #include "exp/serialize.hpp"
 #include "exp/sweep_spec.hpp"
+#include "spec/spec_registry.hpp"
 
 using namespace slowcc;
 
@@ -65,9 +74,10 @@ int usage(const char* argv0, int code) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --list                       list registered experiments and exit\n"
+      "  --list                       list registered experiments (incl. "
+      "loaded --spec scenarios) and exit\n"
       "  --spec FILE                  load a sweep spec file (key = value "
-      "lines)\n"
+      "lines) or a scenario spec (*.toml)\n"
       "  --experiment NAME            experiment to run\n"
       "  --algorithms A,B,...         algorithm tokens (tcp, tcp:8, "
       "tfrc:6:c, tcp+tfrc:6)\n"
@@ -209,6 +219,11 @@ int main(int argc, char** argv) {
   exp::SweepSpec spec;
   exp::RunnerPolicy policy;
   bool spec_loaded = false;
+  bool list_requested = false;
+  bool algorithms_set = false;
+  // The last loaded scenario spec (*.toml); every loaded scenario is
+  // registered, this one is the sweep target.
+  std::unique_ptr<slowcc::spec::RegisteredScenario> scenario;
   int jobs = exp::ParallelRunner::default_jobs();
   std::string out_prefix;
   std::string resume_dir;
@@ -235,16 +250,26 @@ int main(int argc, char** argv) {
       if (arg == "--help" || arg == "-h") {
         return usage(argv[0], 0);
       } else if (arg == "--list") {
-        list_experiments();
-        return 0;
+        // Deferred past argument parsing so later --spec loads still
+        // land in the listing.
+        list_requested = true;
       } else if (arg == "--spec") {
-        spec = exp::SweepSpec::parse_file(value());
+        const std::string path = value();
+        if (path.size() >= 5 &&
+            path.compare(path.size() - 5, 5, ".toml") == 0) {
+          scenario = std::make_unique<slowcc::spec::RegisteredScenario>(
+              slowcc::spec::load_spec_file(path));
+          spec.experiment = scenario->experiment;
+        } else {
+          spec = exp::SweepSpec::parse_file(path);
+        }
         spec_loaded = true;
       } else if (arg == "--experiment") {
         spec.experiment = value();
         spec_loaded = true;
       } else if (arg == "--algorithms") {
         spec.assign("algorithms", value());
+        algorithms_set = true;
       } else if (arg == "--bandwidths-mbps") {
         spec.assign("bandwidths_mbps", value());
       } else if (arg == "--rtts-ms") {
@@ -306,7 +331,43 @@ int main(int argc, char** argv) {
         return usage(argv[0], 2);
       }
     }
+    if (list_requested) {
+      list_experiments();
+      return 0;
+    }
     if (!spec_loaded) return usage(argv[0], 2);
+    if (scenario != nullptr) {
+      if (!algorithms_set) {
+        // No --algorithms: run the scenario's declared default.
+        spec.algorithms = {scenario->default_algorithm};
+      } else if (!scenario->uses_algorithm_hole &&
+                 (spec.algorithms.size() != 1 ||
+                  spec.algorithms[0] != scenario->default_algorithm)) {
+        std::fprintf(stderr,
+                     "slowcc_sweep: scenario '%s' pins every [[flows]] "
+                     "algorithm (no \"$algorithm\" hole) — --algorithms "
+                     "cannot vary it\n",
+                     scenario->experiment.c_str());
+        return 2;
+      }
+      // Swept/fixed parameters must be declared in [params]; failing
+      // here beats failing inside every trial of the grid.
+      const auto known_param = [&](const std::string& name) {
+        if (scenario->spec->find_param(name) != nullptr) return true;
+        std::fprintf(stderr,
+                     "slowcc_sweep: scenario '%s' declares no [params] "
+                     "entry '%s'\n",
+                     scenario->experiment.c_str(), name.c_str());
+        return false;
+      };
+      if (!spec.sweep_param.empty() && !known_param(spec.sweep_param)) {
+        return 2;
+      }
+      for (const auto& [name, fixed_value] : spec.fixed) {
+        (void)fixed_value;
+        if (!known_param(name)) return 2;
+      }
+    }
     if (exp::find_experiment(spec.experiment) == nullptr) {
       std::fprintf(stderr,
                    "slowcc_sweep: unknown experiment '%s' (try --list)\n",
