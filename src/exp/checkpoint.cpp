@@ -63,6 +63,14 @@ bool parse_row_json(const std::string& line, const TrialDesc& desc,
       row.outcome.ok = false;
     } else if (key == "error_kind") {
       row.outcome.error_kind = value.text;
+    } else if (key == "peak_live_events") {
+      row.outcome.peak_live_events = value.as_u64();
+    } else if (key == "peak_live_packets") {
+      row.outcome.peak_live_packets = value.as_u64();
+    } else if (key == "peak_queued_bytes") {
+      row.outcome.peak_queued_bytes = value.as_u64();
+    } else if (key == "peak_bytes_estimate") {
+      row.outcome.peak_bytes_estimate = value.as_u64();
     } else if (std::find(axis_keys.begin(), axis_keys.end(), key) !=
                axis_keys.end()) {
       row.set_axis(key, value.number);

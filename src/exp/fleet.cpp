@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <unistd.h>
 
 #include "exp/aggregator.hpp"
 #include "exp/registry.hpp"
@@ -66,6 +69,50 @@ struct Observation {
 };
 
 }  // namespace
+
+MemorySample sample_process_memory() {
+  MemorySample sample;
+  // /proc/self/statm: "size resident shared ..." in pages.
+  {
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t size_pages = 0;
+    std::uint64_t resident_pages = 0;
+    if (!(statm >> size_pages >> resident_pages)) return sample;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0) return sample;
+    sample.self_rss_bytes = resident_pages * static_cast<std::uint64_t>(page);
+  }
+  // /proc/meminfo: "MemTotal: N kB" / "MemAvailable: N kB".
+  std::ifstream meminfo("/proc/meminfo");
+  if (!meminfo) return sample;
+  std::string line;
+  bool saw_total = false;
+  bool saw_available = false;
+  while (std::getline(meminfo, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    std::uint64_t kb = 0;
+    if (!(fields >> key >> kb)) continue;
+    if (key == "MemTotal:") {
+      sample.total_bytes = kb * 1024;
+      saw_total = true;
+    } else if (key == "MemAvailable:") {
+      sample.available_bytes = kb * 1024;
+      saw_available = true;
+    }
+    if (saw_total && saw_available) break;
+  }
+  sample.ok = saw_total && saw_available && sample.total_bytes > 0;
+  return sample;
+}
+
+double memory_pressure(const MemorySample& sample) noexcept {
+  if (!sample.ok || sample.total_bytes == 0) return 0.0;
+  const std::uint64_t used =
+      sample.total_bytes -
+      std::min(sample.available_bytes, sample.total_bytes);
+  return static_cast<double>(used) / static_cast<double>(sample.total_bytes);
+}
 
 Heartbeater::Heartbeater(LeaseLedger& ledger, double interval_seconds)
     : ledger_(ledger), interval_seconds_(interval_seconds) {
@@ -152,6 +199,10 @@ FleetWorker::FleetWorker(FleetConfig config) : config_(std::move(config)) {
   if (config_.max_lease_breaks < 1) bad("max lease breaks must be >= 1");
   if (config_.max_io_failures < 1) bad("max io failures must be >= 1");
   if (config_.max_lease_losses < 1) bad("max lease losses must be >= 1");
+  if (config_.mem_high_water < 0.0 || config_.mem_high_water >= 1.0) {
+    bad("mem high water must be in [0, 1) (0 disables)");
+  }
+  if (config_.max_pressure_rounds < 1) bad("max pressure rounds must be >= 1");
   // Validates the runner policy (throws kBadConfig on a bad one).
   ParallelRunner probe(1);
   probe.set_policy(config_.policy);
@@ -368,6 +419,31 @@ FleetReport FleetWorker::run(const SweepSpec& spec,
   };
 
   std::uint64_t idle_rounds = 0;
+  std::uint64_t pressure_rounds = 0;
+  // Bounded, deterministically jittered wait between rounds; shared by
+  // the all-leases-held and memory-pressure paths so co-started
+  // workers never stampede the directory (or the allocator) in
+  // lockstep.
+  const auto backoff = [&](std::uint64_t round) {
+    sim::Rng jitter(derive_seed(
+        derive_seed(config_.jitter_seed, kFleetStream),
+        fnv1a(config_.worker_id), round));
+    const double factor =
+        static_cast<double>(std::uint64_t{1} << std::min<std::uint64_t>(
+                                idle_rounds - 1, 3));
+    const double wait = std::min(
+        config_.poll_seconds * factor * (1.0 + jitter.uniform()),
+        config_.lease_ttl_seconds);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(wait));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (stop_requested()) break;  // prompt SIGTERM response
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  };
+
   for (std::uint64_t round = 0;; ++round) {
     report.rounds = round + 1;
     if (stop_requested()) {
@@ -422,6 +498,41 @@ FleetReport FleetWorker::run(const SweepSpec& spec,
       return report;
     }
 
+    // Admission control: above the high-water mark this worker claims
+    // nothing this round — it backs off like an idle round and lets
+    // siblings on healthier boxes (or the passage of time) drain the
+    // pressure. Persistent pressure degrades gracefully, mirroring the
+    // max-io-failures path: finish nothing new, release nothing held,
+    // exit 4 so an operator/wrapper can reschedule. The check sits
+    // after the finalize block because finishing an already-drained
+    // grid is cheap and must not be starved.
+    if (config_.mem_high_water > 0.0) {
+      const MemorySample mem =
+          config_.mem_probe ? config_.mem_probe() : sample_process_memory();
+      const double pressure = memory_pressure(mem);
+      if (mem.ok && pressure >= config_.mem_high_water) {
+        ++pressure_rounds;
+        report.pressure_rounds = pressure_rounds;
+        note("worker " + config_.worker_id + ": memory pressure " +
+             std::to_string(pressure) + " >= high water " +
+             std::to_string(config_.mem_high_water) + " (round " +
+             std::to_string(pressure_rounds) + "/" +
+             std::to_string(config_.max_pressure_rounds) +
+             "); not claiming");
+        if (pressure_rounds >=
+            static_cast<std::uint64_t>(config_.max_pressure_rounds)) {
+          snapshot();
+          degrade("memory pressure persisted for " +
+                  std::to_string(pressure_rounds) + " rounds");
+          return report;
+        }
+        ++idle_rounds;
+        backoff(round);
+        continue;
+      }
+      pressure_rounds = 0;
+    }
+
     const std::size_t progress_before =
         trials_run.load() + quarantined.load();
     std::atomic<std::size_t> next{0};
@@ -466,27 +577,9 @@ FleetReport FleetWorker::run(const SweepSpec& spec,
       idle_rounds = 0;
       continue;
     }
-    // Everything pending is held by live siblings: back off with a
-    // bounded, deterministically jittered wait so co-started workers
-    // do not stampede the directory in lockstep.
+    // Everything pending is held by live siblings.
     ++idle_rounds;
-    sim::Rng jitter(derive_seed(
-        derive_seed(config_.jitter_seed, kFleetStream),
-        fnv1a(config_.worker_id), round));
-    const double factor =
-        static_cast<double>(std::uint64_t{1} << std::min<std::uint64_t>(
-                                idle_rounds - 1, 3));
-    const double wait = std::min(
-        config_.poll_seconds * factor * (1.0 + jitter.uniform()),
-        config_.lease_ttl_seconds);
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(wait));
-    while (std::chrono::steady_clock::now() < deadline) {
-      if (stop_requested()) break;  // prompt SIGTERM response
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
+    backoff(round);
   }
 }
 

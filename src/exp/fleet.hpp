@@ -18,6 +18,25 @@
 
 namespace slowcc::exp {
 
+/// One sample of process and system memory, for fleet admission
+/// control. `ok` is false when the probe could not read /proc (non-
+/// Linux or restricted environments) — admission control then stands
+/// down rather than guessing.
+struct MemorySample {
+  bool ok = false;
+  std::uint64_t self_rss_bytes = 0;   // /proc/self/statm resident set
+  std::uint64_t total_bytes = 0;      // /proc/meminfo MemTotal
+  std::uint64_t available_bytes = 0;  // /proc/meminfo MemAvailable
+};
+
+/// Read /proc/self/statm + /proc/meminfo. ok=false on any failure.
+[[nodiscard]] MemorySample sample_process_memory();
+
+/// Fraction of system memory in use, in [0, 1] (0 when the sample is
+/// not ok). System-wide on purpose: co-resident fleet workers all see
+/// the same pressure and back off together.
+[[nodiscard]] double memory_pressure(const MemorySample& sample) noexcept;
+
 /// Configuration of one fleet worker process (slowcc_sweep --fleet).
 ///
 /// N workers with distinct `worker_id`s pointed at the same `dir`
@@ -55,6 +74,18 @@ struct FleetConfig {
   /// spec's base_seed; fanned out per worker and round).
   std::uint64_t jitter_seed = 1;
 
+  /// Memory admission control: when the sampled system pressure (see
+  /// memory_pressure()) reaches this fraction, the worker stops
+  /// claiming trials for the round and backs off on the same jittered
+  /// sub-stream as an idle round; after `max_pressure_rounds`
+  /// consecutive pressured rounds it degrades gracefully (exit 4,
+  /// mirroring max_io_failures). 0 disables the check.
+  double mem_high_water = 0.0;
+  int max_pressure_rounds = 8;
+  /// Memory probe; null = sample_process_memory(). Tests inject
+  /// deterministic pressure through this seam.
+  std::function<MemorySample()> mem_probe;
+
   RunnerPolicy policy;  // per-trial quarantine/retry/chaos, as --jobs
   /// Trial function; null = the experiment registry's run_trial.
   std::function<Row(const TrialDesc&)> fn;
@@ -82,6 +113,7 @@ struct FleetReport {
   std::size_t rows_failed = 0;     // failure rows in the drained grid
                                    // (filled when this worker finalizes)
   std::size_t rounds = 0;          // drain rounds executed
+  std::size_t pressure_rounds = 0; // rounds skipped for memory pressure
   std::size_t journal_lines = 0;   // lines inspected at last merge
   bool torn_tail = false;          // any shard ended mid-line
   bool finalized = false;          // this worker wrote the finals

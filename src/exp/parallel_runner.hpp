@@ -40,6 +40,16 @@ struct RunnerPolicy {
   double max_trial_wall_seconds = 0.0;
   /// Watchdog check cadence for the wall budget.
   std::uint64_t deadline_check_every = 1024;
+  /// Per-Simulator modeled-memory budget (bytes) enforced by the
+  /// ResourceGovernor; exceeding it makes the attempt a
+  /// kResourceExhausted failure. Deterministic (the model counts
+  /// logical events/packets/bytes, never RSS). 0 = unlimited.
+  std::uint64_t max_trial_bytes = 0;
+  /// Soft-watermark fraction of max_trial_bytes (see ResourceGovernor).
+  double mem_watermark_fraction = 0.85;
+  /// Cap on per-trial admission weights (see set_weight_fn); weights
+  /// are clamped to [1, trial_weight_cap]. Must be >= 1.
+  int trial_weight_cap = 4;
 };
 
 /// Seed for retry attempt `attempt` (>= 1) of a trial originally
@@ -92,6 +102,16 @@ class ParallelRunner {
   void set_progress(Progress progress) { progress_ = std::move(progress); }
   void set_on_row(OnRow on_row) { on_row_ = std::move(on_row); }
 
+  /// Admission weight per trial (default: every trial weighs 1). A
+  /// weight-w trial occupies w units of the runner's admission
+  /// capacity (= jobs), so memory-heavy trials can't all run
+  /// concurrently: at weight == jobs a trial runs alone. Weights are
+  /// clamped to [1, min(trial_weight_cap, jobs)] — admission only
+  /// throttles scheduling, never affects row content, so byte-identity
+  /// across jobs/weights holds.
+  using WeightFn = std::function<int(const TrialDesc&)>;
+  void set_weight_fn(WeightFn weight_fn) { weight_fn_ = std::move(weight_fn); }
+
   /// Throws sim::SimError (kBadConfig) on an invalid policy.
   void set_policy(const RunnerPolicy& policy);
   [[nodiscard]] const RunnerPolicy& policy() const noexcept {
@@ -115,6 +135,7 @@ class ParallelRunner {
   RunnerPolicy policy_;
   Progress progress_;
   OnRow on_row_;
+  WeightFn weight_fn_;
 };
 
 }  // namespace slowcc::exp

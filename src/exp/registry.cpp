@@ -14,6 +14,8 @@
 #include "scenario/smoothness_experiment.hpp"
 #include "scenario/static_compat_experiment.hpp"
 #include "scenario/stabilization_experiment.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/packet.hpp"
 #include "sim/error.hpp"
 #include "sim/simulator.hpp"
 
@@ -277,6 +279,69 @@ Row run_poison(const TrialDesc& d) {
   return r;
 }
 
+/// Memory-bomb self-test: the resource-governance sibling of `poison`.
+/// A bomb trial grows its live-event count and a governed queue's
+/// packet/byte totals geometrically, so only a ResourceGovernor byte
+/// budget (or the `events` safety cap for unbudgeted runs) ends it —
+/// proving a sweep with a bomb completes with one structured
+/// kResourceExhausted quarantine row. Knobs:
+///   bomb=1            -> every trial is a bomb
+///   bomb_trial=K      -> only trial_index K is a bomb (K < 0: none);
+///                        the rest of the cell runs the benign chain
+///   pkts_per_event=N  -> packets pushed into the governed queue per
+///                        bomb event (1500 B each, never drained)
+///   events=N          -> safety cap on the event chain, so unbudgeted
+///                        invocations terminate instead of eating the
+///                        machine
+///   sleep_ms=T        -> hold the worker first (smoke tests kill a
+///                        fleet worker mid-bomb)
+Row run_membomb(const TrialDesc& d) {
+  const double sleep_ms = d.param("sleep_ms", 0.0);
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  const int bomb_trial = static_cast<int>(d.param("bomb_trial", -1.0));
+  const bool bomb =
+      d.param("bomb", 0.0) != 0.0 || (bomb_trial >= 0 &&
+                                      d.trial_index == bomb_trial);
+  const auto pkts_per_event =
+      static_cast<int>(d.param("pkts_per_event", 16.0));
+  const auto cap = static_cast<std::uint64_t>(d.param("events", 256.0));
+
+  sim::Simulator sim;  // picks up any ambient trial budget
+  // Declared after `sim` so it is destroyed first, releasing its
+  // residue to the still-alive governor (the balance-to-zero test
+  // leans on this ordering, same as every scenario driver's).
+  net::DropTailQueue queue(std::size_t{1} << 30);
+  queue.attach_governor(&sim.governor());
+
+  std::function<void()> tick = [&] {
+    if (sim.events_executed() >= cap) return;
+    if (bomb) {
+      for (int i = 0; i < pkts_per_event; ++i) {
+        net::Packet p;
+        p.size_bytes = 1500;
+        p.uid = sim.next_packet_uid();
+        (void)queue.enqueue(std::move(p));
+      }
+      // Two children per event: the live-event count grows too, so the
+      // bomb stresses both halves of the governor's model.
+      sim.schedule_in(sim::Time::millis(1), tick);
+      sim.schedule_in(sim::Time::millis(2), tick);
+    } else {
+      sim.schedule_in(sim::Time::millis(1), tick);
+    }
+  };
+  sim.schedule_in(sim::Time::millis(1), tick);
+  sim.run();
+  Row r;
+  r.set("value", static_cast<double>(d.seed % 1000));
+  r.set("events_run", static_cast<double>(sim.events_executed()));
+  r.set("queued_pkts", static_cast<double>(queue.length_packets()));
+  return r;
+}
+
 }  // namespace
 
 scenario::FlowSpec parse_flow_spec(std::string_view token) {
@@ -396,6 +461,15 @@ std::vector<Experiment>& registry_storage() {
        {"value", "events_run", "attempt"},
        {"boom=0", "heal_after=0", "spin=0", "sleep_ms=0", "events=32"},
        run_poison},
+      {"membomb",
+       "memory-bomb self-test: unbounded event/packet growth that only "
+       "a resource budget stops, exercising the ResourceGovernor and "
+       "quarantine peak fields end to end (self-test only)",
+       {"value", "events_run", "queued_pkts"},
+       {"bomb=0", "bomb_trial=-1", "pkts_per_event=16", "events=256",
+        "sleep_ms=0"},
+       run_membomb,
+       /*weight=*/2},
   };
   return experiments;
 }

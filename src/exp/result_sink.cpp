@@ -201,6 +201,11 @@ bool fsync_parent_dir(const std::string& path, std::string* error) {
   return ok;
 }
 
+std::string atomic_staging_name(const std::string& path, long pid,
+                                std::uint64_t seq) {
+  return path + ".tmp." + std::to_string(pid) + "." + std::to_string(seq);
+}
+
 bool write_file_atomic(const std::string& path, const std::string& content,
                        std::string* error) {
   // Pid+sequence staging name: two fleet workers finalizing the same
@@ -208,8 +213,8 @@ bool write_file_atomic(const std::string& path, const std::string& content,
   // the pid separates processes, the counter separates threads (e.g.
   // two in-process FleetWorkers) that share one.
   static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
-                          std::to_string(seq.fetch_add(1));
+  const std::string tmp = atomic_staging_name(
+      path, static_cast<long>(::getpid()), seq.fetch_add(1));
   // slowcc-lint: allow(no-unguarded-shared-write) this IS the sanctioned tmp+fsync+rename helper
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {

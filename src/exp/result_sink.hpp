@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <ostream>
 #include <string>
@@ -41,10 +42,19 @@ void write_cells_csv(std::ostream& out, const std::vector<CellStats>& cells);
 void write_manifest_jsonl(std::ostream& out, const std::vector<Row>& rows);
 [[nodiscard]] std::string manifest_to_jsonl(const std::vector<Row>& rows);
 
-/// Crash-safe whole-file write: the content goes to a pid-unique
-/// temporary (`path + ".tmp.<pid>"`, so concurrent fleet workers
-/// finalizing the same file cannot tear each other's staging copy), is
-/// fsync'd, and is renamed over `path`; the parent directory is then
+/// Staging name write_file_atomic uses for `path` in process `pid`
+/// with in-process sequence number `seq` (`path + ".tmp.<pid>.<seq>"`).
+/// Exposed so the collision properties — distinct pids or distinct
+/// sequence numbers never share a staging file — are testable without
+/// forking.
+[[nodiscard]] std::string atomic_staging_name(const std::string& path,
+                                              long pid, std::uint64_t seq);
+
+/// Crash-safe whole-file write: the content goes to a process- and
+/// call-unique temporary (see atomic_staging_name — concurrent fleet
+/// workers finalizing the same file cannot tear each other's staging
+/// copy), is fsync'd, and is renamed over `path`; the parent directory
+/// is then
 /// fsync'd so a power loss immediately after the rename cannot drop
 /// the directory entry on journaling filesystems. A reader (or a
 /// resumed sweep) sees either the old file or the complete new one,

@@ -33,6 +33,15 @@ std::string Row::to_json() const {
   if (!error.empty()) {
     o.add("error", error);
     if (!outcome.error_kind.empty()) o.add("error_kind", outcome.error_kind);
+    // Peak-usage fields ride only on resource-exhausted rows: they are
+    // deterministic (governor model state, not RSS) and let a sweep
+    // reader see how far past the watermark the trial got.
+    if (outcome.error_kind == "resource-exhausted") {
+      o.add("peak_live_events", outcome.peak_live_events)
+          .add("peak_live_packets", outcome.peak_live_packets)
+          .add("peak_queued_bytes", outcome.peak_queued_bytes)
+          .add("peak_bytes_estimate", outcome.peak_bytes_estimate);
+    }
   }
   return o.str();
 }

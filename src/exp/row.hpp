@@ -29,6 +29,14 @@ struct TrialOutcome {
   /// Simulator events executed by the trial, all attempts included
   /// (manifest only).
   std::uint64_t events = 0;
+  /// Peak resource-model usage observed by the ResourceGovernor across
+  /// the trial's attempts. Derived from logical simulation state, so
+  /// deterministic — serialized into the row (only on resource-
+  /// exhausted failures, so budget-free sweeps keep their bytes).
+  std::uint64_t peak_live_events = 0;
+  std::uint64_t peak_live_packets = 0;
+  std::uint64_t peak_queued_bytes = 0;
+  std::uint64_t peak_bytes_estimate = 0;
 };
 
 /// One structured result row: the outcome of a single simulation trial.

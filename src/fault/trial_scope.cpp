@@ -9,7 +9,10 @@
 namespace slowcc::fault {
 
 ScopedTrialDeadline::ScopedTrialDeadline(const TrialDeadlineConfig& config) {
-  if (config.max_events == 0 && config.max_wall_seconds <= 0.0) return;
+  if (config.max_events == 0 && config.max_wall_seconds <= 0.0 &&
+      config.max_bytes == 0) {
+    return;
+  }
   if (config.check_every_events == 0) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "ScopedTrialDeadline",
                         "check_every_events must be >= 1");
@@ -17,6 +20,10 @@ ScopedTrialDeadline::ScopedTrialDeadline(const TrialDeadlineConfig& config) {
   sim::Simulator::set_thread_construct_observer(
       [config](sim::Simulator& sim) {
         if (config.max_events != 0) sim.set_event_budget(config.max_events);
+        if (config.max_bytes != 0) {
+          sim.governor().set_budget(config.max_bytes,
+                                    config.watermark_fraction);
+        }
         // The wall budget rides on the single event-hook slot; if the
         // scenario already claimed it (its own watchdog), leave it be —
         // the event budget above still bounds the trial exactly.

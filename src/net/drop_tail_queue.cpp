@@ -14,6 +14,7 @@ DropTailQueue::DropTailQueue(std::size_t limit_packets) : limit_(limit_packets) 
 std::optional<DropReason> DropTailQueue::enqueue(Packet&& p) {
   if (buffer_.size() >= limit_) return DropReason::kOverflow;
   bytes_ += p.size_bytes;
+  note_admitted(p.size_bytes);
   buffer_.push_back(std::move(p));
   return std::nullopt;
 }
@@ -23,6 +24,7 @@ std::optional<Packet> DropTailQueue::dequeue() {
   Packet p = std::move(buffer_.front());
   buffer_.pop_front();
   bytes_ -= p.size_bytes;
+  note_removed(p.size_bytes);
   return p;
 }
 

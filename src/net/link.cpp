@@ -27,6 +27,9 @@ Link::Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
   if (queue_ == nullptr) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "Link", "queue is required");
   }
+  // Every link-owned queue reports occupancy to the simulation's
+  // resource governor; the hooks are no-ops until a budget is armed.
+  queue_->attach_governor(&sim_.governor());
 }
 
 void Link::drop_packet(const Packet& p, DropReason reason) {

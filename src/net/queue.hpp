@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/resource.hpp"
 
 namespace slowcc::net {
 
@@ -26,7 +27,14 @@ enum class DropReason : std::uint8_t {
 /// all use FIFO scheduling; RED only decides *admission*).
 class Queue {
  public:
-  virtual ~Queue() = default;
+  /// Releases any residue still charged to an attached governor so its
+  /// counters balance to zero even when a queue is torn down holding
+  /// packets (e.g. a Simulator aborted mid-trial).
+  virtual ~Queue() {
+    if (governor_ != nullptr && governed_packets_ != 0) {
+      governor_->note_packets_released(governed_packets_, governed_bytes_);
+    }
+  }
 
   /// Try to admit `p`. On success the queue takes ownership and returns
   /// nullopt; on failure returns the drop reason (packet discarded).
@@ -38,6 +46,53 @@ class Queue {
   [[nodiscard]] virtual std::size_t length_packets() const noexcept = 0;
   [[nodiscard]] virtual std::int64_t length_bytes() const noexcept = 0;
   [[nodiscard]] bool empty() const noexcept { return length_packets() == 0; }
+
+  /// Report this queue's occupancy to `governor` (nullptr detaches).
+  /// Current contents are charged on attach and any residue released on
+  /// detach/destruction, so the governor's counters stay balanced
+  /// across the queue's whole lifetime. `net::Link` attaches its queue
+  /// to the owning Simulator's governor at construction; the governor
+  /// must outlive the queue (it does whenever the Simulator is declared
+  /// before the topology, the ordering every scenario driver uses).
+  void attach_governor(sim::ResourceGovernor* governor) noexcept {
+    if (governor_ != nullptr && governed_packets_ != 0) {
+      governor_->note_packets_released(governed_packets_, governed_bytes_);
+    }
+    governor_ = governor;
+    governed_packets_ = 0;
+    governed_bytes_ = 0;
+    if (governor_ != nullptr && length_packets() != 0) {
+      governed_packets_ = length_packets();
+      governed_bytes_ = static_cast<std::uint64_t>(length_bytes());
+      governor_->note_packets_admitted(governed_packets_, governed_bytes_);
+    }
+  }
+
+  [[nodiscard]] sim::ResourceGovernor* governor() const noexcept {
+    return governor_;
+  }
+
+ protected:
+  /// Implementations call these at the exact points a packet enters or
+  /// leaves the buffer (after the admission decision, before/after the
+  /// move); no-ops when no governor is attached.
+  void note_admitted(std::int64_t bytes) noexcept {
+    if (governor_ == nullptr) return;
+    ++governed_packets_;
+    governed_bytes_ += static_cast<std::uint64_t>(bytes);
+    governor_->note_packet_admitted(static_cast<std::uint64_t>(bytes));
+  }
+  void note_removed(std::int64_t bytes) noexcept {
+    if (governor_ == nullptr) return;
+    --governed_packets_;
+    governed_bytes_ -= static_cast<std::uint64_t>(bytes);
+    governor_->note_packet_removed(static_cast<std::uint64_t>(bytes));
+  }
+
+ private:
+  sim::ResourceGovernor* governor_ = nullptr;
+  std::uint64_t governed_packets_ = 0;
+  std::uint64_t governed_bytes_ = 0;
 };
 
 }  // namespace slowcc::net

@@ -100,6 +100,7 @@ std::optional<DropReason> RedQueue::enqueue(Packet&& p) {
   }
 
   bytes_ += p.size_bytes;
+  note_admitted(p.size_bytes);
   buffer_.push_back(std::move(p));
   return std::nullopt;
 }
@@ -109,6 +110,7 @@ std::optional<Packet> RedQueue::dequeue() {
   Packet p = std::move(buffer_.front());
   buffer_.pop_front();
   bytes_ -= p.size_bytes;
+  note_removed(p.size_bytes);
   if (buffer_.empty()) {
     idle_ = true;
     idle_since_ = sim_.now();

@@ -28,6 +28,8 @@ const char* to_string(SimErrc code) noexcept {
       return "fleet-degraded";
     case SimErrc::kBadSpec:
       return "bad-spec";
+    case SimErrc::kResourceExhausted:
+      return "resource-exhausted";
     case SimErrc::kCount_:
       break;  // sentinel, never constructed
   }

@@ -36,6 +36,9 @@ enum class SimErrc {
   kBadSpec,             // a declarative scenario spec failed to parse,
                         // validate, or compile (src/spec/); the message
                         // carries file:line and the offending key
+  kResourceExhausted,   // the ResourceGovernor's per-trial memory model
+                        // crossed its hard ceiling; the trial is aborted
+                        // before the process can OOM
   // Count sentinel — keep last; never a real code. Every switch over
   // SimErrc must still be exhaustive (-Wswitch under SLOWCC_WERROR),
   // and kAllSimErrcs below is pinned to this count at compile time.
@@ -52,7 +55,7 @@ inline constexpr SimErrc kAllSimErrcs[] = {
     SimErrc::kBudgetExceeded, SimErrc::kDeadlineExceeded,
     SimErrc::kTrialAborted,  SimErrc::kLeaseLost,
     SimErrc::kLeaseExpired,  SimErrc::kFleetDegraded,
-    SimErrc::kBadSpec,
+    SimErrc::kBadSpec,       SimErrc::kResourceExhausted,
 };
 static_assert(sizeof(kAllSimErrcs) / sizeof(kAllSimErrcs[0]) ==
                   static_cast<std::size_t>(SimErrc::kCount_),

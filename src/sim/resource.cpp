@@ -1,0 +1,84 @@
+#include "sim/resource.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace slowcc::sim {
+namespace {
+
+// Per-thread peak accumulator: survives the Simulator (and thus the
+// governor) being destroyed while a kResourceExhausted exception
+// unwinds the scenario driver, so the trial harness can still stamp
+// peak-usage fields into the quarantine row.
+thread_local ResourceUsage t_peaks;
+
+void raise_peaks(ResourceUsage& peaks, const ResourceUsage& usage) noexcept {
+  if (usage.live_events > peaks.live_events)
+    peaks.live_events = usage.live_events;
+  if (usage.live_packets > peaks.live_packets)
+    peaks.live_packets = usage.live_packets;
+  if (usage.queued_bytes > peaks.queued_bytes)
+    peaks.queued_bytes = usage.queued_bytes;
+  if (usage.bytes_estimate > peaks.bytes_estimate)
+    peaks.bytes_estimate = usage.bytes_estimate;
+}
+
+}  // namespace
+
+void ResourceGovernor::set_budget(std::uint64_t max_bytes,
+                                  double watermark_fraction,
+                                  WatermarkCallback on_watermark) {
+  if (!(watermark_fraction > 0.0) || watermark_fraction > 1.0) {
+    throw SimError(SimErrc::kBadConfig, "ResourceGovernor",
+                   "set_budget: watermark_fraction must be in (0, 1], got " +
+                       std::to_string(watermark_fraction));
+  }
+  max_bytes_ = max_bytes;
+  watermark_bytes_ = static_cast<std::uint64_t>(
+      static_cast<double>(max_bytes) * watermark_fraction);
+  watermark_fired_ = false;
+  on_watermark_ = std::move(on_watermark);
+  peaks_ = ResourceUsage{};
+}
+
+void ResourceGovernor::poll(std::uint64_t live_events) {
+  ResourceUsage usage;
+  usage.live_events = live_events;
+  usage.live_packets = live_packets_;
+  usage.queued_bytes = queued_bytes_;
+  usage.bytes_estimate = bytes_estimate(live_events);
+  raise_peaks(peaks_, usage);
+  raise_peaks(t_peaks, usage);
+  if (max_bytes_ == 0) return;
+  if (!watermark_fired_ && usage.bytes_estimate >= watermark_bytes_) {
+    watermark_fired_ = true;
+    if (on_watermark_) on_watermark_(usage);
+    // Re-read the counters: the callback may have shed load (dropped
+    // queued packets, cancelled events); give that effect a chance to
+    // keep the trial under the ceiling before we re-check it.
+    usage.live_packets = live_packets_;
+    usage.queued_bytes = queued_bytes_;
+    usage.bytes_estimate = bytes_estimate(live_events);
+  }
+  if (usage.bytes_estimate > max_bytes_) {
+    throw SimError(
+        SimErrc::kResourceExhausted, "ResourceGovernor",
+        "modeled footprint " + std::to_string(usage.bytes_estimate) +
+            " bytes exceeds budget " + std::to_string(max_bytes_) + " (" +
+            std::to_string(usage.live_events) + " live events, " +
+            std::to_string(usage.live_packets) + " live packets, " +
+            std::to_string(usage.queued_bytes) + " queued bytes)");
+  }
+}
+
+const ResourceUsage& ResourceGovernor::thread_peaks() noexcept {
+  return t_peaks;
+}
+
+void ResourceGovernor::reset_thread_peaks() noexcept {
+  t_peaks = ResourceUsage{};
+}
+
+}  // namespace slowcc::sim

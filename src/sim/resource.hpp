@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+// slowcc-lint: allow-file(no-std-function-hot-path) the watermark slot
+// is per-Simulator control-plane state fired at most once per arming;
+// the per-event cost of the governor is the inline counter updates.
+
+namespace slowcc::sim {
+
+/// Snapshot of the governor's usage model, both the live values at one
+/// poll and the running peaks over a trial. All fields are derived from
+/// logical simulation state (live events, live packets, queued bytes),
+/// so they are identical across engines, thread counts, and processes —
+/// safe to serialize into deterministic result rows.
+struct ResourceUsage {
+  std::uint64_t live_events = 0;
+  std::uint64_t live_packets = 0;
+  std::uint64_t queued_bytes = 0;
+  /// Modeled footprint: live_events * kEventFootprintBytes +
+  /// live_packets * kPacketFootprintBytes + queued_bytes.
+  std::uint64_t bytes_estimate = 0;
+};
+
+/// Per-simulation resource accountant: turns "this trial is eating the
+/// machine" into a structured, deterministic trial outcome instead of a
+/// process OOM-kill.
+///
+/// The governor tracks three cheap counters:
+///   - live events: read from the scheduler (EventQueue::size() counts
+///     non-cancelled entries in O(1)), so scheduling needs no hooks;
+///   - live packets and aggregate queued bytes: maintained by
+///     `net::Queue` implementations via note_packet_admitted/removed.
+///
+/// From those it models a byte footprint (see ResourceUsage). When a
+/// budget is armed, `Simulator::run_until` polls the governor between
+/// events: crossing the soft watermark fires a callback once (agents
+/// and queues can shed load through existing drop paths); crossing the
+/// hard ceiling throws SimError(kResourceExhausted) with a
+/// deterministic detail string.
+///
+/// The model is intentionally coarse — the point is not byte-accurate
+/// RSS accounting but a deterministic, engine-independent proxy that
+/// aborts the same trial at the same event on every run. Process-level
+/// defense (real RSS vs /proc/meminfo) lives in the fleet's admission
+/// control, not here.
+class ResourceGovernor {
+ public:
+  using WatermarkCallback = std::function<void(const ResourceUsage&)>;
+
+  /// Modeled per-object footprints (bytes). Deliberately round numbers:
+  /// a pooled scheduler node is ~48-72 bytes depending on engine, a
+  /// Packet with bookkeeping ~100-150. Changing them changes which
+  /// event a bomb trial aborts at, so they are part of the determinism
+  /// contract — bump only with the golden journals.
+  static constexpr std::uint64_t kEventFootprintBytes = 64;
+  static constexpr std::uint64_t kPacketFootprintBytes = 128;
+
+  /// Arm (or re-arm) the budget: `max_bytes` is the hard ceiling for
+  /// the modeled footprint, 0 disarms. `watermark_fraction` of the
+  /// ceiling is the soft watermark; the callback (optional) fires once
+  /// per arming when the model first crosses it. Re-arming resets the
+  /// fired flag. Throws SimError(kBadConfig) on a fraction outside
+  /// (0, 1].
+  void set_budget(std::uint64_t max_bytes, double watermark_fraction = 0.85,
+                  WatermarkCallback on_watermark = nullptr);
+
+  [[nodiscard]] bool armed() const noexcept { return max_bytes_ != 0; }
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+  /// Counter hooks for net::Queue implementations. Inline and branch-
+  /// free; called on every enqueue/dequeue of a governed queue.
+  void note_packet_admitted(std::uint64_t bytes) noexcept {
+    ++live_packets_;
+    queued_bytes_ += bytes;
+  }
+  void note_packet_removed(std::uint64_t bytes) noexcept {
+    --live_packets_;
+    queued_bytes_ -= bytes;
+  }
+
+  /// Bulk variants for attach/detach bookkeeping: a queue destroyed (or
+  /// re-attached) while still holding packets releases its residue in
+  /// one call, keeping the counters balanced at teardown.
+  void note_packets_admitted(std::uint64_t count, std::uint64_t bytes) noexcept {
+    live_packets_ += count;
+    queued_bytes_ += bytes;
+  }
+  void note_packets_released(std::uint64_t count, std::uint64_t bytes) noexcept {
+    live_packets_ -= count;
+    queued_bytes_ -= bytes;
+  }
+
+  [[nodiscard]] std::uint64_t live_packets() const noexcept {
+    return live_packets_;
+  }
+  [[nodiscard]] std::uint64_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
+
+  /// Modeled footprint for a given live-event count.
+  [[nodiscard]] std::uint64_t bytes_estimate(
+      std::uint64_t live_events) const noexcept {
+    return live_events * kEventFootprintBytes +
+           live_packets_ * kPacketFootprintBytes + queued_bytes_;
+  }
+
+  /// Budget check, called by Simulator::run_until after each event when
+  /// armed. Updates instance and thread-local peaks, fires the
+  /// watermark callback once, and throws SimError(kResourceExhausted)
+  /// when the model crosses the ceiling.
+  void poll(std::uint64_t live_events);
+
+  /// Running peaks since construction / the last re-arm.
+  [[nodiscard]] const ResourceUsage& peaks() const noexcept { return peaks_; }
+
+  /// Peak usage across every governed Simulator on the calling thread
+  /// since the last reset. The trial harness reads this *after* the
+  /// scenario driver (and its Simulator) has been torn down by an
+  /// in-flight kResourceExhausted exception, which is why the peaks
+  /// must outlive the governor instance.
+  [[nodiscard]] static const ResourceUsage& thread_peaks() noexcept;
+  static void reset_thread_peaks() noexcept;
+
+ private:
+  std::uint64_t live_packets_ = 0;
+  std::uint64_t queued_bytes_ = 0;
+  std::uint64_t max_bytes_ = 0;        // 0 = disarmed
+  std::uint64_t watermark_bytes_ = 0;  // soft threshold when armed
+  bool watermark_fired_ = false;
+  WatermarkCallback on_watermark_;
+  ResourceUsage peaks_;
+};
+
+}  // namespace slowcc::sim

@@ -100,6 +100,10 @@ void Simulator::run_until(Time deadline) {
         fnv1a_u64(trace_digest_, static_cast<std::uint64_t>(ev.at.as_nanos())),
         ev.seq);
     cb();
+    // Poll after the callback so events and packets it just created are
+    // charged to it. queue_.size() is the live (non-cancelled) event
+    // count — logical state, identical across engines.
+    if (governor_.armed()) governor_.poll(queue_.size());
     if (hook_every_ != 0 && events_executed_ % hook_every_ == 0) hook_();
   }
   if (deadline != Time::max() && now_ < deadline) now_ = deadline;

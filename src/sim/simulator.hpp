@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
 #include "sim/time.hpp"
 
 // slowcc-lint: allow-file(no-std-function-hot-path) observer/hook slots
@@ -142,6 +143,17 @@ class Simulator {
     guards_.push_back(std::move(guard));
   }
 
+  /// Per-simulation resource accountant (see sim/resource.hpp). Always
+  /// present but disarmed by default; `run*` only polls it when a
+  /// budget is armed, so ungoverned simulations pay one branch per
+  /// event. `net::Link` attaches its queue's counter hooks here, and
+  /// `fault::ScopedTrialDeadline` arms per-trial byte budgets through
+  /// its construct observer.
+  [[nodiscard]] ResourceGovernor& governor() noexcept { return governor_; }
+  [[nodiscard]] const ResourceGovernor& governor() const noexcept {
+    return governor_;
+  }
+
   /// Next unique packet id for this simulation. Lives on the Simulator
   /// (not a global) so concurrent simulations on different threads
   /// never share a counter and every trial's uid sequence is
@@ -160,6 +172,7 @@ class Simulator {
   std::uint64_t event_budget_base_ = 0;
   std::uint64_t hook_every_ = 0;
   std::function<void()> hook_;
+  ResourceGovernor governor_;
   // Declared last: guards (e.g. a Watchdog holding our hook slot) are
   // destroyed first, while the members they release are still alive.
   std::vector<std::shared_ptr<void>> guards_;

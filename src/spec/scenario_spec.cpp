@@ -479,6 +479,25 @@ MetricsSection parse_metrics_section(const TomlDoc& doc) {
   return s;
 }
 
+LimitsSection parse_limits_section(const TomlDoc& doc) {
+  LimitsSection s;
+  const TomlTable* t = doc.find_table("limits");
+  if (t == nullptr) return s;
+  SectionReader r(*t, doc.source);
+  s.max_events = r.int_or("max_events", s.max_events);
+  s.max_bytes = r.int_or("max_bytes", s.max_bytes);
+  s.weight = r.int_or("weight", s.weight);
+  if (s.max_events < 0 || s.max_bytes < 0) {
+    spec_error(doc.source, t->line,
+               "[limits] budgets must be >= 0 (0 = unset)");
+  }
+  if (s.weight < 1) {
+    spec_error(doc.source, t->line, "key 'weight': must be >= 1");
+  }
+  r.finish("limits");
+  return s;
+}
+
 /// Every $ref in `n` must name a declared param.
 void check_ref(const ScenarioSpec& spec, const Num& n) {
   if (!n.set || !n.is_ref()) return;
@@ -601,7 +620,8 @@ ScenarioSpec parse_scenario_spec(const TomlDoc& doc) {
   for (const TomlTable& t : doc.tables) {
     const bool known_plain = !t.is_array &&
                              (t.name == "scenario" || t.name == "params" ||
-                              t.name == "topology" || t.name == "metrics");
+                              t.name == "topology" || t.name == "metrics" ||
+                              t.name == "limits");
     const bool known_array =
         t.is_array && (t.name == "flows" || t.name == "traffic" ||
                        t.name == "faults");
@@ -628,6 +648,7 @@ ScenarioSpec parse_scenario_spec(const TomlDoc& doc) {
     spec.faults.push_back(parse_fault_section(*t, doc.source));
   }
   spec.metrics = parse_metrics_section(doc);
+  spec.limits = parse_limits_section(doc);
 
   if (spec.flows.empty()) {
     spec_error(doc.source, 1,

@@ -160,6 +160,16 @@ struct FaultSection {
   Num duplicate_probability;  // default 0
 };
 
+/// [limits] — per-trial resource-governance declarations (PR 8). All
+/// optional; 0 means "no opinion" and leaves the runner policy alone.
+/// `weight` feeds the runner's admission semaphore: a weight-w trial
+/// occupies w of the --jobs capacity units while it runs.
+struct LimitsSection {
+  std::int64_t max_events = 0;  // per-trial event budget (0 = unset)
+  std::int64_t max_bytes = 0;   // per-trial modeled-memory budget
+  std::int64_t weight = 1;      // admission weight (>= 1)
+};
+
 /// [metrics] — which metric families the run reports.
 struct MetricsSection {
   bool throughput = true;
@@ -179,6 +189,7 @@ struct ScenarioSpec {
   std::vector<TrafficSection> traffic;
   std::vector<FaultSection> faults;
   MetricsSection metrics;
+  LimitsSection limits;
 
   /// True when any flow group uses the "$algorithm" hole (so sweeping
   /// --algorithms over this spec is meaningful).

@@ -7,9 +7,12 @@
 // process kill/stop/term matrix lives in tools/fleet_chaos_smoke.sh.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -458,6 +461,104 @@ TEST(FleetWorker, StaleLeaseIsBrokenWithinOneTtl) {
   EXPECT_EQ(report.quarantined, 0u);
   EXPECT_EQ(report.trials_run, trials.size());
   EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+MemorySample pressured_sample() {
+  MemorySample s;
+  s.ok = true;
+  s.self_rss_bytes = std::uint64_t{1} << 20;
+  s.total_bytes = 100;
+  s.available_bytes = 4;  // 96% of system memory in use
+  return s;
+}
+
+MemorySample healthy_sample() {
+  MemorySample s = pressured_sample();
+  s.available_bytes = 90;  // 10% in use
+  return s;
+}
+
+TEST(FleetMemory, PressureMathClampsAndIgnoresBadSamples) {
+  EXPECT_DOUBLE_EQ(memory_pressure(pressured_sample()), 0.96);
+  EXPECT_DOUBLE_EQ(memory_pressure(healthy_sample()), 0.10);
+  MemorySample bad;  // ok=false: admission control must stand down
+  EXPECT_DOUBLE_EQ(memory_pressure(bad), 0.0);
+  MemorySample overfull = pressured_sample();
+  overfull.available_bytes = 200;  // > total clamps to zero pressure
+  EXPECT_DOUBLE_EQ(memory_pressure(overfull), 0.0);
+}
+
+TEST(FleetMemory, ProcSamplerReadsThisProcess) {
+  const MemorySample s = sample_process_memory();
+  ASSERT_TRUE(s.ok) << "expected /proc to be readable on Linux";
+  EXPECT_GT(s.self_rss_bytes, 0u);
+  EXPECT_GT(s.total_bytes, 0u);
+  EXPECT_LE(s.available_bytes, s.total_bytes);
+  const double p = memory_pressure(s);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(FleetMemory, SustainedPressureDegradesWithoutClaiming) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "squeezed");
+  cfg.mem_high_water = 0.9;
+  cfg.max_pressure_rounds = 3;
+  cfg.mem_probe = [] { return pressured_sample(); };
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDegraded);
+  EXPECT_EQ(report.trials_run, 0u);
+  EXPECT_EQ(report.pressure_rounds, 3u);
+  EXPECT_NE(report.detail.find("memory pressure"), std::string::npos)
+      << report.detail;
+  // The directory is untouched: a healthier sibling drains it.
+  FleetWorker rescuer(fleet_config(dir.path(), "rescuer"));
+  const FleetReport done = rescuer.run(spec, "p\n");
+  EXPECT_EQ(done.outcome, FleetOutcome::kDrained) << done.detail;
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+TEST(FleetMemory, TransientPressureClearsAndTheWorkerDrains) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "patient");
+  cfg.mem_high_water = 0.9;
+  cfg.max_pressure_rounds = 8;
+  auto calls = std::make_shared<int>(0);
+  cfg.mem_probe = [calls] {
+    return ++*calls <= 2 ? pressured_sample() : healthy_sample();
+  };
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.trials_run, spec.expand().size());
+  EXPECT_EQ(report.pressure_rounds, 2u);  // the two skipped rounds
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+TEST(FleetMemory, UnreadableProbeStandsDownInsteadOfGuessing) {
+  const SweepSpec spec = fleet_spec();
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "blind");
+  cfg.mem_high_water = 0.9;
+  cfg.mem_probe = [] { return MemorySample{}; };  // ok=false
+  FleetWorker worker(cfg);
+  const FleetReport report = worker.run(spec, "p\n");
+  EXPECT_EQ(report.outcome, FleetOutcome::kDrained) << report.detail;
+  EXPECT_EQ(report.pressure_rounds, 0u);
+  EXPECT_EQ(read_file(dir.path() + "/journal.jsonl"), golden_journal(spec));
+}
+
+TEST(FleetMemory, ConfigValidatesTheAdmissionKnobs) {
+  TempDir dir;
+  FleetConfig cfg = fleet_config(dir.path(), "w");
+  cfg.mem_high_water = 1.0;  // a worker that can never claim is a bug
+  EXPECT_THROW(FleetWorker{cfg}, sim::SimError);
+  cfg.mem_high_water = 0.9;
+  cfg.max_pressure_rounds = 0;
+  EXPECT_THROW(FleetWorker{cfg}, sim::SimError);
 }
 
 TEST(FleetWorker, ShouldStopDegradesBeforeClaimingAnything) {

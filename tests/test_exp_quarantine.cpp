@@ -209,6 +209,148 @@ TEST(Quarantine, FullChaosFailsEveryAttempt) {
   }
 }
 
+SweepSpec membomb_spec() {
+  SweepSpec spec;
+  spec.experiment = "membomb";
+  spec.algorithms = {"tcp"};
+  spec.fixed["bomb_trial"] = 0;  // trial_index 0 is the bomb
+  spec.fixed["events"] = 256;
+  spec.trials = 3;
+  spec.base_seed = 7;
+  return spec;
+}
+
+RunnerPolicy membomb_policy() {
+  RunnerPolicy policy;
+  policy.max_trial_bytes = 64 * 1024;
+  return policy;
+}
+
+TEST(ResourceBudget, MemoryBombQuarantinesWithPeakFields) {
+  ParallelRunner runner(2);
+  runner.set_policy(membomb_policy());
+  const std::vector<Row> rows = runner.run(membomb_spec().expand());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const Row& r : rows) {
+    if (r.trial_index == 0) {
+      EXPECT_FALSE(r.outcome.ok);
+      EXPECT_EQ(r.outcome.error_kind, "resource-exhausted") << r.error;
+      // Resource failures get exactly one bonus attempt (at half
+      // budget) on top of the policy's max_attempts.
+      EXPECT_EQ(r.outcome.attempts, 2);
+      // The stamped peaks come from the final attempt, which ran at
+      // half the byte budget — so they clear 32 KiB, not 64 KiB.
+      EXPECT_GT(r.outcome.peak_bytes_estimate, 32u * 1024u);
+      EXPECT_GT(r.outcome.peak_live_packets, 0u);
+      EXPECT_GT(r.outcome.peak_queued_bytes, 0u);
+      const std::string json = r.to_json();
+      EXPECT_NE(json.find("\"peak_bytes_estimate\""), std::string::npos);
+      EXPECT_NE(json.find("\"peak_live_packets\""), std::string::npos);
+    } else {
+      EXPECT_TRUE(r.outcome.ok) << r.error;
+      EXPECT_EQ(r.outcome.attempts, 1);
+      // Peak fields stay out of healthy rows' serialization.
+      EXPECT_EQ(r.to_json().find("peak_"), std::string::npos);
+    }
+  }
+}
+
+TEST(ResourceBudget, RowsAreByteIdenticalAcrossJobCounts) {
+  const auto trials = membomb_spec().expand();
+  ParallelRunner serial(1);
+  serial.set_policy(membomb_policy());
+  ParallelRunner wide(8);
+  wide.set_policy(membomb_policy());
+  EXPECT_EQ(rows_to_jsonl(serial.run(trials)),
+            rows_to_jsonl(wide.run(trials)));
+}
+
+TEST(ResourceBudget, PeakFieldsRoundTripThroughTheJournal) {
+  ParallelRunner runner(1);
+  runner.set_policy(membomb_policy());
+  const auto trials = membomb_spec().expand();
+  const std::vector<Row> rows = runner.run(trials);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    Row parsed;
+    ASSERT_TRUE(parse_row_json(rows[i].to_json(), trials[i], &parsed));
+    EXPECT_EQ(parsed.to_json(), rows[i].to_json());
+    if (rows[i].outcome.error_kind == "resource-exhausted") {
+      // Peaks serialize (and thus round-trip) only on resource rows;
+      // healthy rows keep them out of the journal by design.
+      EXPECT_EQ(parsed.outcome.peak_bytes_estimate,
+                rows[i].outcome.peak_bytes_estimate);
+      EXPECT_EQ(parsed.outcome.peak_live_packets,
+                rows[i].outcome.peak_live_packets);
+      EXPECT_GT(parsed.outcome.peak_bytes_estimate, 0u);
+    }
+  }
+}
+
+TEST(ResourceBudget, UnbudgetedBombStillTerminatesViaItsEventCap) {
+  // The membomb experiment carries a safety event cap so a sweep
+  // without --trial-max-bytes cannot hang; the rows are then healthy.
+  ParallelRunner runner(1);
+  const std::vector<Row> rows = runner.run(membomb_spec().expand());
+  for (const Row& r : rows) {
+    EXPECT_TRUE(r.outcome.ok) << r.error;
+    // The cap stops the fan-out at 256 executed events; children
+    // already scheduled still fire (and return immediately), so the
+    // total stays within one doubling of the cap.
+    EXPECT_GE(r.get("events_run"), 256.0);
+    EXPECT_LT(r.get("events_run"), 1024.0);
+  }
+}
+
+TEST(ResourceBudget, WeightedAdmissionDoesNotChangeRowContent) {
+  const auto trials = membomb_spec().expand();
+  ParallelRunner plain(4);
+  plain.set_policy(membomb_policy());
+  const std::string want = rows_to_jsonl(plain.run(trials));
+
+  ParallelRunner weighted(4);
+  weighted.set_policy(membomb_policy());
+  weighted.set_weight_fn([](const TrialDesc& d) {
+    const Experiment* e = find_experiment(d.experiment);
+    return e != nullptr ? e->weight : 1;
+  });
+  EXPECT_EQ(rows_to_jsonl(weighted.run(trials)), want);
+
+  // Weights above the runner's capacity clamp rather than deadlock.
+  ParallelRunner narrow(1);
+  narrow.set_policy(membomb_policy());
+  narrow.set_weight_fn([](const TrialDesc&) { return 1000; });
+  EXPECT_EQ(rows_to_jsonl(narrow.run(trials)), want);
+}
+
+TEST(ResourceBudget, RegistryGivesTheBombExperimentExtraWeight) {
+  const Experiment* membomb = find_experiment("membomb");
+  ASSERT_NE(membomb, nullptr);
+  EXPECT_EQ(membomb->weight, 2);
+  const Experiment* poison = find_experiment("poison");
+  ASSERT_NE(poison, nullptr);
+  EXPECT_EQ(poison->weight, 1);
+}
+
+TEST(ResourceBudget, PolicyValidationRejectsBadGovernanceKnobs) {
+  ParallelRunner runner(2);
+  RunnerPolicy policy;
+  policy.mem_watermark_fraction = 0.0;
+  EXPECT_THROW(runner.set_policy(policy), sim::SimError);
+  policy = RunnerPolicy{};
+  policy.trial_weight_cap = 0;
+  EXPECT_THROW(runner.set_policy(policy), sim::SimError);
+}
+
+TEST(ResultSink, AtomicStagingNamesSeparateProcessesAndCalls) {
+  // Regression for the cross-process staging collision: two fleet
+  // workers finalizing the same file must never share a staging name,
+  // and neither must two writes from one process.
+  EXPECT_EQ(atomic_staging_name("dir/trials.jsonl", 42, 7),
+            "dir/trials.jsonl.tmp.42.7");
+  EXPECT_NE(atomic_staging_name("f", 100, 0), atomic_staging_name("f", 101, 0));
+  EXPECT_NE(atomic_staging_name("f", 100, 0), atomic_staging_name("f", 100, 1));
+}
+
 TEST(ResultSink, AtomicWriteLeavesNoTempFile) {
   TempDir dir;
   const std::string path = dir.path() + "/out.jsonl";

@@ -278,7 +278,9 @@ void dump(const char* path) {
   EXPECT_EQ(count_rule(findings, "no-unguarded-shared-write"), 3);
   for (const auto& f : findings) {
     if (f.rule == "no-unguarded-shared-write") {
-      EXPECT_TRUE(f.advisory) << f.message;
+      // Promoted from advisory to enforced: an unsuppressed raw write
+      // in src/exp/ now fails the lint gate.
+      EXPECT_FALSE(f.advisory) << f.message;
     }
   }
   // The same code outside the shared-checkpoint layer is fine.
@@ -375,11 +377,10 @@ TEST(LintRules, RegistryKnowsEveryRule) {
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-unguarded-shared-write"));
   EXPECT_FALSE(slowcc::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(slowcc::lint::is_known_rule(""));
-  // Exactly the hot-path and shared-write rules are advisory today;
-  // enforced rules must never silently flip.
+  // Exactly the hot-path rule is advisory today (shared-write was
+  // promoted to enforced); enforced rules must never silently flip.
   for (const auto& rule : slowcc::lint::all_rules()) {
-    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path" ||
-                                 rule.name == "no-unguarded-shared-write")
+    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path")
         << rule.name;
   }
 }

@@ -51,6 +51,13 @@ TEST(SimError, SpecCodeRoundTrips) {
   EXPECT_EQ(errc_from_string("bad-spec"), SimErrc::kBadSpec);
 }
 
+TEST(SimError, ResourceCodeRoundTrips) {
+  EXPECT_STREQ(to_string(SimErrc::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_EQ(errc_from_string("resource-exhausted"),
+            SimErrc::kResourceExhausted);
+}
+
 TEST(SimError, TaxonomyListIsExhaustiveAndExcludesTheSentinel) {
   // The compile-time side: kAllSimErrcs is static_assert-pinned to the
   // kCount_ sentinel, so a new enumerator cannot be forgotten. Here we

@@ -4,8 +4,10 @@
 // Generate mode runs bench/micro_engine with google-benchmark's JSON
 // output, pairs the per-engine variants (BM_X/heap vs BM_X/wheel) and
 // writes BENCH_engine.json (schema slowcc.bench_engine.v1) with
-// ns-per-op, items-per-second, and the wheel:heap speedup per
-// benchmark. Validate mode re-reads such a file and checks the schema
+// ns-per-op, items-per-second, the wheel:heap speedup per benchmark,
+// and the benchmark child's peak RSS (getrusage(RUSAGE_CHILDREN), so
+// a memory regression in the engines shows up next to the timing
+// numbers). Validate mode re-reads such a file and checks the schema
 // and that both engines are present for every required benchmark —
 // that is the bench_smoke ctest — and can check a minimum speedup:
 // `--require-speedup 1.5` fails validation below the floor (for a
@@ -19,7 +21,10 @@
 //
 // Exit codes: 0 ok, 1 validation failure, 2 usage or execution error.
 
+#include <sys/resource.h>
+
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +87,16 @@ bool find_string(const std::string& text, const std::string& key,
   return true;
 }
 
+/// Peak resident set of every waited-for child, in bytes (the
+/// benchmark subprocess dominates). 0 when getrusage fails.
+std::uint64_t children_peak_rss_bytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_CHILDREN, &usage) != 0) return 0;
+  if (usage.ru_maxrss <= 0) return 0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
 double to_nanos(double value, const std::string& unit) {
   if (unit == "ns") return value;
   if (unit == "us") return value * 1e3;
@@ -133,6 +148,9 @@ int generate(const std::string& bench_bin, const std::string& out_path,
     std::cerr << "bench_report: failed to run '" << cmd << "'\n";
     return 2;
   }
+  // Sampled right after pclose() reaped the benchmark child, so the
+  // reading covers the whole benchmark run.
+  const std::uint64_t peak_rss = children_peak_rss_bytes();
   const std::vector<Sample> samples = parse_benchmark_json(json);
   if (samples.empty()) {
     std::cerr << "bench_report: no BM_* samples in benchmark output\n";
@@ -144,7 +162,8 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   for (const Sample& s : samples) by_bench[s.bench][s.engine] = s;
 
   std::ostringstream out;
-  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"benchmarks\": [\n";
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"peak_rss_bytes\": "
+      << peak_rss << ",\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     out << "    {\"name\": \"" << s.bench << "\", \"engine\": \"" << s.engine
@@ -182,7 +201,7 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   file << out.str();
   std::cout << "bench_report: wrote " << out_path << " ("
             << samples.size() << " samples, " << lines.size()
-            << " comparisons)\n";
+            << " comparisons, peak_rss_bytes=" << peak_rss << ")\n";
   return 0;
 }
 
@@ -201,6 +220,16 @@ int validate(const std::string& path, double floor_speedup, bool advisory) {
     std::cerr << "bench_report: " << path << " missing schema \"" << kSchema
               << "\"\n";
     return 1;
+  }
+  // Peak RSS is informational (warn-only): older reports predate the
+  // field, and absolute memory varies across runners.
+  double peak_rss = 0.0;
+  if (!find_number(text, "peak_rss_bytes", &peak_rss) || peak_rss <= 0.0) {
+    std::cerr << "bench_report: WARNING: " << path
+              << " has no peak_rss_bytes sample (not gating)\n";
+  } else {
+    std::cout << "bench_report: peak_rss_bytes="
+              << static_cast<std::uint64_t>(peak_rss) << "\n";
   }
   int failures = 0;
   for (const std::string& bench : kRequiredBenchmarks) {

@@ -10,7 +10,10 @@
 #      --fleet workers SIGKILLed/SIGSTOPped/SIGTERMed mid-grid must
 #      converge to the --jobs 1 golden output byte-for-byte; and
 #      spec_smoke: the specs/ library vs its committed golden digests
-#      plus spec-driven sweep determinism)
+#      plus spec-driven sweep determinism; and overload_smoke: a
+#      memory-bomb trial under --trial-max-bytes must quarantine as
+#      resource-exhausted with peak-usage fields while the canonical
+#      outputs stay byte-identical across --jobs 1/--jobs 4/--fleet)
 #   6. spec library golden gate: every specs/*.toml compiled and run
 #      under both event engines, digests byte-compared against
 #      specs/golden/ (regen with SLOWCC_REGEN_GOLDEN=1)

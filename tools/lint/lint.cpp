@@ -578,7 +578,7 @@ void check_std_function_hot_path(const std::string& path,
 void check_unguarded_shared_write(const std::string& path,
                                   const std::vector<MaskedLine>& lines,
                                   std::vector<Finding>* out) {
-  // Advisory, scoped to the checkpoint/fleet layer: files under src/exp/
+  // Enforced, scoped to the checkpoint/fleet layer: files under src/exp/
   // write into sweep directories that concurrent fleet workers share, so
   // every write must be crash-atomic (tmp+fsync+rename), exclusive
   // (O_EXCL claim), or the sanctioned append+flush journal. A raw
@@ -691,10 +691,9 @@ const std::vector<RuleInfo>& all_rules() {
        "and keep type erasure at the Scheduler::Callback boundary",
        /*advisory=*/true},
       {"no-unguarded-shared-write",
-       "advisory: raw ofstream/fopen/::open writes in src/exp/ shared "
-       "checkpoint dirs; use write_file_atomic / write_file_exclusive / "
-       "JsonlAppender",
-       /*advisory=*/true},
+       "raw ofstream/fopen/::open writes in src/exp/ shared checkpoint "
+       "dirs; use write_file_atomic / write_file_exclusive / "
+       "JsonlAppender"},
   };
   return kRules;
 }

@@ -31,12 +31,14 @@
 //                          event-engine hot path (src/sim/); engines
 //                          should move pooled POD entries, keeping
 //                          type-erased callables at the API boundary
-//   no-unguarded-shared-write (advisory) flags raw write paths
+//   no-unguarded-shared-write flags raw write paths
 //                          (ofstream, fopen/freopen/creat, ::open) in
 //                          src/exp/ — checkpoint directories are shared
 //                          by concurrent fleet workers, so writes must
 //                          go through write_file_atomic /
 //                          write_file_exclusive / JsonlAppender
+//                          (enforced since the resource-governance PR;
+//                          the sanctioned primitives carry suppressions)
 //
 // Advisory rules are reported (and suppressible) like any other, but
 // they do not fail the lint gate: the CLI exits non-zero only when an

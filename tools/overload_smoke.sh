@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Overload smoke: the membomb self-test experiment grows its event and
+# packet population without bound; only the --trial-max-bytes governor
+# stops it. One trial of the grid is the bomb (bomb_trial=1); the rest
+# are healthy. The contract under test:
+#
+#   1  The bomb is quarantined as resource-exhausted after exactly one
+#      half-budget retry, its row carries the peak_* usage fields, and
+#      every healthy row is untouched by the governor.
+#   2  The journal is byte-identical across --jobs 1, --jobs 4, and a
+#      two-worker --fleet drain in which one worker is SIGKILLed while
+#      the bomb is mid-flight — overload handling must not perturb the
+#      determinism contract.
+#
+# Usage: tools/overload_smoke.sh /path/to/slowcc_sweep
+set -euo pipefail
+
+sweep="${1:?usage: overload_smoke.sh /path/to/slowcc_sweep}"
+if [[ ! -x "$sweep" ]]; then
+  echo "overload_smoke: slowcc_sweep not found at '$sweep' —" \
+       "build it with: cmake --build build --target slowcc_sweep" >&2
+  exit 1
+fi
+work="$(mktemp -d)"
+trap 'rc=$?; rm -rf "$work"; exit $rc' EXIT
+
+fail() {
+  echo "overload_smoke: FAIL ($*)" >&2
+  exit 1
+}
+
+# sleep_ms keeps each trial slow enough that the SIGKILL below lands
+# mid-bomb; it is part of the spec, so the golden run pays it too.
+common=(--experiment membomb --algorithms tcp
+        --set bomb_trial=1 --set sleep_ms=300
+        --trials 6 --base-seed 7 --trial-max-bytes 64k)
+
+run_expect_quarantine() {
+  local label="$1"; shift
+  local rc=0
+  "$sweep" "$@" --quiet || rc=$?
+  # Exit 1 = trial failures: exactly what one quarantined bomb means.
+  [[ $rc -eq 1 ]] || fail "$label: exited $rc (want 1: quarantined bomb)"
+}
+
+check_journal() {
+  local journal="$1" label="$2"
+  [[ -s "$journal" ]] || fail "$label: no journal at $journal"
+  local bombs
+  bombs=$(grep -c '"error_kind":"resource-exhausted"' "$journal") || true
+  [[ "$bombs" -eq 1 ]] \
+    || fail "$label: $bombs resource-exhausted rows (want exactly 1)"
+  grep '"error_kind":"resource-exhausted"' "$journal" \
+      | grep -q '"peak_bytes_estimate"' \
+    || fail "$label: quarantined row is missing its peak-usage fields"
+  grep '"error_kind":"resource-exhausted"' "$journal" \
+      | grep -q '"attempts":2' \
+    || fail "$label: bomb was not retried once at half budget"
+  # Healthy rows must not leak governor bookkeeping into the journal.
+  if grep -v '"error_kind"' "$journal" | grep -q '"peak_'; then
+    fail "$label: a healthy row carries peak_* fields"
+  fi
+}
+
+# Golden reference: single-threaded, checkpointed.
+run_expect_quarantine "reference" "${common[@]}" --jobs 1 \
+  --resume "$work/ref"
+check_journal "$work/ref/journal.jsonl" "reference"
+
+# The checkpoint journal is append-order (completion order), so it is
+# only byte-stable for single-threaded and drained-fleet runs; the
+# canonical contract is over the sorted trials.* / cells.* files.
+compare_canonical() {
+  local dir="$1" label="$2"
+  for f in trials.jsonl trials.csv cells.jsonl cells.csv; do
+    if ! cmp -s "$work/ref/$f" "$dir/$f"; then
+      diff "$work/ref/$f" "$dir/$f" >&2 || true
+      fail "$label: $f differs from the --jobs 1 run"
+    fi
+  done
+}
+
+# ---- Threaded run: same bytes with the admission gate in play ------
+run_expect_quarantine "jobs 4" "${common[@]}" --jobs 4 \
+  --resume "$work/par"
+compare_canonical "$work/par" "jobs 4"
+check_journal "$work/par/journal.jsonl" "jobs 4"
+
+# ---- Fleet drain with a SIGKILL mid-bomb ---------------------------
+fleet_opts=(--jobs 1 --lease-ttl 2 --fleet-poll 0.2 --quiet)
+"$sweep" "${common[@]}" --fleet "$work/fleet" --worker-id a \
+  "${fleet_opts[@]}" &
+pid_a=$!
+sleep 0.5   # worker a has claimed a slow trial
+kill -9 "$pid_a" 2>/dev/null || true
+wait "$pid_a" 2>/dev/null || true
+rc=0
+"$sweep" "${common[@]}" --fleet "$work/fleet" --worker-id b \
+  "${fleet_opts[@]}" || rc=$?
+[[ $rc -eq 1 ]] || fail "fleet: surviving worker exited $rc (want 1)"
+[[ -d "$work/fleet/leases" ]] && fail "fleet: leases/ left after drain"
+compare_canonical "$work/fleet" "fleet"
+cmp -s "$work/ref/journal.jsonl" "$work/fleet/journal.jsonl" \
+  || { diff "$work/ref/journal.jsonl" "$work/fleet/journal.jsonl" >&2 \
+         || true
+       fail "fleet: merged journal differs from the --jobs 1 run"; }
+check_journal "$work/fleet/journal.jsonl" "fleet"
+
+echo "overload_smoke: PASS"

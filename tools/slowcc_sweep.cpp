@@ -46,6 +46,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -76,8 +77,9 @@ int usage(const char* argv0, int code) {
       "usage: %s [options]\n"
       "  --list                       list registered experiments (incl. "
       "loaded --spec scenarios) and exit\n"
-      "  --spec FILE                  load a sweep spec file (key = value "
-      "lines) or a scenario spec (*.toml)\n"
+      "  --spec PATH                  load a sweep spec file (key = value "
+      "lines), a scenario spec (*.toml), or a directory of scenario specs "
+      "(every *.toml, sorted)\n"
       "  --experiment NAME            experiment to run\n"
       "  --algorithms A,B,...         algorithm tokens (tcp, tcp:8, "
       "tfrc:6:c, tcp+tfrc:6)\n"
@@ -95,6 +97,11 @@ int usage(const char* argv0, int code) {
       "(deterministic deadline)\n"
       "  --trial-wall-seconds S       per-trial wall-clock backstop "
       "(hang killer)\n"
+      "  --trial-max-bytes B[k|m|g]   per-trial modeled-memory budget; a "
+      "trial crossing it aborts as resource-exhausted (one retry at half "
+      "budget, then quarantine)\n"
+      "  --trial-weight-cap N         admission-weight ceiling: a weight-w "
+      "trial occupies w of --jobs while it runs (default 4)\n"
       "  --chaos P                    inject a deterministic synthetic "
       "failure into each attempt with probability P (self-test)\n"
       "  --resume DIR                 crash-safe checkpointed run in DIR; "
@@ -115,6 +122,9 @@ int usage(const char* argv0, int code) {
       "quarantined as lease-expired (default 3)\n"
       "  --fleet-poll S               base wait between drain rounds "
       "(default 0.25)\n"
+      "  --mem-high-water F           fleet: stop claiming trials while "
+      "system memory use >= F (fraction; 0 disables; exit 4 after "
+      "sustained pressure)\n"
       "  --quiet                      no progress on stderr\n"
       "exit codes: 0 ok, 1 trial failures, 2 usage/config error, "
       "4 fleet worker degraded (siblings finish the grid)\n",
@@ -136,6 +146,29 @@ void list_experiments() {
     }
     std::printf("%-16s   params: %s\n", "", params.c_str());
   }
+}
+
+/// Parse a byte count with an optional k/m/g suffix (powers of 1024):
+/// "64m" == 67108864. Returns false on a malformed count.
+bool parse_byte_count(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long base = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  std::uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = std::uint64_t{1} << 10;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = std::uint64_t{1} << 20;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = std::uint64_t{1} << 30;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<std::uint64_t>(base) * mult;
+  return true;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -185,6 +218,8 @@ std::string policy_text(const exp::RunnerPolicy& p) {
   out += "trial_max_events = " + std::to_string(p.max_trial_events) + "\n";
   out += "trial_wall_seconds = " +
          exp::json_number(p.max_trial_wall_seconds) + "\n";
+  out += "trial_max_bytes = " + std::to_string(p.max_trial_bytes) + "\n";
+  out += "trial_weight_cap = " + std::to_string(p.trial_weight_cap) + "\n";
   return out;
 }
 
@@ -221,9 +256,10 @@ int main(int argc, char** argv) {
   bool spec_loaded = false;
   bool list_requested = false;
   bool algorithms_set = false;
-  // The last loaded scenario spec (*.toml); every loaded scenario is
-  // registered, this one is the sweep target.
-  std::unique_ptr<slowcc::spec::RegisteredScenario> scenario;
+  // Every scenario spec (*.toml) loaded via --spec; all are registered
+  // as experiments, and the one matching spec.experiment (resolved
+  // after parsing) is the sweep target.
+  std::vector<slowcc::spec::RegisteredScenario> scenarios;
   int jobs = exp::ParallelRunner::default_jobs();
   std::string out_prefix;
   std::string resume_dir;
@@ -233,6 +269,7 @@ int main(int argc, char** argv) {
   double heartbeat = 0.0;  // 0 = derive ttl/5
   double fleet_poll = 0.25;
   int max_lease_breaks = 3;
+  double mem_high_water = 0.0;
   bool selfcheck = false;
   bool quiet = false;
 
@@ -255,11 +292,36 @@ int main(int argc, char** argv) {
         list_requested = true;
       } else if (arg == "--spec") {
         const std::string path = value();
-        if (path.size() >= 5 &&
-            path.compare(path.size() - 5, 5, ".toml") == 0) {
-          scenario = std::make_unique<slowcc::spec::RegisteredScenario>(
-              slowcc::spec::load_spec_file(path));
-          spec.experiment = scenario->experiment;
+        std::error_code dir_ec;
+        if (std::filesystem::is_directory(path, dir_ec)) {
+          // A directory of scenario specs: register every *.toml in
+          // sorted order (stable --list). With exactly one spec it is
+          // the sweep target; otherwise pick one with --experiment.
+          std::vector<std::string> files;
+          for (const auto& entry :
+               std::filesystem::directory_iterator(path)) {
+            if (entry.path().extension() == ".toml") {
+              files.push_back(entry.path().string());
+            }
+          }
+          std::sort(files.begin(), files.end());
+          if (files.empty()) {
+            std::fprintf(stderr,
+                         "slowcc_sweep: --spec directory %s holds no "
+                         "*.toml scenario specs\n",
+                         path.c_str());
+            return 2;
+          }
+          for (const std::string& f : files) {
+            scenarios.push_back(slowcc::spec::load_spec_file(f));
+          }
+          if (files.size() == 1) {
+            spec.experiment = scenarios.back().experiment;
+          }
+        } else if (path.size() >= 5 &&
+                   path.compare(path.size() - 5, 5, ".toml") == 0) {
+          scenarios.push_back(slowcc::spec::load_spec_file(path));
+          spec.experiment = scenarios.back().experiment;
         } else {
           spec = exp::SweepSpec::parse_file(path);
         }
@@ -303,6 +365,19 @@ int main(int argc, char** argv) {
             std::strtoull(value().c_str(), nullptr, 10);
       } else if (arg == "--trial-wall-seconds") {
         policy.max_trial_wall_seconds = std::atof(value().c_str());
+      } else if (arg == "--trial-max-bytes") {
+        const std::string v = value();
+        if (!parse_byte_count(v, &policy.max_trial_bytes)) {
+          std::fprintf(stderr,
+                       "slowcc_sweep: --trial-max-bytes expects "
+                       "BYTES[k|m|g]: '%s'\n",
+                       v.c_str());
+          return 2;
+        }
+      } else if (arg == "--trial-weight-cap") {
+        policy.trial_weight_cap = std::atoi(value().c_str());
+      } else if (arg == "--mem-high-water") {
+        mem_high_water = std::atof(value().c_str());
       } else if (arg == "--chaos") {
         policy.chaos_rate = std::atof(value().c_str());
       } else if (arg == "--resume") {
@@ -336,6 +411,20 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (!spec_loaded) return usage(argv[0], 2);
+    if (spec.experiment.empty() && !scenarios.empty()) {
+      std::fprintf(stderr,
+                   "slowcc_sweep: --spec loaded %zu scenarios; pick one "
+                   "with --experiment NAME (or --list to enumerate)\n",
+                   scenarios.size());
+      return 2;
+    }
+    const slowcc::spec::RegisteredScenario* scenario = nullptr;
+    for (const slowcc::spec::RegisteredScenario& s : scenarios) {
+      if (s.experiment == spec.experiment) {
+        scenario = &s;
+        break;
+      }
+    }
     if (scenario != nullptr) {
       if (!algorithms_set) {
         // No --algorithms: run the scenario's declared default.
@@ -367,6 +456,18 @@ int main(int argc, char** argv) {
         (void)fixed_value;
         if (!known_param(name)) return 2;
       }
+      // The scenario's [limits] budgets are policy defaults: explicit
+      // --trial-max-events / --trial-max-bytes flags win.
+      if (policy.max_trial_events == 0 &&
+          scenario->spec->limits.max_events > 0) {
+        policy.max_trial_events =
+            static_cast<std::uint64_t>(scenario->spec->limits.max_events);
+      }
+      if (policy.max_trial_bytes == 0 &&
+          scenario->spec->limits.max_bytes > 0) {
+        policy.max_trial_bytes =
+            static_cast<std::uint64_t>(scenario->spec->limits.max_bytes);
+      }
     }
     if (exp::find_experiment(spec.experiment) == nullptr) {
       std::fprintf(stderr,
@@ -396,6 +497,7 @@ int main(int argc, char** argv) {
       fleet.heartbeat_seconds = heartbeat > 0.0 ? heartbeat : lease_ttl / 5.0;
       fleet.poll_seconds = fleet_poll;
       fleet.max_lease_breaks = max_lease_breaks;
+      fleet.mem_high_water = mem_high_water;
       fleet.jitter_seed = spec.base_seed;
       fleet.policy = policy;
       fleet.should_stop = [] { return g_stop_requested != 0; };
@@ -446,8 +548,18 @@ int main(int argc, char** argv) {
                    spec.describe().c_str(), jobs);
     }
 
+    // Admission weight from the registry: a weight-w experiment's
+    // trials occupy w of the runner's capacity units while running
+    // (memory-heavy trials don't all start at once). Weights only
+    // schedule; they never change row content.
+    const auto weight_of = [](const exp::TrialDesc& d) {
+      const exp::Experiment* e = exp::find_experiment(d.experiment);
+      return e != nullptr ? e->weight : 1;
+    };
+
     exp::ParallelRunner runner(jobs);
     runner.set_policy(policy);
+    runner.set_weight_fn(weight_of);
 
     // Checkpoint: recover finished work, journal new work.
     std::unique_ptr<exp::Checkpoint> checkpoint;
@@ -502,6 +614,7 @@ int main(int argc, char** argv) {
       TempFileGuard tmp_guard;
       exp::ParallelRunner serial(1);
       serial.set_policy(policy);
+      serial.set_weight_fn(weight_of);
       const std::vector<exp::Row> rows1 = serial.run(trials);
       const std::string got = exp::rows_to_jsonl(rows);
       const std::string want = exp::rows_to_jsonl(rows1);
