@@ -108,6 +108,7 @@ class FaultInjector {
   // Base delay per link for jitter: recorded at the first jitter
   // sample so repeated samples jitter around a fixed point instead of
   // random-walking.
+  // slowcc-lint: allow(no-unseeded-container-hash) lookup-only map — never iterated or serialized, so address hashing cannot reach results
   std::unordered_map<net::Link*, sim::Time> jitter_base_;
 };
 

@@ -226,8 +226,12 @@ struct Entry {
   EXPECT_EQ(count_rule(findings, "no-std-function-hot-path"), 1);
   EXPECT_EQ(findings[0].line, 5);
   EXPECT_TRUE(findings[0].advisory);
-  // The same code outside the engine is not the hot path.
+  // v2 widened the scope to src/net/ — packet delivery is as hot as the
+  // event loop. Paths outside both stay exempt.
   EXPECT_EQ(count_rule(lint_one("src/net/foo.hpp", engine),
+                       "no-std-function-hot-path"),
+            1);
+  EXPECT_EQ(count_rule(lint_one("src/exp/foo.hpp", engine),
                        "no-std-function-hot-path"),
             0);
   EXPECT_EQ(count_rule(lint_one("tools/cli.cpp", engine),
@@ -370,17 +374,23 @@ int f() {
 }
 
 TEST(LintRules, RegistryKnowsEveryRule) {
-  EXPECT_GE(slowcc::lint::all_rules().size(), 8u);
+  EXPECT_GE(slowcc::lint::all_rules().size(), 13u);
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-wall-clock"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("error-taxonomy"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-std-function-hot-path"));
   EXPECT_TRUE(slowcc::lint::is_known_rule("no-unguarded-shared-write"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-unseeded-container-hash"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-iteration-order-leak"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-time-arith-overflow"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("no-hot-path-alloc"));
+  EXPECT_TRUE(slowcc::lint::is_known_rule("governor-charge-release"));
   EXPECT_FALSE(slowcc::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(slowcc::lint::is_known_rule(""));
-  // Exactly the hot-path rule is advisory today (shared-write was
-  // promoted to enforced); enforced rules must never silently flip.
+  // Exactly the two hot-path rules are advisory; enforced rules must
+  // never silently flip.
   for (const auto& rule : slowcc::lint::all_rules()) {
-    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path")
+    EXPECT_EQ(rule.advisory, rule.name == "no-std-function-hot-path" ||
+                                 rule.name == "no-hot-path-alloc")
         << rule.name;
   }
 }
@@ -478,6 +488,532 @@ TEST(LintText, ReporterTagsAdvisoryFindingsInTheRuleBracket) {
   std::ostringstream out;
   slowcc::lint::report_text(findings, out);
   EXPECT_NE(out.str().find("[no-std-function-hot-path (advisory)]"),
+            std::string::npos);
+}
+
+// ====================================================================
+// v2 lexer unit tests — the token stream the rules run on.
+// ====================================================================
+
+namespace lex = slowcc::lint::lex;
+
+bool has_ident(const lex::LexedSource& lx, const std::string& text) {
+  return std::any_of(lx.tokens.begin(), lx.tokens.end(),
+                     [&](const lex::Token& t) {
+                       return t.kind == lex::TokKind::kIdent && t.text == text;
+                     });
+}
+
+int count_kind(const lex::LexedSource& lx, lex::TokKind kind) {
+  return static_cast<int>(
+      std::count_if(lx.tokens.begin(), lx.tokens.end(),
+                    [&](const lex::Token& t) { return t.kind == kind; }));
+}
+
+TEST(LintLexer, NormalizesDigraphsToPrimarySpelling) {
+  const auto lx = lex::lex("int a<:3:> = <%1,2%>;\n");
+  std::vector<std::string> puncts;
+  for (const auto& t : lx.tokens) {
+    if (t.kind == lex::TokKind::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "["), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "]"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "{"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "}"), puncts.end());
+}
+
+TEST(LintLexer, AdjacentStringLiteralsStayTwoTokens) {
+  const auto lx = lex::lex("const char* s = \"a\" \"b\";\n");
+  ASSERT_EQ(count_kind(lx, lex::TokKind::kString), 2);
+  for (const auto& t : lx.tokens) {
+    if (t.kind == lex::TokKind::kString) {
+      // Rules match on `text`, which literals keep empty; the raw bytes
+      // live in `literal`.
+      EXPECT_TRUE(t.text.empty());
+      EXPECT_TRUE(t.literal == "a" || t.literal == "b");
+    }
+  }
+}
+
+TEST(LintLexer, IfZeroRegionIsExcludedAndElseBranchIsLive) {
+  const auto lx = lex::lex(
+      "#if 0\n"
+      "rand();\n"
+      "#else\n"
+      "int live = 1;\n"
+      "#endif\n"
+      "#if 0\n"
+      "#if 0\n"
+      "nested();\n"
+      "#endif\n"
+      "still_dead();\n"
+      "#endif\n");
+  EXPECT_FALSE(has_ident(lx, "rand"));
+  EXPECT_FALSE(has_ident(lx, "nested"));
+  EXPECT_FALSE(has_ident(lx, "still_dead"));
+  EXPECT_TRUE(has_ident(lx, "live"));
+}
+
+TEST(LintLexer, MultiLineMacroBodyStaysInTheStream) {
+  const auto lx = lex::lex(
+      "#define JITTER() \\\n"
+      "  rand()\n"
+      "int x = JITTER();\n");
+  bool saw_pp_rand = false;
+  for (const auto& t : lx.tokens) {
+    if (t.kind == lex::TokKind::kIdent && t.text == "rand" && t.pp) {
+      saw_pp_rand = true;
+      EXPECT_EQ(t.line, 2);  // physical line, after the splice
+    }
+  }
+  EXPECT_TRUE(saw_pp_rand);
+  // And the rule engine sees it: a rand() hidden in a macro is still a
+  // finding under src/.
+  const auto findings = lint_one("src/sim/macro.cpp",
+                                 "#define JITTER() \\\n  rand()\n");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 1);
+}
+
+TEST(LintLexer, PpNumbersLexAsOneToken) {
+  const auto lx = lex::lex("long n = 1'000'000; double d = 1e9;\n");
+  EXPECT_EQ(count_kind(lx, lex::TokKind::kNumber), 2);
+}
+
+TEST(LintLexer, QuotedIncludeFeedsTheDirectiveList) {
+  const auto lx = lex::lex("#include \"net/link.hpp\"\n#include <vector>\n");
+  ASSERT_EQ(lx.directives.size(), 2u);
+  EXPECT_EQ(lx.directives[0].include_target, "net/link.hpp");
+  EXPECT_TRUE(lx.directives[0].quoted_include);
+  EXPECT_FALSE(lx.directives[1].quoted_include);
+}
+
+// ====================================================================
+// v1 masking-bug regressions — each of these was mis-lexed by the old
+// per-line masking pass. The lexer handles splices and raw strings as
+// translation phases, so these must stay fixed.
+// ====================================================================
+
+TEST(LintMaskingRegression, RawStringBodyWithDelimiterIsNotCode) {
+  const auto findings = lint_one("src/net/raw.cpp", R"cpp(
+const char* s = R"x(rand() time(nullptr) std::mt19937 gen;)x";
+const char* t = u8R"(more rand() here)";
+int live = 1;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 0);
+  EXPECT_EQ(count_rule(findings, "no-wall-clock"), 0);
+}
+
+TEST(LintMaskingRegression, IdentEndingInRIsNotARawStringPrefix) {
+  // v1 treated `MARKER"(...` as a raw-string open and masked the rest
+  // of the file; the rand() after it went unreported.
+  const auto findings = lint_one("src/net/marker.cpp",
+                                 "const char* s = MARKER\"(open\";\n"
+                                 "int r = rand();\n");
+  ASSERT_EQ(count_rule(findings, "no-raw-rand"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintMaskingRegression, SplicedLineCommentKeepsCommenting) {
+  // The backslash splice continues the line comment onto the next
+  // physical line, so the rand() there is comment text — but the one
+  // after the comment ends is real.
+  const auto findings = lint_one("src/net/splice.cpp",
+                                 "// banned calls: \\\n"
+                                 "   rand() time(nullptr)\n"
+                                 "int r = rand();\n");
+  ASSERT_EQ(count_rule(findings, "no-raw-rand"), 1);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(count_rule(findings, "no-wall-clock"), 0);
+}
+
+TEST(LintMaskingRegression, SplicedStringLiteralKeepsBeingAString) {
+  const auto findings = lint_one("src/net/strsplice.cpp",
+                                 "const char* s = \"half \\\n"
+                                 "rand() rest\";\n"
+                                 "int live = 1;\n");
+  EXPECT_EQ(count_rule(findings, "no-raw-rand"), 0);
+}
+
+TEST(LintMaskingRegression, SplicedIdentifierLexesAsOneIdentifier) {
+  // ra\<newline>nd is one identifier after phase-2 splicing — v1 saw
+  // two harmless fragments.
+  const auto findings = lint_one("src/net/idsplice.cpp",
+                                 "int f() { return ra\\\nnd() % 3; }\n");
+  ASSERT_EQ(count_rule(findings, "no-raw-rand"), 1);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+// ====================================================================
+// Determinism family.
+// ====================================================================
+
+TEST(LintContainerHash, FlagsPointerKeyedUnorderedContainers) {
+  const auto findings = lint_one("src/net/hash.cpp", R"cpp(
+#include <unordered_map>
+#include <unordered_set>
+struct Flow {};
+std::unordered_map<Flow*, int> by_flow;
+std::unordered_set<const Flow*> live;
+)cpp");
+  ASSERT_EQ(count_rule(findings, "no-unseeded-container-hash"), 2);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_FALSE(findings[0].advisory);
+}
+
+TEST(LintContainerHash, AllowsValueKeysAndCustomHashers) {
+  const auto findings = lint_one("src/net/hash_ok.cpp", R"cpp(
+#include <unordered_map>
+#include <unordered_set>
+struct Flow {};
+struct FlowIdHash { unsigned operator()(const Flow* f) const; };
+std::unordered_map<int, Flow*> by_id;                    // pointer VALUE: fine
+std::unordered_map<Flow*, int, FlowIdHash> stable;       // custom hasher
+std::unordered_set<Flow*, FlowIdHash> stable_set;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unseeded-container-hash"), 0);
+}
+
+TEST(LintContainerHash, IsSuppressibleWithReason) {
+  const auto findings = lint_one("src/net/hash_sup.cpp", R"cpp(
+#include <unordered_map>
+struct Flow {};
+// slowcc-lint: allow(no-unseeded-container-hash) lookup-only, never iterated
+std::unordered_map<Flow*, int> by_flow;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unseeded-container-hash"), 0);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
+TEST(LintIterationOrderLeak, FlagsUnorderedIterationFeedingOutput) {
+  const auto findings = lint_one("src/metrics/dump.cpp", R"cpp(
+#include <iostream>
+#include <unordered_map>
+struct T {
+  std::unordered_map<int, int> stats_;
+  void dump() const {
+    for (const auto& kv : stats_) std::cout << kv.second;
+  }
+  long sum() const {
+    long s = 0;
+    for (const auto& kv : stats_) s += kv.second;
+    return s;
+  }
+};
+)cpp");
+  // The leaking loop carries both rules; the accumulating loop only the
+  // plain iteration rule.
+  EXPECT_EQ(count_rule(findings, "no-iteration-order-leak"), 1);
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 2);
+  for (const auto& f : findings) {
+    if (f.rule == "no-iteration-order-leak") {
+      EXPECT_EQ(f.line, 7);
+    }
+  }
+}
+
+TEST(LintIterationOrderLeak, FlagsAppendStyleLeaksToo) {
+  const auto findings = lint_one("src/metrics/rows.cpp", R"cpp(
+#include <unordered_map>
+#include <vector>
+std::unordered_map<int, int> stats;
+void rows(std::vector<int>* out) {
+  for (const auto& kv : stats) out->push_back(kv.second);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-iteration-order-leak"), 1);
+}
+
+TEST(LintIterationOrderLeak, BothRulesSuppressTogether) {
+  const auto findings = lint_one("src/metrics/sup.cpp", R"cpp(
+#include <iostream>
+#include <unordered_map>
+std::unordered_map<int, int> stats;
+void dump() {
+  // slowcc-lint: allow(no-unordered-iteration, no-iteration-order-leak) debug-only dump
+  for (const auto& kv : stats) std::cout << kv.second;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-unordered-iteration"), 0);
+  EXPECT_EQ(count_rule(findings, "no-iteration-order-leak"), 0);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
+TEST(LintTimeArithOverflow, FlagsArithmeticOnTimeSentinels) {
+  const auto findings = lint_one("src/sim/deadline.cpp", R"cpp(
+#include <cstdint>
+long next_deadline(long pad) { return INT64_MAX + pad; }
+sim::Time horizon(sim::Time dt) { return sim::Time::max() + dt; }
+long scaled(long k) { return std::numeric_limits<int64_t>::max() * k; }
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-time-arith-overflow"), 3);
+}
+
+TEST(LintTimeArithOverflow, AllowsGuardedAndComparisonUses) {
+  const auto findings = lint_one("src/sim/deadline_ok.cpp", R"cpp(
+#include <cstdint>
+#include <algorithm>
+long capped(long a) { return std::min(INT64_MAX + 0L, a); }      // guarded
+long pick(long a) { return a < INT64_MAX ? a + 1 : a; }          // ternary
+bool at_horizon(long t) { return t == INT64_MAX; }               // compare
+long whole = INT64_MAX;                                          // plain init
+)cpp");
+  EXPECT_EQ(count_rule(findings, "no-time-arith-overflow"), 0);
+  // Outside src/ the sentinel arithmetic is tooling's business.
+  const auto tool = lint_one("tools/report.cpp",
+                             "long t = INT64_MAX + 1;\n");
+  EXPECT_EQ(count_rule(tool, "no-time-arith-overflow"), 0);
+}
+
+// ====================================================================
+// Hot-path family: call-table reachability from enqueue/deliver/pop.
+// ====================================================================
+
+TEST(LintHotPathAlloc, FlagsAllocationsReachableFromEnqueue) {
+  const auto findings = lint_one("src/net/queue.cpp", R"cpp(
+class ScratchQueue {
+ public:
+  void enqueue(int v) { slot_ = fill(v); }
+ private:
+  int* fill(int v) { return new int(v); }
+  int* slot_ = nullptr;
+};
+int* cold_path() { return new int(0); }
+)cpp");
+  ASSERT_EQ(count_rule(findings, "no-hot-path-alloc"), 1);
+  for (const auto& f : findings) {
+    if (f.rule == "no-hot-path-alloc") {
+      EXPECT_TRUE(f.advisory);
+      EXPECT_EQ(f.line, 6);  // the `new` in fill(), not cold_path()'s
+      EXPECT_NE(f.message.find("enqueue"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintHotPathAlloc, SeesCallEdgesAcrossFilesInTheBatch) {
+  const std::vector<SourceFile> sources = {
+      {"src/net/q.cpp", R"cpp(
+class PacketQueue {
+ public:
+  void enqueue(int v) { log_drop(v); }
+};
+)cpp"},
+      {"src/net/log.cpp", R"cpp(
+#include <vector>
+std::vector<int> dropped;
+void log_drop(int v) { dropped.push_back(v); }
+)cpp"},
+  };
+  const auto findings = slowcc::lint::run(sources);
+  ASSERT_EQ(count_rule(findings, "no-hot-path-alloc"), 1);
+  for (const auto& f : findings) {
+    if (f.rule == "no-hot-path-alloc") {
+      EXPECT_EQ(f.file, "src/net/log.cpp");
+      EXPECT_NE(f.message.find("push_back"), std::string::npos);
+    }
+  }
+}
+
+TEST(LintHotPathAlloc, RootsOnlyComeFromSrc) {
+  const std::string queue = R"cpp(
+class ScratchQueue {
+ public:
+  void enqueue(int v) { slot_ = new int(v); }
+ private:
+  int* slot_ = nullptr;
+};
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("tools/fixture.cpp", queue),
+                       "no-hot-path-alloc"),
+            0);
+}
+
+// ====================================================================
+// Resource-pairing family: governor charge/release.
+// ====================================================================
+
+TEST(LintGovernorPairing, FlagsChargeWithoutRelease) {
+  const auto findings = lint_one("src/net/leaky.cpp", R"cpp(
+class LeakyQueue {
+ public:
+  void enqueue(int n) { gov_.note_packet_admitted(n); }
+ private:
+  int gov_;
+};
+)cpp");
+  ASSERT_EQ(count_rule(findings, "governor-charge-release"), 1);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_FALSE(findings[0].advisory);
+  EXPECT_NE(findings[0].message.find("LeakyQueue"), std::string::npos);
+}
+
+TEST(LintGovernorPairing, BalancedClassesAreClean) {
+  const auto findings = lint_one("src/net/balanced.cpp", R"cpp(
+class FairQueue {
+ public:
+  void enqueue(int n) { gov_.note_packet_admitted(n); }
+  void dequeue(int n) { gov_.note_packet_removed(n); }
+ private:
+  int gov_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, "governor-charge-release"), 0);
+}
+
+TEST(LintGovernorPairing, PairsAcrossFilesOfTheSameClass) {
+  // Charge in one TU, release in another: the pairing is grouped by
+  // class across the whole batch, so this is balanced.
+  const std::vector<SourceFile> sources = {
+      {"src/net/split_in.cpp", R"cpp(
+void SplitQueue::enqueue(int n) { gov_.charge(n); }
+)cpp"},
+      {"src/net/split_out.cpp", R"cpp(
+void SplitQueue::drop(int n) { gov_.release(n); }
+)cpp"},
+  };
+  EXPECT_EQ(count_rule(slowcc::lint::run(sources), "governor-charge-release"),
+            0);
+  // Remove the releasing TU and the same charge is a leak.
+  EXPECT_EQ(count_rule(slowcc::lint::run({sources[0]}),
+                       "governor-charge-release"),
+            1);
+}
+
+TEST(LintGovernorPairing, ReleaseOnlyClassesAreFine) {
+  // A drain-side helper that only releases is legitimate (the charge
+  // lives elsewhere, possibly outside the lint batch).
+  const auto findings = lint_one("src/net/drain.cpp", R"cpp(
+class Drainer {
+ public:
+  void sweep(int n) { gov_.release(n); }
+ private:
+  int gov_;
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, "governor-charge-release"), 0);
+}
+
+// ====================================================================
+// Include graph: cycle detection feeds header-hygiene.
+// ====================================================================
+
+TEST(LintIncludeGraph, ReportsQuotedIncludeCycles) {
+  const std::vector<SourceFile> sources = {
+      {"src/net/a.hpp",
+       "#pragma once\n#include \"net/b.hpp\"\nstruct A {};\n"},
+      {"src/net/b.hpp",
+       "#pragma once\n#include \"net/a.hpp\"\nstruct B {};\n"},
+  };
+  const auto findings = slowcc::lint::run(sources);
+  ASSERT_EQ(count_rule(findings, "header-hygiene"), 1);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/net/a.hpp"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/net/b.hpp"), std::string::npos);
+}
+
+TEST(LintIncludeGraph, AcyclicIncludesAreClean) {
+  const std::vector<SourceFile> sources = {
+      {"src/net/top.hpp",
+       "#pragma once\n#include \"net/base.hpp\"\nstruct T {};\n"},
+      {"src/net/base.hpp", "#pragma once\nstruct Base {};\n"},
+  };
+  EXPECT_EQ(count_rule(slowcc::lint::run(sources), "header-hygiene"), 0);
+}
+
+// ====================================================================
+// SARIF reporter, baseline round-trip, facts round-trip.
+// ====================================================================
+
+TEST(LintSarif, EmitsVersionedRunWithRuleAndLocation) {
+  std::vector<Finding> findings = {
+      {"src/x.cpp", 7, "no-raw-rand", "seeded jitter", "use sim::Rng"},
+      {"src/y.cpp", 3, "no-hot-path-alloc", "heap allocation", "preallocate",
+       /*advisory=*/true}};
+  std::ostringstream out;
+  slowcc::lint::report_sarif(findings, out);
+  const std::string sarif = out.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"slowcc_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-raw-rand\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/x.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // Enforced findings are "error"; advisory ones are "note".
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"note\""), std::string::npos);
+}
+
+TEST(LintBaseline, FingerprintsRoundTripAndIgnoreLines) {
+  std::vector<Finding> findings = {
+      {"src/x.cpp", 7, "no-raw-rand", "seeded jitter", "use sim::Rng"}};
+  std::ostringstream out;
+  slowcc::lint::write_baseline(findings, out);
+  std::istringstream in(out.str());
+  const auto baseline = slowcc::lint::parse_baseline(in);
+  EXPECT_EQ(baseline.count(slowcc::lint::finding_fingerprint(findings[0])),
+            1u);
+  // Fingerprints are line-free: the same finding shifted by an edit
+  // elsewhere in the file still matches.
+  Finding moved = findings[0];
+  moved.line = 99;
+  EXPECT_EQ(slowcc::lint::finding_fingerprint(moved),
+            slowcc::lint::finding_fingerprint(findings[0]));
+  // Comment lines and blanks in the file are skipped.
+  std::istringstream noisy("# comment\n\n" +
+                           slowcc::lint::finding_fingerprint(findings[0]) +
+                           "\n");
+  EXPECT_EQ(slowcc::lint::parse_baseline(noisy).size(), 1u);
+}
+
+TEST(LintFacts, SerializeDeserializeRoundTrips) {
+  const auto facts = slowcc::lint::extract_facts({"src/net/rt.cpp", R"cpp(
+#include "net/link.hpp"
+#include <unordered_map>
+std::unordered_map<int, int> stats;
+class Q {
+ public:
+  void enqueue(int v) { buf_.push_back(v); helper(v); }
+ private:
+  void helper(int v);
+  std::vector<int> buf_;
+};
+void dump() {
+  // slowcc-lint: allow(no-unordered-iteration) test fixture
+  for (const auto& kv : stats) consume(kv);
+}
+int bad() { return rand(); }
+)cpp"});
+  const std::string blob = slowcc::lint::serialize_facts(facts);
+  slowcc::lint::FileFacts back;
+  ASSERT_TRUE(slowcc::lint::deserialize_facts(blob, &back));
+  EXPECT_EQ(back.path, facts.path);
+  EXPECT_EQ(back.unordered_symbols, facts.unordered_symbols);
+  EXPECT_EQ(back.includes, facts.includes);
+  EXPECT_EQ(back.functions.size(), facts.functions.size());
+  EXPECT_EQ(back.iteration_sites.size(), facts.iteration_sites.size());
+  EXPECT_EQ(back.line_allow, facts.line_allow);
+  EXPECT_EQ(back.local_findings.size(), facts.local_findings.size());
+  // Round-tripped facts re-serialize byte-identically — the cache can
+  // be rewritten from memory without drift.
+  EXPECT_EQ(slowcc::lint::serialize_facts(back), blob);
+  // And the rule engine produces identical findings from either copy.
+  const auto direct = slowcc::lint::run_from_facts({facts});
+  const auto cached = slowcc::lint::run_from_facts({back});
+  ASSERT_EQ(direct.size(), cached.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].rule, cached[i].rule);
+    EXPECT_EQ(direct[i].line, cached[i].line);
+  }
+}
+
+TEST(LintFacts, DeserializeRejectsUnknownTags) {
+  slowcc::lint::FileFacts out;
+  EXPECT_FALSE(slowcc::lint::deserialize_facts("zz|mystery\n", &out));
+}
+
+TEST(LintFacts, FingerprintChangesWithRuleSet) {
+  // The cache header embeds this; it just has to be stable and
+  // non-empty within one build.
+  EXPECT_FALSE(slowcc::lint::rules_fingerprint().empty());
+  EXPECT_NE(slowcc::lint::rules_fingerprint().find("slowcc-lint"),
             std::string::npos);
 }
 

@@ -24,6 +24,7 @@
 #include <sys/resource.h>
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -136,8 +137,27 @@ std::vector<Sample> parse_benchmark_json(const std::string& text) {
   return samples;
 }
 
+/// Wall-clock of one full slowcc_lint run over the tree, in ms. The
+/// linter sits on the edit-compile loop and in every CI run, so its
+/// latency is tracked next to the engine numbers (cold, uncached — the
+/// worst case a developer sees). Returns -1 when the run cannot start.
+double time_lint_run(const std::string& lint_bin,
+                     const std::string& lint_root) {
+  const std::string cmd = lint_bin + " --root " + lint_root +
+                          " src bench tools examples >/dev/null 2>&1";
+  // slowcc-lint: allow(no-wall-clock) measuring the linter's own wall latency is the point of this row
+  const auto begin = std::chrono::steady_clock::now();
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1.0;
+  pclose(pipe);  // exit code irrelevant: the lint gate ran earlier in CI
+  // slowcc-lint: allow(no-wall-clock) measuring the linter's own wall latency is the point of this row
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
 int generate(const std::string& bench_bin, const std::string& out_path,
-             const std::string& min_time) {
+             const std::string& min_time, const std::string& lint_bin,
+             const std::string& lint_root) {
   const std::string cmd = bench_bin +
                           " --benchmark_filter=BM_EventQueue"
                           " --benchmark_format=json"
@@ -161,9 +181,22 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   std::map<std::string, std::map<std::string, Sample>> by_bench;
   for (const Sample& s : samples) by_bench[s.bench][s.engine] = s;
 
+  double lint_wall_ms = -1.0;
+  if (!lint_bin.empty()) {
+    lint_wall_ms = time_lint_run(lint_bin, lint_root);
+    if (lint_wall_ms < 0.0) {
+      std::cerr << "bench_report: WARNING: could not run lint at " << lint_bin
+                << " (lint_wall_ms omitted)\n";
+    }
+  }
+
   std::ostringstream out;
   out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"peak_rss_bytes\": "
-      << peak_rss << ",\n  \"benchmarks\": [\n";
+      << peak_rss << ",\n";
+  if (lint_wall_ms >= 0.0) {
+    out << "  \"lint_wall_ms\": " << lint_wall_ms << ",\n";
+  }
+  out << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     out << "    {\"name\": \"" << s.bench << "\", \"engine\": \"" << s.engine
@@ -201,7 +234,9 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   file << out.str();
   std::cout << "bench_report: wrote " << out_path << " ("
             << samples.size() << " samples, " << lines.size()
-            << " comparisons, peak_rss_bytes=" << peak_rss << ")\n";
+            << " comparisons, peak_rss_bytes=" << peak_rss;
+  if (lint_wall_ms >= 0.0) std::cout << ", lint_wall_ms=" << lint_wall_ms;
+  std::cout << ")\n";
   return 0;
 }
 
@@ -230,6 +265,12 @@ int validate(const std::string& path, double floor_speedup, bool advisory) {
   } else {
     std::cout << "bench_report: peak_rss_bytes="
               << static_cast<std::uint64_t>(peak_rss) << "\n";
+  }
+  // lint_wall_ms is likewise informational: present only when the
+  // generator was pointed at a slowcc_lint binary.
+  double lint_wall_ms = 0.0;
+  if (find_number(text, "lint_wall_ms", &lint_wall_ms)) {
+    std::cout << "bench_report: lint_wall_ms=" << lint_wall_ms << "\n";
   }
   int failures = 0;
   for (const std::string& bench : kRequiredBenchmarks) {
@@ -282,6 +323,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_engine.json";
   std::string validate_path;
   std::string min_time = "0.05";
+  std::string lint_bin;
+  std::string lint_root = ".";
   double floor_speedup = 0.0;
   bool speedup_advisory = false;
   for (int i = 1; i < argc; ++i) {
@@ -299,6 +342,10 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--min-time") {
       min_time = next();
+    } else if (arg == "--lint") {
+      lint_bin = next();
+    } else if (arg == "--lint-root") {
+      lint_root = next();
     } else if (arg == "--validate") {
       validate_path = next();
     } else if (arg == "--require-speedup") {
@@ -309,7 +356,8 @@ int main(int argc, char** argv) {
       speedup_advisory = true;
     } else {
       std::cerr << "usage: bench_report --bench <micro_engine> [--out F]"
-                   " [--min-time S] | --validate <F>"
+                   " [--min-time S] [--lint <slowcc_lint> [--lint-root D]]"
+                   " | --validate <F>"
                    " [--require-speedup X | --advise-speedup X]\n";
       return 2;
     }
@@ -321,5 +369,5 @@ int main(int argc, char** argv) {
     std::cerr << "bench_report: need --bench or --validate\n";
     return 2;
   }
-  return generate(bench_bin, out_path, min_time);
+  return generate(bench_bin, out_path, min_time, lint_bin, lint_root);
 }

@@ -45,6 +45,18 @@ cmake --build "$build_dir" -j"$jobs"
 step "lint (slowcc_lint over src bench tools examples)"
 cmake --build "$build_dir" --target lint
 
+step "lint SARIF artifact + baseline-delta gate"
+# Fails only on enforced findings absent from the committed baseline, so
+# a rule rollout can land before the whole tree is clean; the SARIF file
+# is the uploadable CI artifact (advisory findings ride along as
+# "note"-level results).
+"$build_dir/tools/slowcc_lint" --root "$repo_root" \
+  --format sarif --output "$build_dir/lint.sarif" \
+  --cache "$build_dir/lint-cache" \
+  --baseline "$repo_root/tools/lint/baseline.txt" \
+  src bench tools examples
+echo "ci_checks: lint SARIF artifact at $build_dir/lint.sarif"
+
 step "tidy (clang-tidy; no-op when unavailable)"
 cmake --build "$build_dir" --target tidy
 
@@ -64,7 +76,8 @@ if [[ "${SLOWCC_SKIP_BENCH:-0}" != "1" ]]; then
   fi
   "$build_dir/tools/bench_report" \
     --bench "$build_dir/bench/micro_engine" \
-    --out "$build_dir/BENCH_engine.json" --min-time 0.25
+    --out "$build_dir/BENCH_engine.json" --min-time 0.25 \
+    --lint "$build_dir/tools/slowcc_lint" --lint-root "$repo_root"
   "$build_dir/tools/bench_report" \
     --validate "$build_dir/BENCH_engine.json" "$speedup_flag" 1.5
 else

@@ -1,0 +1,493 @@
+#include "lint/index/index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace slowcc::lint {
+
+namespace {
+
+using lex::TokKind;
+using lex::Token;
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Keywords that look like calls (`if (...)`) or that preface a
+/// parenthesized construct which is not a function definition.
+bool control_keyword(const std::string& text) {
+  static const std::array<std::string_view, 18> kWords = {
+      "if",       "for",          "while",    "switch",   "return",
+      "sizeof",   "alignof",      "decltype", "noexcept", "catch",
+      "throw",    "static_assert", "using",   "namespace", "defined",
+      "alignas",  "co_await",     "co_return",
+  };
+  return std::find(kWords.begin(), kWords.end(), text) != kWords.end();
+}
+
+bool growth_method(const std::string& text) {
+  static const std::array<std::string_view, 6> kGrowth = {
+      "push_back", "emplace_back", "emplace", "insert", "resize", "reserve"};
+  return std::find(kGrowth.begin(), kGrowth.end(), text) != kGrowth.end();
+}
+
+struct ClassScope {
+  std::string name;
+  int open_depth = 0;  // brace depth inside the class body
+};
+
+/// Find the matching close for the open paren/brace at `open`, or
+/// tokens.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (is_punct(t[j], opener)) ++depth;
+    if (is_punct(t[j], closer) && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+}  // namespace
+
+void analyze_structure(const lex::LexedSource& lx, FileFacts* out) {
+  const std::vector<Token>& t = lx.tokens;
+  int depth = 0;
+  std::vector<ClassScope> classes;
+  // token index of a class body's '{' -> class name
+  std::map<std::size_t, std::string> pending_class;
+  FuncDef* body = nullptr;  // open function while scanning its body
+  int body_depth = 0;       // brace depth at which `body` closes
+
+  // Pre-scan for class/struct heads so the main walk can push scope at
+  // the exact '{' token.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(is_ident(t[i], "class") || is_ident(t[i], "struct"))) continue;
+    if (i > 0 && is_ident(t[i - 1], "enum")) continue;  // enum class
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < t.size()) {
+      if (t[j].kind == TokKind::kIdent && t[j].text != "final" &&
+          t[j].text != "alignas") {
+        name = t[j].text;  // last ident before '{'/';'/':' wins: handles
+        ++j;               // attributes and macro tags before the name
+        if (j < t.size() && (is_punct(t[j], "{") || is_punct(t[j], ":") ||
+                             is_punct(t[j], ";") || is_punct(t[j], "<"))) {
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    if (name.empty()) continue;
+    // Scan to the body '{' (skipping template args and base lists) or
+    // bail at ';' (forward declaration) / '(' (a variable like
+    // `struct tm x(...)` or function returning a struct).
+    int angle = 0;
+    for (; j < t.size(); ++j) {
+      if (is_punct(t[j], "<")) ++angle;
+      if (is_punct(t[j], ">") && angle > 0) --angle;
+      if (angle > 0) continue;
+      if (is_punct(t[j], ";") || is_punct(t[j], "(") || is_punct(t[j], "=")) {
+        break;
+      }
+      if (is_punct(t[j], "{")) {
+        pending_class[j] = name;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (is_punct(tok, "{")) {
+      const auto pc = pending_class.find(i);
+      ++depth;
+      if (pc != pending_class.end()) {
+        classes.push_back({pc->second, depth});
+      }
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      --depth;
+      while (!classes.empty() && classes.back().open_depth > depth) {
+        classes.pop_back();
+      }
+      if (body != nullptr && depth <= body_depth) body = nullptr;
+      continue;
+    }
+
+    if (body != nullptr) {
+      // ---- inside a function body: collect calls and alloc sites ----
+      if (tok.kind != TokKind::kIdent) continue;
+      const bool prev_member =
+          i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+      if (tok.text == "new" && !prev_member) {
+        body->allocs.push_back({tok.line, "new"});
+        continue;
+      }
+      const bool next_open =
+          i + 1 < t.size() &&
+          (is_punct(t[i + 1], "(") || is_punct(t[i + 1], "<"));
+      if ((tok.text == "make_shared" || tok.text == "make_unique") &&
+          next_open) {
+        body->allocs.push_back({tok.line, tok.text});
+        continue;
+      }
+      if (i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+        if (control_keyword(tok.text)) continue;
+        if (i > 0 && is_ident(t[i - 1], "new")) continue;  // new Foo(...)
+        if (prev_member && growth_method(tok.text)) {
+          body->allocs.push_back({tok.line, tok.text});
+        }
+        body->calls.push_back({tok.text, tok.line, prev_member});
+      }
+      continue;
+    }
+
+    // ---- declaration scope: look for function definitions ----------
+    if (!is_punct(tok, "(") || i == 0) continue;
+
+    // Walk back over the name: ident, '::', '~', or operator+punct.
+    std::size_t k = i;  // one past the last name token (exclusive walk)
+    std::string simple;
+    std::string qualifier_cls;
+    bool dtor = false;
+    {
+      std::size_t p = i;
+      // operator overloads: puncts between 'operator' and '('.
+      std::size_t q = p;
+      std::string op_text;
+      while (q > 0 && t[q - 1].kind == TokKind::kPunct &&
+             !is_punct(t[q - 1], ")") && !is_punct(t[q - 1], "}") &&
+             op_text.size() < 4) {
+        op_text = t[q - 1].text + op_text;
+        --q;
+      }
+      if (q > 0 && is_ident(t[q - 1], "operator") && !op_text.empty()) {
+        simple = "operator" + op_text;
+        k = q - 1;
+      } else if (p > 0 && t[p - 1].kind == TokKind::kIdent) {
+        simple = t[p - 1].text;
+        k = p - 1;
+        if (k > 0 && is_punct(t[k - 1], "~")) {
+          dtor = true;
+          simple = "~" + simple;
+          --k;
+        }
+      } else {
+        continue;  // lambda, cast, or expression parenthesis
+      }
+      // Collect the qualifier chain: Cls:: (possibly Ns::Cls::).
+      std::vector<std::string> quals;
+      while (k >= 2 && is_punct(t[k - 1], "::") &&
+             t[k - 2].kind == TokKind::kIdent) {
+        quals.push_back(t[k - 2].text);
+        k -= 2;
+      }
+      if (!quals.empty()) qualifier_cls = quals.front();  // innermost
+    }
+    if (simple.empty() || control_keyword(simple)) continue;
+    if (dtor && qualifier_cls.empty() && classes.empty()) continue;
+
+    const std::size_t close = match_forward(t, i, "(", ")");
+    if (close >= t.size()) continue;
+
+    // Between ')' and the body '{': specifiers, trailing return, or a
+    // ctor-init list. A ';', '=', or ',' at this level means this was
+    // only a declaration (or a variable) — not a definition.
+    std::size_t j = close + 1;
+    bool in_init_list = false;
+    std::size_t body_open = t.size();
+    for (; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) {
+        j = match_forward(t, j, "(", ")");
+        if (j >= t.size()) break;
+        continue;
+      }
+      if (is_punct(t[j], "{")) {
+        // In a ctor-init list a '{' directly after an identifier or
+        // template-close is a braced member initializer — skip it.
+        if (in_init_list && j > 0 &&
+            (t[j - 1].kind == TokKind::kIdent || is_punct(t[j - 1], ">"))) {
+          j = match_forward(t, j, "{", "}");
+          if (j >= t.size()) break;
+          continue;
+        }
+        body_open = j;
+        break;
+      }
+      if (is_punct(t[j], ":")) {
+        in_init_list = true;
+        continue;
+      }
+      if (is_punct(t[j], ";") || is_punct(t[j], "=") ||
+          (!in_init_list && is_punct(t[j], ","))) {
+        break;
+      }
+    }
+    if (body_open >= t.size()) continue;
+
+    FuncDef def;
+    def.cls = !qualifier_cls.empty()
+                  ? qualifier_cls
+                  : (classes.empty() ? std::string() : classes.back().name);
+    def.name = simple;
+    def.line = t[k < t.size() ? k : i].line;
+    out->functions.push_back(std::move(def));
+    body = &out->functions.back();
+    body_depth = depth;  // body closes when depth returns here
+    // Jump the main walk to the '{' so init-list calls are skipped.
+    i = body_open - 1;
+  }
+}
+
+ProgramIndex build_index(const std::vector<const FileFacts*>& facts) {
+  ProgramIndex index;
+  for (const FileFacts* file : facts) {
+    index.unordered_symbols.insert(file->unordered_symbols.begin(),
+                                   file->unordered_symbols.end());
+    for (const FuncDef& fn : file->functions) {
+      index.functions_by_name[fn.name].push_back({&fn, file});
+    }
+  }
+  // Resolve quoted includes against the batch by path suffix.
+  std::vector<std::string> paths;
+  paths.reserve(facts.size());
+  for (const FileFacts* file : facts) paths.push_back(file->path);
+  std::sort(paths.begin(), paths.end());
+  for (const FileFacts* file : facts) {
+    std::vector<std::string>& edges = index.include_edges[file->path];
+    for (const std::string& target : file->includes) {
+      for (const std::string& path : paths) {
+        if (path == target ||
+            (path.size() > target.size() + 1 &&
+             path.compare(path.size() - target.size(), target.size(),
+                          target) == 0 &&
+             path[path.size() - target.size() - 1] == '/')) {
+          edges.push_back(path);
+        }
+      }
+    }
+  }
+  return index;
+}
+
+std::vector<std::vector<std::string>> find_include_cycles(
+    const ProgramIndex& index) {
+  std::vector<std::vector<std::string>> cycles;
+  std::set<std::vector<std::string>> seen;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+
+  // Recursive lambda via explicit work since depth is tiny in practice.
+  struct Frame {
+    std::string node;
+    std::size_t next_edge = 0;
+  };
+  for (const auto& [start, _] : index.include_edges) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto it = index.include_edges.find(frame.node);
+      const std::vector<std::string>* edges =
+          it != index.include_edges.end() ? &it->second : nullptr;
+      if (edges == nullptr || frame.next_edge >= edges->size()) {
+        color[frame.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string next = (*edges)[frame.next_edge++];
+      if (color[next] == 1) {
+        // Back edge: the cycle is the stack suffix from `next`.
+        const auto pos = std::find(stack.begin(), stack.end(), next);
+        std::vector<std::string> cycle(pos, stack.end());
+        std::sort(cycle.begin(), cycle.end());
+        if (seen.insert(cycle).second) cycles.push_back(cycle);
+        continue;
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        frames.push_back({next, 0});
+      }
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Facts serialization (cache format). Line-oriented; free text fields
+// are percent-escaped so '|' and newlines survive.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '%' || c == '|' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex(s.substr(i + 1, 2));
+      out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '|') {
+      fields.emplace_back(line.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string serialize_facts(const FileFacts& facts) {
+  std::string out;
+  out += "p " + esc(facts.path) + "\n";
+  for (const std::string& sym : facts.unordered_symbols) {
+    out += "u " + esc(sym) + "\n";
+  }
+  for (const std::string& inc : facts.includes) {
+    out += "i " + esc(inc) + "\n";
+  }
+  for (const FuncDef& fn : facts.functions) {
+    out += "F " + esc(fn.cls) + "|" + esc(fn.name) + "|" +
+           std::to_string(fn.line) + "\n";
+    for (const CallSite& call : fn.calls) {
+      out += "C " + esc(call.callee) + "|" + std::to_string(call.line) + "|" +
+             (call.member_call ? "1" : "0") + "\n";
+    }
+    for (const AllocSite& alloc : fn.allocs) {
+      out += "A " + esc(alloc.what) + "|" + std::to_string(alloc.line) + "\n";
+    }
+  }
+  for (const IterationSite& site : facts.iteration_sites) {
+    out += "I " + std::to_string(site.line) + "|" + esc(site.base) + "|" +
+           (site.leaks_output ? "1" : "0") + "\n";
+  }
+  for (const std::string& rule : facts.file_allow) {
+    out += "sf " + esc(rule) + "\n";
+  }
+  for (const auto& [line, rule] : facts.line_allow) {
+    out += "sl " + std::to_string(line) + "|" + esc(rule) + "\n";
+  }
+  for (const Finding& f : facts.local_findings) {
+    out += "L " + esc(f.rule) + "|" + std::to_string(f.line) + "|" +
+           (f.advisory ? "1" : "0") + "|" + esc(f.file) + "|" +
+           esc(f.message) + "|" + esc(f.hint) + "\n";
+  }
+  return out;
+}
+
+bool deserialize_facts(std::string_view text, FileFacts* out) {
+  *out = FileFacts();
+  std::size_t pos = 0;
+  FuncDef* fn = nullptr;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string_view::npos) return false;
+    const std::string_view tag = line.substr(0, sp);
+    const std::string_view rest = line.substr(sp + 1);
+    const std::vector<std::string> fields = split_fields(rest);
+    if (tag == "p") {
+      out->path = unesc(rest);
+    } else if (tag == "u") {
+      out->unordered_symbols.push_back(unesc(rest));
+    } else if (tag == "i") {
+      out->includes.push_back(unesc(rest));
+    } else if (tag == "F") {
+      if (fields.size() != 3) return false;
+      FuncDef def;
+      def.cls = unesc(fields[0]);
+      def.name = unesc(fields[1]);
+      def.line = std::atoi(fields[2].c_str());
+      out->functions.push_back(std::move(def));
+      fn = &out->functions.back();
+    } else if (tag == "C") {
+      if (fn == nullptr || fields.size() != 3) return false;
+      fn->calls.push_back(
+          {unesc(fields[0]), std::atoi(fields[1].c_str()), fields[2] == "1"});
+    } else if (tag == "A") {
+      if (fn == nullptr || fields.size() != 2) return false;
+      fn->allocs.push_back({std::atoi(fields[1].c_str()), unesc(fields[0])});
+    } else if (tag == "I") {
+      if (fields.size() != 3) return false;
+      out->iteration_sites.push_back(
+          {std::atoi(fields[0].c_str()), unesc(fields[1]), fields[2] == "1"});
+    } else if (tag == "sf") {
+      out->file_allow.push_back(unesc(rest));
+    } else if (tag == "sl") {
+      if (fields.size() != 2) return false;
+      out->line_allow.emplace_back(std::atoi(fields[0].c_str()),
+                                   unesc(fields[1]));
+    } else if (tag == "L") {
+      if (fields.size() != 6) return false;
+      Finding f;
+      f.rule = unesc(fields[0]);
+      f.line = std::atoi(fields[1].c_str());
+      f.advisory = fields[2] == "1";
+      f.file = unesc(fields[3]);
+      f.message = unesc(fields[4]);
+      f.hint = unesc(fields[5]);
+      out->local_findings.push_back(std::move(f));
+    } else {
+      return false;  // unknown tag: stale format, force re-extraction
+    }
+  }
+  return !out->path.empty();
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace slowcc::lint

@@ -1,0 +1,111 @@
+#pragma once
+
+// slowcc-lint program indices — per-file facts extracted from the token
+// stream, and the cross-TU indices built from a whole batch of facts.
+//
+// Facts are the unit of caching: everything the global rules need from
+// a file (function/call/alloc structure, unordered-container symbols,
+// iteration sites, includes, suppressions, and the file's local
+// findings) is captured here and can be serialized to the on-disk
+// content-hash cache, so an incremental run re-lexes only changed
+// files and still runs every cross-file rule over the full program.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/lexer/lexer.hpp"
+
+namespace slowcc::lint {
+
+/// A call site inside a function body. `callee` is the simple (last)
+/// name; member calls (`obj.f()`, `p->f()`) are marked.
+struct CallSite {
+  std::string callee;
+  int line = 0;
+  bool member_call = false;
+};
+
+/// An allocation (or container-growth) site inside a function body.
+struct AllocSite {
+  int line = 0;
+  std::string what;  // "new", "make_shared", "push_back", ...
+};
+
+/// One function definition. `cls` is the enclosing/qualifying class
+/// ("" for free functions); `name` the simple name ("~X" for a
+/// destructor).
+struct FuncDef {
+  std::string cls;
+  std::string name;
+  int line = 0;
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+};
+
+/// A range-for whose range expression ends in a plain identifier.
+/// `leaks_output` marks bodies that feed serialized output (operator<<,
+/// push_back/append, printf-family).
+struct IterationSite {
+  int line = 0;
+  std::string base;
+  bool leaks_output = false;
+};
+
+/// Everything the engine knows about one file.
+struct FileFacts {
+  std::string path;
+  std::vector<std::string> unordered_symbols;  // unordered-container vars
+  std::vector<std::string> includes;           // quoted #include targets
+  std::vector<FuncDef> functions;
+  std::vector<IterationSite> iteration_sites;
+  std::vector<std::string> file_allow;  // file-scope suppressed rules
+  std::vector<std::pair<int, std::string>> line_allow;  // line -> rule
+  std::vector<Finding> local_findings;  // pre-suppression single-file findings
+};
+
+/// Token-stream structure analysis: classes, function definitions (with
+/// qualified-name and in-class attribution), call sites, allocation
+/// sites. Appends to `out->functions`.
+void analyze_structure(const lex::LexedSource& lx, FileFacts* out);
+
+/// Cross-TU indices over a batch of facts.
+struct ProgramIndex {
+  struct FuncRef {
+    const FuncDef* def = nullptr;
+    const FileFacts* file = nullptr;
+  };
+  /// Every unordered-container symbol in the batch.
+  std::set<std::string> unordered_symbols;
+  /// Simple function name -> definitions, in deterministic (file, line)
+  /// order — the call table.
+  std::map<std::string, std::vector<FuncRef>> functions_by_name;
+  /// path -> batch paths it includes (quoted includes resolved by path
+  /// suffix) — the include graph.
+  std::map<std::string, std::vector<std::string>> include_edges;
+};
+
+/// `facts` must be in deterministic (path-sorted) order; the index
+/// preserves it, so BFS walks and reports come out stable.
+[[nodiscard]] ProgramIndex build_index(
+    const std::vector<const FileFacts*>& facts);
+
+/// Include-graph cycle scan: one entry per cycle, as the sorted list of
+/// paths on the cycle. Deterministic.
+[[nodiscard]] std::vector<std::vector<std::string>> find_include_cycles(
+    const ProgramIndex& index);
+
+// -- facts (de)serialization for the content-hash cache --------------
+
+[[nodiscard]] std::string serialize_facts(const FileFacts& facts);
+[[nodiscard]] bool deserialize_facts(std::string_view text, FileFacts* out);
+
+/// FNV-1a 64-bit — cache keys for file contents and paths.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace slowcc::lint

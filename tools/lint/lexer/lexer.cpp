@@ -1,0 +1,408 @@
+#include "lint/lexer/lexer.hpp"
+
+#include <cctype>
+
+namespace slowcc::lint::lex {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Logical-character cursor implementing translation phase 2: a
+/// backslash immediately followed by a newline (or \r\n) vanishes, so
+/// every consumer above sees spliced logical lines while `line()` /
+/// `col()` keep reporting physical positions.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) { skip_splices(); }
+
+  [[nodiscard]] bool eof() const { return i_ >= s_.size(); }
+
+  /// k-th logical character ahead ('\0' past the end).
+  [[nodiscard]] char peek(int k = 0) const {
+    std::size_t p = i_;
+    for (int n = 0; n < k; ++n) {
+      if (p >= s_.size()) return '\0';
+      p = advance_raw(p);
+    }
+    return p < s_.size() ? s_[p] : '\0';
+  }
+
+  char get() {
+    if (eof()) return '\0';
+    const char c = s_[i_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 0;
+    } else {
+      ++col_;
+    }
+    ++i_;
+    skip_splices();
+    return c;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  /// Position after the logical char at p (skipping any splice run).
+  [[nodiscard]] std::size_t advance_raw(std::size_t p) const {
+    ++p;
+    while (p < s_.size() && s_[p] == '\\' && splice_len(p) > 0) {
+      p += splice_len(p);
+    }
+    return p;
+  }
+
+  /// Length of the splice starting at p ("\\\n" or "\\\r\n"), else 0.
+  [[nodiscard]] std::size_t splice_len(std::size_t p) const {
+    if (p + 1 < s_.size() && s_[p] == '\\' && s_[p + 1] == '\n') return 2;
+    if (p + 2 < s_.size() && s_[p] == '\\' && s_[p + 1] == '\r' &&
+        s_[p + 2] == '\n') {
+      return 3;
+    }
+    return 0;
+  }
+
+  void skip_splices() {
+    std::size_t len = 0;
+    while (i_ < s_.size() && (len = splice_len(i_)) > 0) {
+      i_ += len;
+      ++line_;
+      col_ = 0;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 0;
+};
+
+/// Conditional-compilation stack entry for one #if/#ifdef level.
+struct Cond {
+  bool live = true;   // the current branch contributes tokens
+  bool taken = true;  // some branch at this level was (or may be) live
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& content) : c_(content) {}
+
+  LexedSource run() {
+    while (!c_.eof()) {
+      const char ch = c_.peek();
+      if (ch == '\n') {
+        c_.get();
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+        c_.get();
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (at_line_start_ &&
+          (ch == '#' || (ch == '%' && c_.peek(1) == ':'))) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (!active()) {
+        // Dead (#if 0) region: fast-forward to the next line; only
+        // directives matter until the region closes.
+        while (!c_.eof() && c_.peek() != '\n') c_.get();
+        continue;
+      }
+      Token tok = lex_token();
+      out_.tokens.push_back(std::move(tok));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] bool active() const {
+    for (const Cond& cond : conds_) {
+      if (!cond.live) return false;
+    }
+    return true;
+  }
+
+  void lex_line_comment() {
+    c_.get();  // '/'
+    c_.get();  // '/'
+    // A splice at the end of a line comment keeps commenting (the v1
+    // masker ended the comment at the physical newline — false
+    // positives on the spliced continuation). The cursor hides the
+    // splice, so consuming to the logical newline is exactly right.
+    while (!c_.eof() && c_.peek() != '\n') {
+      const int line = c_.line();
+      const char ch = c_.get();
+      if (active()) out_.comments[line] += ch;
+    }
+  }
+
+  void lex_block_comment() {
+    c_.get();  // '/'
+    c_.get();  // '*'
+    while (!c_.eof()) {
+      if (c_.peek() == '*' && c_.peek(1) == '/') {
+        c_.get();
+        c_.get();
+        return;
+      }
+      const int line = c_.line();
+      const char ch = c_.get();
+      if (ch != '\n' && active()) out_.comments[line] += ch;
+    }
+  }
+
+  /// Lex one token at the cursor (not called on whitespace/comments).
+  Token lex_token() {
+    Token tok;
+    tok.line = c_.line();
+    tok.col = c_.col();
+    tok.pp = in_directive_;
+    const char ch = c_.peek();
+
+    if (ident_start(ch)) {
+      std::string text;
+      while (!c_.eof() && ident_char(c_.peek())) text += c_.get();
+      // Encoding / raw-string literal prefixes. Checked against the
+      // exact prefix set so an identifier that merely *ends* in R
+      // (`MARKER"..."`) stays an identifier — a v1 masking bug.
+      const char next = c_.peek();
+      if (next == '"' &&
+          (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+           text == "u8R")) {
+        return lex_raw_string(tok);
+      }
+      if (next == '"' &&
+          (text == "L" || text == "u" || text == "U" || text == "u8")) {
+        return lex_quoted(tok, '"', TokKind::kString);
+      }
+      if (next == '\'' &&
+          (text == "L" || text == "u" || text == "U" || text == "u8")) {
+        return lex_quoted(tok, '\'', TokKind::kChar);
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = std::move(text);
+      return tok;
+    }
+    if (digit(ch) || (ch == '.' && digit(c_.peek(1)))) {
+      tok.kind = TokKind::kNumber;
+      tok.text += c_.get();
+      while (!c_.eof()) {
+        const char p = c_.peek();
+        if (ident_char(p) || p == '.' || p == '\'') {
+          tok.text += c_.get();
+          continue;
+        }
+        if ((p == '+' || p == '-') && !tok.text.empty()) {
+          const char last = tok.text.back();
+          if (last == 'e' || last == 'E' || last == 'p' || last == 'P') {
+            tok.text += c_.get();
+            continue;
+          }
+        }
+        break;
+      }
+      return tok;
+    }
+    if (ch == '"') return lex_quoted(tok, '"', TokKind::kString);
+    if (ch == '\'') return lex_quoted(tok, '\'', TokKind::kChar);
+
+    // Punctuation. Digraphs normalize to their primary spelling; "::"
+    // and "->" lex as single tokens (rules key on them); everything
+    // else is one character.
+    tok.kind = TokKind::kPunct;
+    const char c0 = c_.get();
+    const char c1 = c_.peek();
+    if (c0 == ':' && c1 == ':') {
+      c_.get();
+      tok.text = "::";
+    } else if (c0 == '-' && c1 == '>') {
+      c_.get();
+      tok.text = "->";
+    } else if (c0 == '<' && c1 == '%') {
+      c_.get();
+      tok.text = "{";
+    } else if (c0 == '%' && c1 == '>') {
+      c_.get();
+      tok.text = "}";
+    } else if (c0 == '<' && c1 == ':') {
+      c_.get();
+      tok.text = "[";
+    } else if (c0 == ':' && c1 == '>') {
+      c_.get();
+      tok.text = "]";
+    } else if (c0 == '%' && c1 == ':') {
+      c_.get();
+      tok.text = "#";
+    } else {
+      tok.text = std::string(1, c0);
+    }
+    return tok;
+  }
+
+  Token lex_quoted(Token tok, char quote, TokKind kind) {
+    tok.kind = kind;
+    c_.get();  // opening quote
+    bool escaped = false;
+    while (!c_.eof()) {
+      const char ch = c_.peek();
+      if (!escaped && ch == quote) {
+        c_.get();
+        break;
+      }
+      if (ch == '\n') break;  // unterminated: stop at end of line
+      tok.literal += c_.get();
+      escaped = !escaped && tok.literal.back() == '\\';
+    }
+    return tok;
+  }
+
+  Token lex_raw_string(Token tok) {
+    tok.kind = TokKind::kString;
+    c_.get();  // opening quote
+    std::string delim;
+    while (!c_.eof() && c_.peek() != '(' && delim.size() < 16) {
+      delim += c_.get();
+    }
+    if (!c_.eof()) c_.get();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string tail;  // rolling window of the last |closer| chars
+    while (!c_.eof()) {
+      tail += c_.get();
+      if (tail.size() > closer.size()) tail.erase(0, tail.size() - closer.size());
+      if (tail == closer) {
+        tok.literal.resize(tok.literal.size() >= delim.size() + 1
+                               ? tok.literal.size() - delim.size() - 1
+                               : 0);
+        return tok;
+      }
+      tok.literal += tail.back();
+    }
+    return tok;  // unterminated raw string: swallow to end of input
+  }
+
+  void lex_directive() {
+    Directive dir;
+    dir.line = c_.line();
+    if (c_.peek() == '%') {
+      c_.get();
+      c_.get();  // "%:"
+    } else {
+      c_.get();  // '#'
+    }
+    in_directive_ = true;
+    skip_directive_spaces();
+    while (!c_.eof() && ident_char(c_.peek())) dir.keyword += c_.get();
+
+    const bool was_active = active();
+    std::vector<Token> body;
+    // #include <...> paths would lex as a soup of '<' idents '>' — read
+    // the target verbatim instead.
+    skip_directive_spaces();
+    if (dir.keyword == "include" && c_.peek() == '<') {
+      c_.get();
+      std::string target;
+      while (!c_.eof() && c_.peek() != '>' && c_.peek() != '\n') {
+        target += c_.get();
+      }
+      if (c_.peek() == '>') c_.get();
+      dir.args.push_back(target);
+    }
+    while (!c_.eof() && c_.peek() != '\n') {
+      if (std::isspace(static_cast<unsigned char>(c_.peek())) != 0) {
+        c_.get();
+        continue;
+      }
+      if (c_.peek() == '/' && c_.peek(1) == '/') {
+        lex_line_comment();
+        break;  // the comment runs to the end of the directive line
+      }
+      if (c_.peek() == '/' && c_.peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      Token tok = lex_token();
+      dir.args.push_back(tok.kind == TokKind::kString ||
+                                 tok.kind == TokKind::kChar
+                             ? tok.literal
+                             : tok.text);
+      if (tok.kind == TokKind::kString && dir.keyword == "include" &&
+          dir.include_target.empty()) {
+        dir.include_target = tok.literal;
+        dir.quoted_include = true;
+      }
+      body.push_back(std::move(tok));
+    }
+    in_directive_ = false;
+
+    // Conditional-compilation bookkeeping. Only the literal `#if 0` /
+    // `#if 1` forms are evaluated; unknown conditions are assumed live
+    // (the code compiles in some configuration, so the rules apply).
+    const std::string cond = dir.args.empty() ? "" : dir.args.front();
+    if (dir.keyword == "if" || dir.keyword == "ifdef" ||
+        dir.keyword == "ifndef") {
+      Cond c;
+      c.live = !(dir.keyword == "if" && cond == "0");
+      c.taken = c.live;
+      conds_.push_back(c);
+    } else if (dir.keyword == "elif" && !conds_.empty()) {
+      Cond& top = conds_.back();
+      top.live = !top.taken && cond != "0";
+      top.taken = top.taken || top.live;
+    } else if (dir.keyword == "else" && !conds_.empty()) {
+      Cond& top = conds_.back();
+      top.live = !top.taken;
+      top.taken = true;
+    } else if (dir.keyword == "endif" && !conds_.empty()) {
+      conds_.pop_back();
+    }
+
+    if (was_active) {
+      if (dir.keyword == "define") {
+        // Macro bodies are real code in every expansion — keep their
+        // tokens in the stream (flagged pp) so rules scan them.
+        for (Token& tok : body) out_.tokens.push_back(std::move(tok));
+      }
+      out_.directives.push_back(std::move(dir));
+    }
+    at_line_start_ = true;
+  }
+
+  void skip_directive_spaces() {
+    while (!c_.eof() && c_.peek() != '\n' &&
+           std::isspace(static_cast<unsigned char>(c_.peek())) != 0) {
+      c_.get();
+    }
+  }
+
+  Cursor c_;
+  LexedSource out_;
+  std::vector<Cond> conds_;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+};
+
+}  // namespace
+
+LexedSource lex(const std::string& content) { return Lexer(content).run(); }
+
+}  // namespace slowcc::lint::lex

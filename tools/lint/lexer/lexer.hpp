@@ -1,0 +1,77 @@
+#pragma once
+
+// slowcc-lint lexer — a preprocessor-aware C++ token stream.
+//
+// This replaces the v1 regex/state-machine "masking" pass. The lexer
+// handles, as translation phases rather than per-line heuristics:
+//
+//   * backslash line splices (phase 2): a spliced line comment keeps
+//     commenting, a spliced string literal keeps being a string, and a
+//     spliced identifier lexes as one identifier — all three were
+//     mis-masked by v1;
+//   * comments (line + block), whose text is collected per physical
+//     line for suppression-directive parsing;
+//   * string, char, and raw string literals, including encoding
+//     prefixes (L/u/U/u8, optionally combined with R) and arbitrary
+//     raw delimiters — literal *content* never reaches rule matching
+//     (Token::text is empty for literals; the raw bytes are kept in
+//     Token::literal for directive processing only);
+//   * preprocessor directives: `#include` targets feed the include
+//     graph, `#pragma once` feeds header-hygiene, `#if 0` regions are
+//     excluded from the token stream (with proper `#else`/`#elif`/
+//     nesting handling), and `#define` bodies — including multi-line
+//     spliced macros — ARE lexed into the stream (flagged `pp`) so a
+//     rand() hidden in a macro is still a finding;
+//   * digraphs (<% %> <: :> %:), normalized to their primary spelling.
+//
+// Tokens carry the physical (pre-splice) line so findings point at
+// real source lines.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slowcc::lint::lex {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-numbers (1e9, 0x1F, 1'000'000 lex as one token)
+  kString,  // string literal (text empty; raw bytes in `literal`)
+  kChar,    // character literal (text empty; raw bytes in `literal`)
+  kPunct,   // operators/punctuation; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;     // spelling for ident/number/punct; "" for literals
+  std::string literal;  // literal content (escapes unprocessed); rules
+                        // must match on `text`, never on this
+  int line = 1;         // 1-based physical line of the first character
+  int col = 0;          // 0-based physical column of the first character
+  bool pp = false;      // token belongs to a preprocessor directive body
+};
+
+/// One preprocessor directive. Condition/pragma arguments are kept as
+/// token spellings; `#define` bodies additionally land in the main
+/// token stream with `pp = true`.
+struct Directive {
+  int line = 1;
+  std::string keyword;            // "include", "pragma", "if", "define", ...
+  std::vector<std::string> args;  // spellings of the argument tokens
+  std::string include_target;     // path of a quoted #include "" ("" for <>)
+  bool quoted_include = false;
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;            // inactive #if-0 regions excluded
+  std::map<int, std::string> comments;  // physical line -> comment text
+  std::vector<Directive> directives;    // inactive regions excluded
+};
+
+/// Lex `content`. Never throws on malformed input: unterminated
+/// literals and comments end at end-of-input, unknown bytes lex as
+/// single-character punctuation.
+[[nodiscard]] LexedSource lex(const std::string& content);
+
+}  // namespace slowcc::lint::lex

@@ -1,158 +1,23 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
 #include <cstdio>
+#include <istream>
 #include <map>
+#include <ostream>
 #include <set>
 #include <sstream>
+
+#include "lint/lexer/lexer.hpp"
+#include "lint/rules/rules.hpp"
 
 namespace slowcc::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Source masking: blank out comments, string literals, and character
-// literals (preserving line structure and column positions) so rule
-// matching never fires on prose or message text. Comment text is kept
-// separately per line for suppression parsing.
-// ---------------------------------------------------------------------------
-
-struct MaskedLine {
-  std::string code;     // literals and comments replaced by spaces
-  std::string comment;  // concatenated comment text on this line
-};
-
-std::vector<MaskedLine> mask_source(const std::string& content) {
-  enum class State {
-    kCode,
-    kString,
-    kChar,
-    kRawString,
-    kLineComment,
-    kBlockComment,
-  };
-
-  std::vector<MaskedLine> lines(1);
-  State state = State::kCode;
-  std::string raw_delim;  // delimiter of the active R"delim( ... )delim"
-  bool escaped = false;
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      escaped = false;
-      lines.emplace_back();
-      continue;
-    }
-    MaskedLine& line = lines.back();
-    switch (state) {
-      case State::kCode:
-        if (c == '"' && i > 0 && content[i - 1] == 'R') {
-          raw_delim.clear();
-          for (std::size_t j = i + 1;
-               j < content.size() && content[j] != '(' && raw_delim.size() < 16;
-               ++j) {
-            raw_delim += content[j];
-          }
-          state = State::kRawString;
-          line.code += ' ';
-        } else if (c == '"') {
-          state = State::kString;
-          line.code += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          line.code += ' ';
-        } else if (c == '/' && i + 1 < content.size() &&
-                   content[i + 1] == '/') {
-          state = State::kLineComment;
-          line.code += ' ';
-          ++i;  // consume the second '/' so it never reaches the comment
-          line.code += ' ';
-        } else if (c == '/' && i + 1 < content.size() &&
-                   content[i + 1] == '*') {
-          state = State::kBlockComment;
-          line.code += ' ';
-          ++i;  // consume '*' so "/*/" does not immediately close
-          line.code += ' ';
-        } else {
-          line.code += c;
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        line.code += ' ';
-        if (escaped) {
-          escaped = false;
-        } else if (c == '\\') {
-          escaped = true;
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString: {
-        line.code += ' ';
-        const std::string closer = ")" + raw_delim + "\"";
-        if (c == ')' && content.compare(i, closer.size(), closer) == 0) {
-          for (std::size_t k = 1; k < closer.size(); ++k) line.code += ' ';
-          i += closer.size() - 1;
-          state = State::kCode;
-        }
-        break;
-      }
-      case State::kLineComment:
-        line.code += ' ';
-        line.comment += c;
-        break;
-      case State::kBlockComment:
-        line.code += ' ';
-        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
-          ++i;
-          line.code += ' ';
-          state = State::kCode;
-        } else {
-          line.comment += c;
-        }
-        break;
-    }
-  }
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Small lexical helpers over masked code.
-// ---------------------------------------------------------------------------
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Find `word` in `line` at identifier boundaries, starting at `from`.
-/// Returns npos when absent.
-std::size_t find_word(const std::string& line, std::string_view word,
-                      std::size_t from = 0) {
-  while (from < line.size()) {
-    const std::size_t pos = line.find(word, from);
-    if (pos == std::string::npos) return std::string::npos;
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& line, std::size_t pos) {
-  while (pos < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
-    ++pos;
-  }
-  return pos;
-}
+constexpr std::string_view kDirective = "slowcc-lint:";
+constexpr std::string_view kBadSuppression = "bad-suppression";
 
 std::string trim(std::string_view s) {
   std::size_t b = 0;
@@ -166,63 +31,25 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// True when the word at `pos` is reached as a member (`.` / `->`) or as
-/// a namespace member of anything other than `std` / the global scope.
-/// `foo.time()` and `Clock::time()` are someone else's API; `time(...)`,
-/// `std::time(...)`, and `::time(...)` are the libc call.
-bool qualified_as_foreign_member(const std::string& line, std::size_t pos) {
-  std::size_t p = pos;
-  while (p > 0 &&
-         std::isspace(static_cast<unsigned char>(line[p - 1])) != 0) {
-    --p;
-  }
-  if (p == 0) return false;
-  const char prev = line[p - 1];
-  if (prev == '.') return true;
-  if (prev == '>' && p >= 2 && line[p - 2] == '-') return true;
-  if (prev == ':' && p >= 2 && line[p - 2] == ':') {
-    std::size_t q = p - 2;
-    while (q > 0 && ident_char(line[q - 1])) --q;
-    const std::string qualifier = line.substr(q, (p - 2) - q);
-    return !qualifier.empty() && qualifier != "std";
-  }
-  return false;
-}
-
-/// True when the identifier ending just before `pos` continues with a
-/// call: optional whitespace then '('.
-bool followed_by_call(const std::string& line, std::size_t end) {
-  const std::size_t p = skip_spaces(line, end);
-  return p < line.size() && line[p] == '(';
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions.
-// ---------------------------------------------------------------------------
-
-constexpr std::string_view kDirective = "slowcc-lint:";
-constexpr std::string_view kBadSuppression = "bad-suppression";
-
-struct Suppressions {
-  std::set<std::string> file_rules;
-  // line number (1-based) -> rules allowed on that line
-  std::map<int, std::set<std::string>> line_rules;
-  std::vector<Finding> errors;  // malformed directives
-};
-
+/// Parse one comment's text for a suppression directive; the directive
+/// must open the comment ("// slowcc-lint: ..."), so prose that merely
+/// mentions the syntax never parses as one. Malformed directives become
+/// bad-suppression findings (which are themselves unsuppressible).
 void parse_directive(const std::string& path, int line_no, bool line_has_code,
-                     const std::string& comment, Suppressions* out) {
-  // The directive must open the comment ("// slowcc-lint: ..."); a
-  // mention elsewhere in a comment is prose, not a suppression. This
-  // also keeps documentation *about* the syntax from parsing as one.
+                     const std::string& comment, FileFacts* out) {
   const std::string trimmed = trim(comment);
   if (!starts_with(trimmed, kDirective)) return;
   std::string rest = trim(trimmed.substr(kDirective.size()));
+
+  const auto error = [&](std::string message, std::string hint) {
+    Finding f;
+    f.file = path;
+    f.line = line_no;
+    f.rule = std::string(kBadSuppression);
+    f.message = std::move(message);
+    f.hint = std::move(hint);
+    out->local_findings.push_back(std::move(f));
+  };
 
   bool file_scope = false;
   if (starts_with(rest, "allow-file")) {
@@ -231,24 +58,21 @@ void parse_directive(const std::string& path, int line_no, bool line_has_code,
   } else if (starts_with(rest, "allow")) {
     rest = trim(rest.substr(std::string_view("allow").size()));
   } else {
-    out->errors.push_back(
-        {path, line_no, std::string(kBadSuppression),
-         "unrecognized slowcc-lint directive (expected allow(...) or "
-         "allow-file(...))",
-         "write: // slowcc-lint: allow(<rule>) <reason>"});
+    error(
+        "unrecognized slowcc-lint directive (expected allow(...) or "
+        "allow-file(...))",
+        "write: // slowcc-lint: allow(<rule>) <reason>");
     return;
   }
   if (rest.empty() || rest[0] != '(') {
-    out->errors.push_back({path, line_no, std::string(kBadSuppression),
-                           "suppression is missing its (rule, ...) list",
-                           "write: // slowcc-lint: allow(<rule>) <reason>"});
+    error("suppression is missing its (rule, ...) list",
+          "write: // slowcc-lint: allow(<rule>) <reason>");
     return;
   }
   const std::size_t close = rest.find(')');
   if (close == std::string::npos) {
-    out->errors.push_back({path, line_no, std::string(kBadSuppression),
-                           "unterminated rule list in suppression",
-                           "write: // slowcc-lint: allow(<rule>) <reason>"});
+    error("unterminated rule list in suppression",
+          "write: // slowcc-lint: allow(<rule>) <reason>");
     return;
   }
 
@@ -259,415 +83,57 @@ void parse_directive(const std::string& path, int line_no, bool line_has_code,
     const std::string rule = trim(item);
     if (rule.empty()) continue;
     if (!is_known_rule(rule)) {
-      out->errors.push_back({path, line_no, std::string(kBadSuppression),
-                             "suppression names unknown rule '" + rule + "'",
-                             "run slowcc_lint --list-rules for valid names"});
+      error("suppression names unknown rule '" + rule + "'",
+            "run slowcc_lint --list-rules for valid names");
       return;
     }
     rules.insert(rule);
   }
   const std::string reason = trim(rest.substr(close + 1));
   if (rules.empty() || reason.empty()) {
-    out->errors.push_back(
-        {path, line_no, std::string(kBadSuppression),
-         rules.empty() ? "suppression allows no rules"
-                       : "suppression is missing its reason string",
-         "every allow() needs at least one rule and a justification"});
+    error(rules.empty() ? "suppression allows no rules"
+                        : "suppression is missing its reason string",
+          "every allow() needs at least one rule and a justification");
     return;
   }
 
   if (file_scope) {
-    out->file_rules.insert(rules.begin(), rules.end());
+    for (const std::string& rule : rules) out->file_allow.push_back(rule);
   } else {
-    // A trailing comment guards its own line; a comment on a line of its
-    // own guards the next line.
+    // A trailing comment guards its own line; a comment on a line of
+    // its own guards the next line.
     const int target = line_has_code ? line_no : line_no + 1;
-    out->line_rules[target].insert(rules.begin(), rules.end());
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule scoping.
-// ---------------------------------------------------------------------------
-
-bool is_header(std::string_view path) {
-  return ends_with(path, ".hpp") || ends_with(path, ".h");
-}
-
-bool wall_clock_exempt(std::string_view path) {
-  // The Watchdog is the one component whose whole job is reading the
-  // wall clock, and src/exp/ owns wall-deadline bookkeeping for sweeps.
-  return path.find("src/fault/watchdog") != std::string_view::npos ||
-         starts_with(path, "src/exp/");
-}
-
-bool in_src(std::string_view path) { return starts_with(path, "src/"); }
-
-bool in_sim(std::string_view path) { return starts_with(path, "src/sim/"); }
-
-// ---------------------------------------------------------------------------
-// Individual rules. Each takes the masked lines and appends findings.
-// ---------------------------------------------------------------------------
-
-void check_wall_clock(const std::string& path,
-                      const std::vector<MaskedLine>& lines,
-                      std::vector<Finding>* out) {
-  if (wall_clock_exempt(path)) return;
-  static constexpr std::array<std::string_view, 8> kAnyUse = {
-      "gettimeofday",          "clock_gettime", "timespec_get",
-      "system_clock",          "steady_clock",  "high_resolution_clock",
-      "localtime",             "gmtime",
-  };
-  static constexpr std::array<std::string_view, 2> kCallOnly = {"time",
-                                                                "clock"};
-  const std::string hint =
-      "use sim::Time / Simulator::now(); wall clocks are only allowed in "
-      "src/fault/watchdog and src/exp/ wall-deadline code";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    for (const auto word : kAnyUse) {
-      if (find_word(code, word) != std::string::npos) {
-        out->push_back({path, static_cast<int>(i + 1), "no-wall-clock",
-                        "nondeterministic clock '" + std::string(word) + "'",
-                        hint});
-        break;
-      }
-    }
-    for (const auto word : kCallOnly) {
-      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
-           pos = find_word(code, word, pos + 1)) {
-        if (!followed_by_call(code, pos + word.size())) continue;
-        if (qualified_as_foreign_member(code, pos)) continue;
-        out->push_back({path, static_cast<int>(i + 1), "no-wall-clock",
-                        "call to libc '" + std::string(word) + "()'", hint});
-        break;
-      }
+    for (const std::string& rule : rules) {
+      out->line_allow.emplace_back(target, rule);
     }
   }
 }
 
-void check_raw_rand(const std::string& path,
-                    const std::vector<MaskedLine>& lines,
-                    std::vector<Finding>* out) {
-  static constexpr std::array<std::string_view, 12> kAnyUse = {
-      "random_device", "mt19937",      "mt19937_64",
-      "minstd_rand",   "minstd_rand0", "default_random_engine",
-      "ranlux24",      "ranlux48",     "knuth_b",
-      "drand48",       "lrand48",      "mrand48",
-  };
-  static constexpr std::array<std::string_view, 4> kCallOnly = {
-      "rand", "srand", "random", "srandom"};
-  const std::string hint =
-      "draw from a seeded sim::Rng (src/sim/rng.hpp); derive independent "
-      "sub-streams with sim::derive_seed()";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    for (const auto word : kAnyUse) {
-      if (find_word(code, word) != std::string::npos) {
-        out->push_back({path, static_cast<int>(i + 1), "no-raw-rand",
-                        "raw PRNG '" + std::string(word) + "'", hint});
-        break;
-      }
-    }
-    for (const auto word : kCallOnly) {
-      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
-           pos = find_word(code, word, pos + 1)) {
-        if (!followed_by_call(code, pos + word.size())) continue;
-        if (qualified_as_foreign_member(code, pos)) continue;
-        out->push_back({path, static_cast<int>(i + 1), "no-raw-rand",
-                        "call to '" + std::string(word) + "()'", hint});
-        break;
-      }
-    }
+void parse_suppressions(const std::string& path, const lex::LexedSource& lx,
+                        FileFacts* out) {
+  // A line "has code" when any token or directive sits on it — that is
+  // what decides whether a trailing directive guards its own line or
+  // the next one.
+  std::set<int> code_lines;
+  for (const lex::Token& tok : lx.tokens) code_lines.insert(tok.line);
+  for (const lex::Directive& dir : lx.directives) code_lines.insert(dir.line);
+  for (const auto& [line_no, comment] : lx.comments) {
+    parse_directive(path, line_no, code_lines.count(line_no) != 0, comment,
+                    out);
   }
 }
 
-/// Collect identifiers declared with an unordered container type
-/// anywhere in `lines` into `symbols`.
-void collect_unordered_symbols(const std::vector<MaskedLine>& lines,
-                               std::set<std::string>* symbols) {
-  std::string all;
-  for (const auto& line : lines) {
-    all += line.code;
-    all += '\n';
+bool rule_is_advisory(std::string_view name) {
+  for (const auto& rule : all_rules()) {
+    if (rule.name == name) return rule.advisory;
   }
-  for (const std::string_view container : {"unordered_map", "unordered_set"}) {
-    for (std::size_t pos = find_word(all, container); pos != std::string::npos;
-         pos = find_word(all, container, pos + 1)) {
-      std::size_t p = pos + container.size();
-      if (p >= all.size() || all[p] != '<') continue;
-      int depth = 0;
-      for (; p < all.size(); ++p) {
-        if (all[p] == '<') ++depth;
-        if (all[p] == '>' && --depth == 0) break;
-      }
-      if (depth != 0) continue;
-      ++p;  // past the closing '>'
-      while (p < all.size() &&
-             (std::isspace(static_cast<unsigned char>(all[p])) != 0 ||
-              all[p] == '&' || all[p] == '*')) {
-        ++p;
-      }
-      if (all.compare(p, 5, "const") == 0) p = skip_spaces(all, p + 5);
-      const std::size_t begin = p;
-      while (p < all.size() && ident_char(all[p])) ++p;
-      if (p > begin && !followed_by_call(all, p)) {
-        symbols->insert(all.substr(begin, p - begin));
-      }
-    }
-  }
-}
-
-void check_unordered_iteration(const std::string& path,
-                               const std::vector<MaskedLine>& lines,
-                               const std::set<std::string>& symbols,
-                               std::vector<Finding>* out) {
-  if (symbols.empty()) return;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    for (std::size_t pos = find_word(code, "for"); pos != std::string::npos;
-         pos = find_word(code, "for", pos + 1)) {
-      std::size_t p = skip_spaces(code, pos + 3);
-      if (p >= code.size() || code[p] != '(') continue;
-      // Join continuation lines so multi-line range-fors parse.
-      std::string body;
-      int depth = 0;
-      std::size_t j = i;
-      std::size_t k = p;
-      bool closed = false;
-      while (j < lines.size() && j < i + 8 && !closed) {
-        const std::string& src = lines[j].code;
-        for (; k < src.size(); ++k) {
-          const char ch = src[k];
-          if (ch == '(') {
-            ++depth;
-            if (depth == 1) continue;  // the range-for's own '('
-          } else if (ch == ')') {
-            --depth;
-            if (depth == 0) {
-              closed = true;
-              break;
-            }
-          }
-          body += ch;
-        }
-        ++j;
-        k = 0;
-        body += ' ';
-      }
-      if (!closed) continue;
-      if (body.find(';') != std::string::npos) continue;  // classic for
-      // Find the range-for ':' (skip '::').
-      std::size_t colon = std::string::npos;
-      for (std::size_t c = 0; c < body.size(); ++c) {
-        if (body[c] != ':') continue;
-        if (c + 1 < body.size() && body[c + 1] == ':') {
-          ++c;
-          continue;
-        }
-        if (c > 0 && body[c - 1] == ':') continue;
-        colon = c;
-        break;
-      }
-      if (colon == std::string::npos) continue;
-      const std::string range = trim(body.substr(colon + 1));
-      if (range.empty() || !ident_char(range.back())) continue;  // call/expr
-      std::size_t b = range.size();
-      while (b > 0 && ident_char(range[b - 1])) --b;
-      const std::string base = range.substr(b);
-      if (symbols.count(base) == 0) continue;
-      out->push_back(
-          {path, static_cast<int>(i + 1), "no-unordered-iteration",
-           "range-for over unordered container '" + base + "'",
-           "iteration order is unspecified and varies across libstdc++ "
-           "versions; iterate a sorted copy or use std::map/std::set when "
-           "order can reach results"});
-    }
-  }
-}
-
-void check_error_taxonomy(const std::string& path,
-                          const std::vector<MaskedLine>& lines,
-                          std::vector<Finding>* out) {
-  if (!in_src(path)) return;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    const std::size_t pos = find_word(code, "throw");
-    if (pos == std::string::npos) continue;
-    std::string rest = trim(code.substr(pos + 5));
-    std::size_t j = i + 1;
-    while (rest.empty() && j < lines.size() && j < i + 4) {
-      rest = trim(lines[j].code);
-      ++j;
-    }
-    if (starts_with(rest, ";")) continue;  // rethrow
-    std::string t = rest;
-    if (starts_with(t, "slowcc::")) t = trim(t.substr(8));
-    if (starts_with(t, "sim::")) t = trim(t.substr(5));
-    if (starts_with(t, "SimError")) continue;
-    out->push_back(
-        {path, static_cast<int>(i + 1), "error-taxonomy",
-         "throw bypasses the sim::SimError taxonomy",
-         "throw sim::SimError(sim::SimErrc::<code>, \"<component>\", detail) "
-         "so harnesses and the quarantine can dispatch on the code"});
-  }
-}
-
-void check_float_time(const std::string& path,
-                      const std::vector<MaskedLine>& lines,
-                      std::vector<Finding>* out) {
-  if (!in_src(path)) return;
-  static constexpr std::array<std::string_view, 4> kBareNames = {
-      "now", "when", "deadline", "timestamp"};
-  static constexpr std::array<std::string_view, 8> kUnitSuffixes = {
-      "_s", "_secs", "_seconds", "_ms", "_us", "_ns", "_rtts", "_rtt"};
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    for (const std::string_view type : {"double", "float"}) {
-      for (std::size_t pos = find_word(code, type); pos != std::string::npos;
-           pos = find_word(code, type, pos + 1)) {
-        std::size_t p = skip_spaces(code, pos + type.size());
-        const std::size_t begin = p;
-        while (p < code.size() && ident_char(code[p])) ++p;
-        if (p == begin) continue;
-        if (followed_by_call(code, p)) continue;  // function declaration
-        const std::string name = code.substr(begin, p - begin);
-        if (name.find("wall") != std::string::npos) continue;
-        bool unit_suffixed = false;
-        for (const auto suffix : kUnitSuffixes) {
-          if (ends_with(name, suffix)) unit_suffixed = true;
-        }
-        if (unit_suffixed) continue;
-        const bool time_like =
-            ends_with(name, "time") ||
-            std::find(kBareNames.begin(), kBareNames.end(), name) !=
-                kBareNames.end();
-        if (!time_like) continue;
-        out->push_back(
-            {path, static_cast<int>(i + 1), "no-float-time",
-             "unit-less floating-point time variable '" + name + "'",
-             "store simulation time as sim::Time (integer nanoseconds); if a "
-             "double is deliberate, name the unit (" + name + "_s)"});
-      }
-    }
-  }
-}
-
-void check_std_function_hot_path(const std::string& path,
-                                 const std::vector<MaskedLine>& lines,
-                                 std::vector<Finding>* out) {
-  // Advisory, scoped to the event engine: a std::function per entry
-  // costs an allocation and an indirect call on the hottest loop in the
-  // simulator. The public Scheduler::Callback boundary is fine (and
-  // suppressed at its declaration); engines should move pooled POD
-  // entries around it rather than introduce new type-erased state.
-  if (!in_sim(path)) return;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (find_word(lines[i].code, "std::function") == std::string::npos) {
-      continue;
-    }
-    out->push_back(
-        {path, static_cast<int>(i + 1), "no-std-function-hot-path",
-         "std::function in event-engine hot-path code",
-         "store pooled POD entries (timestamp, seq, node index) in the "
-         "engine and keep type-erased callables at the Scheduler::Callback "
-         "API boundary; suppress with a reason if this is that boundary"});
-  }
-}
-
-void check_unguarded_shared_write(const std::string& path,
-                                  const std::vector<MaskedLine>& lines,
-                                  std::vector<Finding>* out) {
-  // Enforced, scoped to the checkpoint/fleet layer: files under src/exp/
-  // write into sweep directories that concurrent fleet workers share, so
-  // every write must be crash-atomic (tmp+fsync+rename), exclusive
-  // (O_EXCL claim), or the sanctioned append+flush journal. A raw
-  // ofstream / fopen / ::open can tear mid-write or race a sibling.
-  // The blessed primitives in result_sink.cpp carry suppressions.
-  if (!starts_with(path, "src/exp/")) return;
-  static constexpr std::string_view kRule = "no-unguarded-shared-write";
-  static constexpr std::string_view kHint =
-      "route shared-directory writes through exp::write_file_atomic "
-      "(tmp+fsync+rename), exp::write_file_exclusive (O_EXCL claim), or "
-      "exp::JsonlAppender (append+flush journal); suppress with a reason "
-      "if this line IS one of those primitives";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    if (find_word(code, "ofstream") != std::string::npos) {
-      out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
-                      "raw ofstream in shared-checkpoint code can tear "
-                      "mid-write",
-                      std::string(kHint)});
-    }
-    for (const std::string_view word : {"fopen", "freopen", "creat"}) {
-      for (std::size_t pos = find_word(code, word); pos != std::string::npos;
-           pos = find_word(code, word, pos + 1)) {
-        if (!followed_by_call(code, pos + word.size())) continue;
-        if (qualified_as_foreign_member(code, pos)) continue;
-        out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
-                        "raw " + std::string(word) +
-                            "() in shared-checkpoint code bypasses the "
-                            "crash-atomic write primitives",
-                        std::string(kHint)});
-        break;
-      }
-    }
-    // Only the globally-qualified `::open(` spelling is flagged: bare
-    // `open(` would hit Checkpoint::open declarations and member calls,
-    // and `Ns::open(` / `obj.open(` are someone else's API.
-    for (std::size_t pos = find_word(code, "open"); pos != std::string::npos;
-         pos = find_word(code, "open", pos + 1)) {
-      if (!followed_by_call(code, pos + 4)) continue;
-      std::size_t p = pos;
-      while (p > 0 &&
-             std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
-        --p;
-      }
-      if (p < 2 || code[p - 1] != ':' || code[p - 2] != ':') continue;
-      if (p >= 3 && ident_char(code[p - 3])) continue;  // Ns::open / std::…
-      out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
-                      "raw ::open() in shared-checkpoint code bypasses the "
-                      "crash-atomic write primitives",
-                      std::string(kHint)});
-      break;
-    }
-  }
-}
-
-void check_header_hygiene(const std::string& path,
-                          const std::vector<MaskedLine>& lines,
-                          std::vector<Finding>* out) {
-  if (!is_header(path)) return;
-  bool pragma_seen = false;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string line = trim(lines[i].code);
-    if (line.empty()) continue;
-    pragma_seen = line == "#pragma once";
-    if (!pragma_seen) {
-      out->push_back({path, static_cast<int>(i + 1), "header-hygiene",
-                      "header does not open with #pragma once",
-                      "make '#pragma once' the first non-comment line"});
-    }
-    break;
-  }
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& code = lines[i].code;
-    const std::size_t pos = find_word(code, "using");
-    if (pos == std::string::npos) continue;
-    if (find_word(code, "namespace", pos + 5) != std::string::npos) {
-      out->push_back({path, static_cast<int>(i + 1), "header-hygiene",
-                      "'using namespace' in a header leaks into every "
-                      "includer",
-                      "qualify names explicitly; headers must stay "
-                      "self-contained"});
-    }
-  }
+  return false;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Public API.
+// Registry.
 // ---------------------------------------------------------------------------
 
 const std::vector<RuleInfo>& all_rules() {
@@ -680,34 +146,41 @@ const std::vector<RuleInfo>& all_rules() {
       {"no-unordered-iteration",
        "flags range-for over unordered_map/unordered_set (order is "
        "unspecified)"},
-      {"error-taxonomy",
-       "every throw under src/ must construct sim::SimError"},
+      {"no-iteration-order-leak",
+       "flags unordered iteration whose body feeds serialized output "
+       "(operator<<, append/print calls) — order reaches results"},
+      {"no-unseeded-container-hash",
+       "flags pointer-keyed unordered containers with the default hasher; "
+       "address hashing makes iteration order vary per run"},
+      {"no-time-arith-overflow",
+       "flags unguarded +/* on a time-horizon sentinel (Time::max(), "
+       "INT64_MAX) in src/; clamp before arithmetic near the horizon"},
+      {"error-taxonomy", "every throw under src/ must construct sim::SimError"},
       {"no-float-time",
        "flags unit-less double/float time variables; use sim::Time"},
       {"header-hygiene",
-       "headers must open with #pragma once and avoid using-namespace"},
+       "headers must open with #pragma once, avoid using-namespace, and "
+       "stay out of include cycles"},
       {"no-std-function-hot-path",
-       "advisory: std::function in src/sim/ engine code; pool POD entries "
-       "and keep type erasure at the Scheduler::Callback boundary",
+       "advisory: std::function in src/sim/ and src/net/ engine code; pool "
+       "POD entries and keep type erasure at the Scheduler::Callback "
+       "boundary",
+       /*advisory=*/true},
+      {"no-hot-path-alloc",
+       "advisory: heap allocation or container growth in code reachable "
+       "from Queue::enqueue / deliver / scheduler pop (call-table walk); "
+       "pre-size or pool on the per-packet path",
        /*advisory=*/true},
       {"no-unguarded-shared-write",
        "raw ofstream/fopen/::open writes in src/exp/ shared checkpoint "
-       "dirs; use write_file_atomic / write_file_exclusive / "
-       "JsonlAppender"},
+       "dirs; use write_file_atomic / write_file_exclusive / JsonlAppender"},
+      {"governor-charge-release",
+       "a class that charges the ResourceGovernor (note_*_admitted / "
+       "charge) must release on its drain path (note_*_removed / "
+       "released / release)"},
   };
   return kRules;
 }
-
-namespace {
-
-bool rule_is_advisory(std::string_view name) {
-  for (const auto& rule : all_rules()) {
-    if (rule.name == name) return rule.advisory;
-  }
-  return false;
-}
-
-}  // namespace
 
 bool is_known_rule(std::string_view name) {
   for (const auto& rule : all_rules()) {
@@ -716,51 +189,73 @@ bool is_known_rule(std::string_view name) {
   return false;
 }
 
-std::vector<Finding> run(const std::vector<SourceFile>& sources) {
-  std::vector<std::vector<MaskedLine>> masked;
-  masked.reserve(sources.size());
-  std::set<std::string> unordered_symbols;
-  for (const auto& source : sources) {
-    masked.push_back(mask_source(source.content));
-    collect_unordered_symbols(masked.back(), &unordered_symbols);
-  }
+std::string_view rules_fingerprint() {
+  // Bump the version stamp whenever lexing, facts extraction, or rule
+  // semantics change: cached facts from another fingerprint are
+  // discarded, so stale caches can never hide (or invent) findings.
+  return "slowcc-lint-v2.0-r13";
+}
 
-  std::vector<Finding> findings;
-  for (std::size_t s = 0; s < sources.size(); ++s) {
-    const std::string& path = sources[s].path;
-    const std::vector<MaskedLine>& lines = masked[s];
+// ---------------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------------
 
-    Suppressions suppressions;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (lines[i].comment.empty()) continue;
-      const bool has_code = !trim(lines[i].code).empty();
-      parse_directive(path, static_cast<int>(i + 1), has_code,
-                      lines[i].comment, &suppressions);
+FileFacts extract_facts(const SourceFile& source) {
+  const lex::LexedSource lx = lex::lex(source.content);
+  FileFacts facts;
+  facts.path = source.path;
+  analyze_structure(lx, &facts);
+  rules::run_local(source.path, lx, &facts);
+  parse_suppressions(source.path, lx, &facts);
+  for (const lex::Directive& dir : lx.directives) {
+    if (dir.keyword == "include" && dir.quoted_include) {
+      facts.includes.push_back(dir.include_target);
     }
+  }
+  return facts;
+}
 
-    std::vector<Finding> raw;
-    check_wall_clock(path, lines, &raw);
-    check_raw_rand(path, lines, &raw);
-    check_unordered_iteration(path, lines, unordered_symbols, &raw);
-    check_error_taxonomy(path, lines, &raw);
-    check_float_time(path, lines, &raw);
-    check_header_hygiene(path, lines, &raw);
-    check_std_function_hot_path(path, lines, &raw);
-    check_unguarded_shared_write(path, lines, &raw);
+std::vector<Finding> run_from_facts(const std::vector<FileFacts>& facts) {
+  // Deterministic batch order regardless of how the caller collected
+  // the files (thread completion order, directory order, ...).
+  std::vector<const FileFacts*> sorted;
+  sorted.reserve(facts.size());
+  for (const FileFacts& file : facts) sorted.push_back(&file);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FileFacts* a, const FileFacts* b) {
+                     return a->path < b->path;
+                   });
 
-    for (auto& finding : raw) {
-      if (suppressions.file_rules.count(finding.rule) != 0) continue;
-      const auto it = suppressions.line_rules.find(finding.line);
-      if (it != suppressions.line_rules.end() &&
-          it->second.count(finding.rule) != 0) {
-        continue;
+  const ProgramIndex index = build_index(sorted);
+  std::vector<Finding> merged;
+  for (const FileFacts* file : sorted) {
+    merged.insert(merged.end(), file->local_findings.begin(),
+                  file->local_findings.end());
+  }
+  rules::run_global(sorted, index, &merged);
+
+  // Suppression filtering against the owning file's directives.
+  std::map<std::string, const FileFacts*> by_path;
+  for (const FileFacts* file : sorted) by_path.emplace(file->path, file);
+  std::vector<Finding> findings;
+  for (Finding& finding : merged) {
+    if (finding.rule != kBadSuppression) {
+      const auto it = by_path.find(finding.file);
+      if (it != by_path.end()) {
+        const FileFacts* file = it->second;
+        if (std::find(file->file_allow.begin(), file->file_allow.end(),
+                      finding.rule) != file->file_allow.end()) {
+          continue;
+        }
+        const std::pair<int, std::string> key{finding.line, finding.rule};
+        if (std::find(file->line_allow.begin(), file->line_allow.end(), key) !=
+            file->line_allow.end()) {
+          continue;
+        }
       }
       finding.advisory = rule_is_advisory(finding.rule);
-      findings.push_back(std::move(finding));
     }
-    for (auto& error : suppressions.errors) {
-      findings.push_back(std::move(error));
-    }
+    findings.push_back(std::move(finding));
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -771,6 +266,56 @@ std::vector<Finding> run(const std::vector<SourceFile>& sources) {
             });
   return findings;
 }
+
+std::vector<Finding> run(const std::vector<SourceFile>& sources) {
+  std::vector<FileFacts> facts;
+  facts.reserve(sources.size());
+  for (const SourceFile& source : sources) {
+    facts.push_back(extract_facts(source));
+  }
+  return run_from_facts(facts);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+// ---------------------------------------------------------------------------
+
+std::string finding_fingerprint(const Finding& finding) {
+  // Line-free on purpose: unrelated edits above a known finding must
+  // not turn it into a "new" one. rule|file|message is stable until
+  // the finding itself changes.
+  return finding.rule + "|" + finding.file + "|" + finding.message;
+}
+
+std::set<std::string> parse_baseline(std::istream& in) {
+  std::set<std::string> fingerprints;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string entry = trim(line);
+    if (entry.empty() || entry[0] == '#') continue;
+    fingerprints.insert(entry);
+  }
+  return fingerprints;
+}
+
+void write_baseline(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "# slowcc-lint baseline — one fingerprint (rule|file|message) per "
+         "line.\n"
+      << "# The CI gate fails only on enforced findings absent from this "
+         "file;\n"
+      << "# regenerate with: slowcc_lint --write-baseline <path> ...\n";
+  std::set<std::string> fingerprints;
+  for (const Finding& finding : findings) {
+    fingerprints.insert(finding_fingerprint(finding));
+  }
+  for (const std::string& fingerprint : fingerprints) {
+    out << fingerprint << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reporters.
+// ---------------------------------------------------------------------------
 
 std::string json_escape(std::string_view text) {
   std::string out;
@@ -833,6 +378,35 @@ void report_json(const std::vector<Finding>& findings, std::ostream& out) {
         << "\"}";
   }
   out << "]}\n";
+}
+
+void report_sarif(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\", "
+         "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": "
+         "{\"name\": \"slowcc_lint\", \"rules\": [";
+  const std::vector<RuleInfo>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << "{\"id\": \"" << json_escape(rules[i].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rules[i].summary) << "\"}}";
+  }
+  out << "]}}, \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ", ";
+    std::string text = f.message;
+    if (!f.hint.empty()) text += " — " + f.hint;
+    out << "{\"ruleId\": \"" << json_escape(f.rule) << "\", \"level\": \""
+        << (f.advisory ? "note" : "error") << "\", \"message\": {\"text\": \""
+        << json_escape(text)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  out << "]}]}\n";
 }
 
 }  // namespace slowcc::lint

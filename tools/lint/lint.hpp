@@ -1,48 +1,36 @@
 #pragma once
 
 // slowcc-lint — a dependency-free static-analysis pass that enforces the
-// project's determinism and error-taxonomy invariants (see DESIGN.md §8).
+// project's determinism, resource-pairing, and error-taxonomy
+// invariants (see DESIGN.md §8).
 //
-// The engine is a token/line-level scanner, not a compiler frontend: it
-// masks comments and string literals, builds a small cross-file symbol
-// table for unordered containers, and then runs named rules over the
-// masked source. It is deliberately heuristic — the goal is to catch
-// the reproducibility hazards that code review keeps missing (wall
-// clocks, raw PRNGs, unordered iteration, ad-hoc exceptions), not to be
-// a type checker.
+// v2 architecture (tools/lint/):
+//   lexer/   a preprocessor-aware C++ lexer: comments, string/char/raw
+//            string literals, line splices, digraphs, and `#if 0`
+//            regions are handled as translation phases, not masking
+//            heuristics; `#define` bodies stay in the token stream
+//   index/   per-file facts (functions, calls, allocation sites,
+//            unordered-container symbols, iteration sites,
+//            suppressions) + the cross-TU program index built from
+//            them: an include graph and a symbol/call table. Facts
+//            serialize to the on-disk content-hash cache.
+//   rules/   rule families over tokens + index:
+//            core          v1 rule ports (clocks, PRNGs, taxonomy,
+//                          float time, header hygiene + include
+//                          cycles, hot-path std::function, shared
+//                          writes)
+//            determinism   no-unseeded-container-hash,
+//                          no-iteration-order-leak,
+//                          no-time-arith-overflow
+//            hot-path      no-hot-path-alloc (call-table reachability
+//                          from Queue::enqueue / Link or Node deliver /
+//                          scheduler pop)
+//            resource      governor-charge-release pairing
 //
-// Rules (each suppressible inline, see below):
-//   no-wall-clock          bans time()/clock()/gettimeofday/clock_gettime
-//                          and std::chrono::{system,steady,high_resolution}
-//                          clocks outside src/fault/watchdog and src/exp/
-//   no-raw-rand            bans rand()/srand()/std::random_device/
-//                          std::mt19937-family engines; use sim::Rng
-//   no-unordered-iteration flags range-for over identifiers declared as
-//                          unordered_map/unordered_set anywhere in the
-//                          scanned batch (iteration order is unspecified)
-//   error-taxonomy         every `throw` under src/ must construct a
-//                          sim::SimError (rethrow `throw;` is allowed)
-//   no-float-time          flags double/float variables with unit-less
-//                          time-ish names (time, now, deadline, ...);
-//                          use sim::Time or an explicit _s/_ms suffix
-//   header-hygiene         headers must open with #pragma once and must
-//                          not contain `using namespace`
-//   no-std-function-hot-path (advisory) flags std::function in the
-//                          event-engine hot path (src/sim/); engines
-//                          should move pooled POD entries, keeping
-//                          type-erased callables at the API boundary
-//   no-unguarded-shared-write flags raw write paths
-//                          (ofstream, fopen/freopen/creat, ::open) in
-//                          src/exp/ — checkpoint directories are shared
-//                          by concurrent fleet workers, so writes must
-//                          go through write_file_atomic /
-//                          write_file_exclusive / JsonlAppender
-//                          (enforced since the resource-governance PR;
-//                          the sanctioned primitives carry suppressions)
-//
-// Advisory rules are reported (and suppressible) like any other, but
-// they do not fail the lint gate: the CLI exits non-zero only when an
-// enforced finding survives suppression.
+// Enforced rules gate the build; advisory rules are reported (and
+// suppressible) like any other but do not fail the lint gate — the CLI
+// exits non-zero only when an enforced finding survives suppression
+// and, when a baseline is given, is not in the committed baseline.
 //
 // Suppression syntax (a reason is mandatory, rule names must be known,
 // and the directive must open its comment):
@@ -53,31 +41,16 @@
 // reported under the reserved rule name `bad-suppression`, which cannot
 // be suppressed.
 
-#include <ostream>
+#include <iosfwd>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/finding.hpp"
+#include "lint/index/index.hpp"
+
 namespace slowcc::lint {
-
-/// One diagnostic: where, which rule, what, and how to fix it.
-/// Advisory findings are informational — reporters mark them and the
-/// CLI does not count them toward its exit code.
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-  std::string hint;
-  bool advisory = false;
-};
-
-/// A source file handed to the engine. `path` is repo-relative with
-/// forward slashes ("src/sim/rng.cpp") — rule scoping keys off it.
-struct SourceFile {
-  std::string path;
-  std::string content;
-};
 
 struct RuleInfo {
   std::string_view name;
@@ -92,14 +65,44 @@ struct RuleInfo {
 /// True if `name` names a real rule.
 [[nodiscard]] bool is_known_rule(std::string_view name);
 
-/// Run all rules over the batch. Cross-file state (the unordered
-/// container symbol table) is built from the whole batch, so pass every
-/// file of interest in one call. Findings are ordered by file, then
-/// line, then rule.
+/// Lex + analyze one file into its cacheable facts: structure
+/// (functions/calls/allocs), unordered symbols, iteration sites,
+/// quoted includes, suppressions, and all single-file findings
+/// (pre-suppression). Pure function of (path, content) — this is the
+/// unit the content-hash cache stores.
+[[nodiscard]] FileFacts extract_facts(const SourceFile& source);
+
+/// Run the cross-file rules over a batch of facts (fresh or from the
+/// cache), merge with each file's local findings, apply suppressions,
+/// and mark advisory rules. Findings are ordered by file, line, rule.
+[[nodiscard]] std::vector<Finding> run_from_facts(
+    const std::vector<FileFacts>& facts);
+
+/// extract_facts + run_from_facts over a batch of sources. Cross-file
+/// state (symbol table, call table, include graph) is built from the
+/// whole batch, so pass every file of interest in one call.
 [[nodiscard]] std::vector<Finding> run(const std::vector<SourceFile>& sources);
 
-/// JSON string-escaping used by the JSON reporter ("\&quot;", \\n, \uXXXX
-/// for other control characters). Exposed for tests.
+/// Engine + rule-set version stamp. Cached facts recorded under a
+/// different fingerprint are discarded, so rule changes invalidate the
+/// cache without a manual wipe.
+[[nodiscard]] std::string_view rules_fingerprint();
+
+// -- baselines -------------------------------------------------------
+//
+// A baseline is a committed set of finding fingerprints; the CLI gates
+// on findings *absent* from it, so a rule rollout can land before the
+// tree is fully clean. Fingerprints are line-free (rule|file|message),
+// which keeps them stable across unrelated edits to the same file.
+
+[[nodiscard]] std::string finding_fingerprint(const Finding& finding);
+[[nodiscard]] std::set<std::string> parse_baseline(std::istream& in);
+void write_baseline(const std::vector<Finding>& findings, std::ostream& out);
+
+// -- reporters -------------------------------------------------------
+
+/// JSON string-escaping used by the JSON/SARIF reporters ("\&quot;",
+/// \\n, \uXXXX for other control characters). Exposed for tests.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
 /// `file:line: [rule] message` + indented fix hint, one finding per
@@ -110,5 +113,10 @@ void report_text(const std::vector<Finding>& findings, std::ostream& out);
 /// `{"count": N, "findings": [{file, line, rule, advisory, message,
 /// hint}, ...]}`.
 void report_json(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Minimal SARIF 2.1.0: one run, driver `slowcc_lint` with rule
+/// metadata, one result per finding (enforced -> "error", advisory ->
+/// "note") with a physicalLocation. Uploadable as a CI artifact.
+void report_sarif(const std::vector<Finding>& findings, std::ostream& out);
 
 }  // namespace slowcc::lint

@@ -1,0 +1,287 @@
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "lint/rules/rules.hpp"
+
+// Determinism rule family. The paper's results are trajectories of a
+// discrete-event simulation; anything whose value or order depends on
+// the process (addresses, hash seeds, wall time) can silently change a
+// figure between runs. Three rules:
+//
+//   no-unseeded-container-hash  pointer-keyed unordered containers hash
+//                               addresses -> per-run iteration order
+//   no-iteration-order-leak     range-for over an unordered container
+//                               whose body feeds serialized output
+//   no-time-arith-overflow      unguarded +/* on a time-horizon
+//                               sentinel (Time::max(), INT64_MAX)
+//
+// plus the iteration-site extraction shared with the v1
+// no-unordered-iteration rule (classification is global: the symbol
+// table spans the whole batch).
+
+namespace slowcc::lint::rules::detail {
+
+using lex::TokKind;
+using lex::Token;
+
+namespace {
+
+bool unordered_container(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+bool map_like(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_multimap";
+}
+
+}  // namespace
+
+void check_container_hash(const std::string& path,
+                          const std::vector<Token>& toks, FileFacts* out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !unordered_container(toks[i].text)) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "<")) continue;
+    // Walk the template argument list, splitting at top-level commas.
+    int angle = 0;
+    std::size_t close = toks.size();
+    std::vector<std::size_t> arg_ends;  // token index one past each arg
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "<")) ++angle;
+      if (is_punct(toks[j], ">") && --angle == 0) {
+        close = j;
+        arg_ends.push_back(j);
+        break;
+      }
+      if (angle == 1 && is_punct(toks[j], ",")) arg_ends.push_back(j);
+      if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) break;
+    }
+    if (close == toks.size()) continue;
+
+    // Key type = first template argument; a trailing '*' means the hash
+    // is over a pointer value, i.e. over an allocation address.
+    const std::size_t key_end = arg_ends.front();
+    const bool pointer_key =
+        key_end > i + 2 && is_punct(toks[key_end - 1], "*");
+    // >2 args on a map (>1 on a set) means a custom hasher was supplied
+    // — the author took ownership of hashing, so stay quiet.
+    const std::size_t max_default_args = map_like(toks[i].text) ? 2 : 1;
+    if (pointer_key && arg_ends.size() <= max_default_args) {
+      add(out, path, toks[i].line, "no-unseeded-container-hash",
+          "pointer-keyed " + toks[i].text +
+              " hashes allocation addresses; its iteration order varies "
+              "per run",
+          "key on a stable id (index, flow id, name) or use std::map with "
+          "an explicit comparator; suppress with a reason if the container "
+          "is never iterated or serialized");
+    }
+
+    // Symbol collection for the iteration rules (v1 parity: only the
+    // non-multi containers were tracked).
+    if (toks[i].text != "unordered_map" && toks[i].text != "unordered_set") {
+      continue;
+    }
+    std::size_t k = close + 1;
+    while (k < toks.size() &&
+           (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+            is_ident(toks[k], "const"))) {
+      ++k;
+    }
+    if (k >= toks.size() || toks[k].kind != TokKind::kIdent) continue;
+    if (next_is_call(toks, k)) continue;  // function returning a container
+    const std::string& name = toks[k].text;
+    if (std::find(out->unordered_symbols.begin(), out->unordered_symbols.end(),
+                  name) == out->unordered_symbols.end()) {
+      out->unordered_symbols.push_back(name);
+    }
+  }
+}
+
+void check_time_arith_overflow(const std::string& path,
+                               const std::vector<Token>& toks,
+                               const LineMap& lines, FileFacts* out) {
+  if (!in_src(path)) return;
+  std::set<int> flagged;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Recognize a horizon sentinel ending at token `end`, starting at
+    // token `start` (so adjacency checks can look one token past each
+    // side of the whole qualified expression).
+    std::size_t start = toks.size();
+    std::size_t end = 0;
+    std::string label;
+    if (is_ident(toks[i], "INT64_MAX")) {
+      start = i;
+      end = i;
+      label = "INT64_MAX";
+    } else if (is_ident(toks[i], "max") && i >= 2 &&
+               is_punct(toks[i - 1], "::") && i + 2 < toks.size() &&
+               is_punct(toks[i + 1], "(") && is_punct(toks[i + 2], ")")) {
+      if (is_ident(toks[i - 2], "Time")) {
+        start = i - 2;
+        label = "Time::max()";
+      } else if (is_punct(toks[i - 2], ">")) {
+        // std::numeric_limits<...>::max()
+        int angle = 1;
+        std::size_t b = i - 2;
+        while (b > 0 && angle > 0) {
+          --b;
+          if (is_punct(toks[b], ">")) ++angle;
+          if (is_punct(toks[b], "<")) --angle;
+        }
+        if (angle == 0 && b > 0 && is_ident(toks[b - 1], "numeric_limits")) {
+          start = b - 1;
+          label = "numeric_limits<>::max()";
+        }
+      }
+      if (start != toks.size()) {
+        end = i + 2;
+        // Fold a leading sim:: / std:: qualifier into the expression.
+        while (start >= 2 && is_punct(toks[start - 1], "::") &&
+               toks[start - 2].kind == TokKind::kIdent) {
+          start -= 2;
+        }
+      }
+    }
+    if (start == toks.size() || end == 0) continue;
+
+    // Guarded uses: a min/clamp or a conditional on the same line means
+    // the author is already handling the horizon.
+    const int line_no = toks[i].line;
+    const auto line_it = lines.find(line_no);
+    bool guarded = false;
+    if (line_it != lines.end()) {
+      for (const std::size_t j : line_it->second) {
+        if (is_ident(toks[j], "min") || is_ident(toks[j], "clamp") ||
+            is_punct(toks[j], "?")) {
+          guarded = true;
+          break;
+        }
+      }
+    }
+    if (guarded || flagged.count(line_no) != 0) continue;
+
+    std::string op;
+    if (start > 0 &&
+        (is_punct(toks[start - 1], "+") || is_punct(toks[start - 1], "*"))) {
+      op = toks[start - 1].text;
+    } else if (start > 1 && is_punct(toks[start - 1], "=") &&
+               (is_punct(toks[start - 2], "+") ||
+                is_punct(toks[start - 2], "*"))) {
+      op = toks[start - 2].text + "=";  // compound assignment
+    } else if (end + 1 < toks.size() && (is_punct(toks[end + 1], "+") ||
+                                         is_punct(toks[end + 1], "*"))) {
+      op = toks[end + 1].text;
+    }
+    if (op.empty()) continue;
+
+    flagged.insert(line_no);
+    add(out, path, line_no, "no-time-arith-overflow",
+        "unguarded '" + op + "' on time-horizon sentinel " + label +
+            " overflows sim::Time",
+        "clamp against the horizon (std::min / Time::saturating ops) or "
+        "check remaining headroom before adding or scaling near "
+        "sim::Time::max()");
+  }
+}
+
+void collect_iteration_sites(const std::vector<Token>& toks, FileFacts* out) {
+  static const std::array<std::string_view, 8> kLeakCalls = {
+      "push_back", "emplace_back", "append", "insert",
+      "printf",    "fprintf",      "fputs",  "write"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    int depth = 0;
+    std::size_t close = toks.size();
+    std::size_t colon = toks.size();
+    bool classic = false;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")") && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && is_punct(toks[j], ";")) classic = true;
+      if (depth == 1 && colon == toks.size() && is_punct(toks[j], ":")) {
+        colon = j;  // "::" lexes as one token, so a bare ':' is the range
+      }
+    }
+    if (close == toks.size() || classic || colon == toks.size()) continue;
+    // The range expression must *end* in a plain identifier: `m` or
+    // `obj.map_` iterate a named container; `items()` is a call whose
+    // result we cannot resolve.
+    if (toks[close - 1].kind != TokKind::kIdent) continue;
+
+    IterationSite site;
+    site.line = toks[i].line;
+    site.base = toks[close - 1].text;
+
+    // Body scan (braced block, or single statement up to ';') for
+    // output sinks: operator<< or an append/print call.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end = body_begin;
+    if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
+      int braces = 0;
+      for (std::size_t j = body_begin; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "{")) ++braces;
+        if (is_punct(toks[j], "}") && --braces == 0) {
+          body_end = j;
+          break;
+        }
+      }
+      ++body_begin;
+    } else {
+      while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
+        ++body_end;
+      }
+    }
+    for (std::size_t j = body_begin; j + 1 <= body_end && j < toks.size();
+         ++j) {
+      if (is_punct(toks[j], "<") && j + 1 < toks.size() &&
+          is_punct(toks[j + 1], "<") && toks[j + 1].line == toks[j].line &&
+          toks[j + 1].col == toks[j].col + 1) {
+        site.leaks_output = true;  // operator<<
+        break;
+      }
+      if (toks[j].kind == TokKind::kIdent && next_is_call(toks, j) &&
+          std::find(kLeakCalls.begin(), kLeakCalls.end(), toks[j].text) !=
+              kLeakCalls.end()) {
+        site.leaks_output = true;
+        break;
+      }
+    }
+    out->iteration_sites.push_back(std::move(site));
+  }
+}
+
+void classify_iterations(const std::vector<const FileFacts*>& facts,
+                         const ProgramIndex& index, std::vector<Finding>* out) {
+  for (const FileFacts* file : facts) {
+    for (const IterationSite& site : file->iteration_sites) {
+      if (index.unordered_symbols.count(site.base) == 0) continue;
+      Finding f;
+      f.file = file->path;
+      f.line = site.line;
+      f.rule = "no-unordered-iteration";
+      f.message = "range-for over unordered container '" + site.base + "'";
+      f.hint =
+          "iteration order is unspecified and varies across libstdc++ "
+          "versions; iterate a sorted copy or use std::map/std::set when "
+          "order can reach results";
+      out->push_back(f);
+      if (!site.leaks_output) continue;
+      f.rule = "no-iteration-order-leak";
+      f.message = "range-for over unordered container '" + site.base +
+                  "' feeds serialized output";
+      f.hint =
+          "a run's results must not depend on hash iteration order; "
+          "iterate a sorted copy (or a std::map) before anything that "
+          "prints, streams, or appends";
+      out->push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace slowcc::lint::rules::detail

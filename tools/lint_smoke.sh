@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate for slowcc_lint (see tools/lint/): the real tree must lint
-# clean, and a synthetic violation seeded into a scratch tree must fail
-# with the rule name and file:line in the output. Also sanity-checks the
-# JSON reporter so CI consumers can rely on its shape.
+# clean, and synthetic violations seeded into a scratch tree must fail
+# with the rule name and file:line in the output — one fixture per
+# enforced v2 rule family (determinism, resource-pairing) plus the
+# advisory hot-path family. Also sanity-checks the JSON and SARIF
+# reporters, the baseline-delta gate, and the facts cache (a warm run
+# must produce byte-identical output).
 #
 # Usage: tools/lint_smoke.sh /path/to/slowcc_lint /path/to/repo-root
 set -euo pipefail
@@ -19,10 +22,23 @@ fi
 scratch="$(mktemp -d)"
 trap 'rc=$?; rm -rf "$scratch"; exit $rc' EXIT
 
+fail() { echo "lint_smoke: FAIL ($*)" >&2; exit 1; }
+
+# Expect the lint run over $2... to exit 1 and mention every pattern.
+expect_finding() {
+  local label="$1"; shift
+  local out
+  out="$("$lint" "$@" 2>&1)" && fail "$label: violation was not reported"
+  local pattern
+  for pattern in "$label"; do
+    grep -q "$pattern" <<<"$out" \
+      || fail "$label: rule name missing from output: $out"
+  done
+}
+
 # 1. The tree itself must be clean (zero unsuppressed findings).
 if ! "$lint" --root "$root" src bench tools examples; then
-  echo "lint_smoke: FAIL (tree has unsuppressed lint findings, see above)" >&2
-  exit 1
+  fail "tree has unsuppressed lint findings, see above"
 fi
 
 # 2. A seeded violation must be caught, naming the rule and file:line.
@@ -30,22 +46,18 @@ mkdir -p "$scratch/src"
 cat > "$scratch/src/scratch.cpp" <<'EOF'
 int jitter() { return rand() % 7; }
 EOF
-out="$("$lint" --root "$scratch" src 2>&1)" && {
-  echo "lint_smoke: FAIL (seeded rand() violation was not reported)" >&2
-  exit 1
-}
+out="$("$lint" --root "$scratch" src 2>&1)" \
+  && fail "seeded rand() violation was not reported"
 if ! grep -q "src/scratch.cpp:1" <<<"$out" \
    || ! grep -q "no-raw-rand" <<<"$out"; then
-  echo "lint_smoke: FAIL (finding lacks rule name or file:line):" >&2
   echo "$out" >&2
-  exit 1
+  fail "finding lacks rule name or file:line"
 fi
 
 # 3. The JSON reporter must agree and be non-empty.
 json="$("$lint" --root "$scratch" --format json src || true)"
 if ! grep -q '"rule": "no-raw-rand"' <<<"$json"; then
-  echo "lint_smoke: FAIL (JSON reporter missing the finding): $json" >&2
-  exit 1
+  fail "JSON reporter missing the finding: $json"
 fi
 
 # 4. Advisory findings are reported but must not fail the gate: a
@@ -56,14 +68,98 @@ cat > "$scratch/src/sim/hot.cpp" <<'EOF'
 std::function<void()> pending_cb;
 EOF
 if ! out="$("$lint" --root "$scratch" src/sim 2>&1)"; then
-  echo "lint_smoke: FAIL (advisory-only finding changed the exit code):" >&2
   echo "$out" >&2
-  exit 1
+  fail "advisory-only finding changed the exit code"
 fi
-if ! grep -q "no-std-function-hot-path (advisory)" <<<"$out"; then
-  echo "lint_smoke: FAIL (advisory finding was not reported):" >&2
+grep -q "no-std-function-hot-path (advisory)" <<<"$out" \
+  || fail "advisory finding was not reported: $out"
+
+# 5. One synthetic violation per new enforced rule family must exit 1
+# with the rule name in the output.
+family="$scratch/family"
+mkdir -p "$family/src/sim"
+cat > "$family/src/sim/hash.cpp" <<'EOF'
+#include <unordered_map>
+struct Flow {};
+std::unordered_map<Flow*, int> by_flow;
+EOF
+expect_finding "no-unseeded-container-hash" --root "$family" src
+
+cat > "$family/src/sim/hash.cpp" <<'EOF'
+#include <cstdint>
+long next_deadline(long pad) { return INT64_MAX + pad; }
+EOF
+expect_finding "no-time-arith-overflow" --root "$family" src
+
+cat > "$family/src/sim/hash.cpp" <<'EOF'
+class LeakyQueue {
+ public:
+  void enqueue(int n) { gov_.note_packet_admitted(n); }
+ private:
+  int gov_;
+};
+EOF
+expect_finding "governor-charge-release" --root "$family" src
+
+cat > "$family/src/sim/hash.cpp" <<'EOF'
+#include <iostream>
+#include <unordered_map>
+std::unordered_map<int, int> stats;
+void dump() {
+  for (const auto& kv : stats) std::cout << kv.second;
+}
+EOF
+expect_finding "no-iteration-order-leak" --root "$family" src
+
+# 6. The hot-path allocation family is advisory: a `new` reachable from
+# an enqueue must be reported but must not change the exit code.
+cat > "$family/src/sim/hash.cpp" <<'EOF'
+class ScratchQueue {
+ public:
+  void enqueue(int v) { slot_ = fill(v); }
+ private:
+  int* fill(int v) { return new int(v); }
+  int* slot_ = nullptr;
+};
+EOF
+if ! out="$("$lint" --root "$family" src 2>&1)"; then
   echo "$out" >&2
-  exit 1
+  fail "no-hot-path-alloc (advisory) changed the exit code"
 fi
+grep -q "no-hot-path-alloc (advisory)" <<<"$out" \
+  || fail "hot-path allocation was not reported: $out"
+
+# 7. SARIF reporter: versioned shape with ruleId + physicalLocation, so
+# the CI artifact upload stays consumable.
+sarif="$("$lint" --root "$scratch" --format sarif src || true)"
+for want in '"version": "2.1.0"' '"ruleId": "no-raw-rand"' \
+            '"startLine": 1' '"uri": "src/scratch.cpp"'; do
+  grep -qF "$want" <<<"$sarif" || fail "SARIF reporter missing $want: $sarif"
+done
+
+# 8. Baseline-delta gate: baselining the known violation makes the run
+# pass; a *new* violation on top still fails.
+"$lint" --root "$scratch" --write-baseline "$scratch/baseline.txt" src \
+  >/dev/null 2>&1
+if ! "$lint" --root "$scratch" --baseline "$scratch/baseline.txt" src \
+     >/dev/null 2>&1; then
+  fail "baselined finding still failed the gate"
+fi
+cat > "$scratch/src/fresh.cpp" <<'EOF'
+int more_jitter() { return rand() % 11; }
+EOF
+if "$lint" --root "$scratch" --baseline "$scratch/baseline.txt" src \
+     >/dev/null 2>&1; then
+  fail "new finding slipped past the baseline gate"
+fi
+
+# 9. Facts cache: a warm re-run must be byte-identical to the cold run
+# (the cache stores facts, not findings — cross-file rules still run).
+cold="$("$lint" --root "$root" --cache "$scratch/cache" \
+        src bench tools examples 2>/dev/null || true)"
+warm="$("$lint" --root "$root" --cache "$scratch/cache" \
+        src bench tools examples 2>/dev/null || true)"
+[[ "$cold" == "$warm" ]] || fail "cache changed the findings"
+[[ -n "$(ls "$scratch/cache" 2>/dev/null)" ]] || fail "cache dir left empty"
 
 echo "lint_smoke: PASS"
