@@ -10,7 +10,7 @@ namespace slowcc::cc {
 RapSink::RapSink(sim::Simulator& sim, net::Node& local)
     : SinkBase(sim, local) {}
 
-void RapSink::handle_packet(net::Packet&& p) {
+void RapSink::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kData) return;
   note_received(p);
 
@@ -95,7 +95,7 @@ void RapAgent::loss_event() {
   recover_ = next_seq_ - 1;
 }
 
-void RapAgent::handle_packet(net::Packet&& p) {
+void RapAgent::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kRapAck || !running_) return;
   ++stats_.acks_received;
 

@@ -13,7 +13,7 @@ namespace slowcc::cc {
 class RapSink final : public SinkBase {
  public:
   RapSink(sim::Simulator& sim, net::Node& local);
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   void set_ack_size(std::int64_t bytes) noexcept { ack_size_ = bytes; }
 
@@ -45,7 +45,7 @@ class RapAgent final : public Agent {
 
   void start() override;
   void stop() override;
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   [[nodiscard]] double rate_pps() const noexcept { return rate_pps_; }
   [[nodiscard]] double rate_bps() const noexcept {

@@ -111,7 +111,7 @@ void TcpAgent::sample_rtt(sim::Time sample) {
   }
 }
 
-void TcpAgent::handle_packet(net::Packet&& p) {
+void TcpAgent::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kAck || !running_) return;
   ++stats_.acks_received;
 

@@ -61,7 +61,7 @@ class TcpAgent final : public Agent {
 
   void start() override;
   void stop() override;
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   /// Limit the flow to `packets` data segments (for short web
   /// transfers); unlimited by default.

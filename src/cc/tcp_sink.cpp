@@ -1,11 +1,15 @@
 #include "cc/tcp_sink.hpp"
 
+#include <algorithm>
+
 namespace slowcc::cc {
 
 TcpSink::TcpSink(sim::Simulator& sim, net::Node& local)
-    : SinkBase(sim, local), delack_timer_(sim, [this] { on_delack_timer(); }) {}
+    : SinkBase(sim, local), delack_timer_(sim, [this] { on_delack_timer(); }) {
+  out_of_order_.reserve(kReorderReserve);
+}
 
-void TcpSink::handle_packet(net::Packet&& p) {
+void TcpSink::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kData) return;
   note_received(p);
 
@@ -19,14 +23,20 @@ void TcpSink::handle_packet(net::Packet&& p) {
   if (p.seq == next_expected_) {
     in_order = true;
     ++next_expected_;
-    // Drain any previously buffered out-of-order segments.
+    // Drain any previously buffered out-of-order segments (sorted
+    // ascending, so the run to consume is a prefix).
     auto it = out_of_order_.begin();
     while (it != out_of_order_.end() && *it == next_expected_) {
       ++next_expected_;
-      it = out_of_order_.erase(it);
+      ++it;
     }
+    out_of_order_.erase(out_of_order_.begin(), it);
   } else if (p.seq > next_expected_) {
-    out_of_order_.insert(p.seq);
+    const auto pos =
+        std::lower_bound(out_of_order_.begin(), out_of_order_.end(), p.seq);
+    if (pos == out_of_order_.end() || *pos != p.seq) {
+      out_of_order_.insert(pos, p.seq);  // slowcc-lint: allow(no-hot-path-alloc) capacity reserved at flow setup; shifts, no alloc
+    }
   }
   // p.seq < next_expected_: spurious retransmission; still ACKed (a
   // duplicate cumulative ACK), as real TCP does.

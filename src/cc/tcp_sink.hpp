@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <vector>
 
 #include "cc/agent.hpp"
 #include "sim/timer.hpp"
@@ -24,7 +24,7 @@ class TcpSink final : public SinkBase {
  public:
   TcpSink(sim::Simulator& sim, net::Node& local);
 
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   /// Next sequence number expected in order.
   [[nodiscard]] std::int64_t next_expected() const noexcept {
@@ -44,8 +44,14 @@ class TcpSink final : public SinkBase {
   void send_ack();
   void on_delack_timer();
 
+  static constexpr std::size_t kReorderReserve = 256;
+
   std::int64_t next_expected_ = 0;
-  std::set<std::int64_t> out_of_order_;
+  // Out-of-order segments, kept sorted ascending. A vector reserved at
+  // flow setup: per-segment insert/erase touch contiguous memory and
+  // never allocate until a reorder burst outgrows the reservation (a
+  // full sender window fits several times over).
+  std::vector<std::int64_t> out_of_order_;
   std::int64_t ack_size_ = 40;
 
   bool delayed_acks_ = false;

@@ -9,7 +9,7 @@ TearSink::TearSink(sim::Simulator& sim, net::Node& local, double ewma_weight)
       feedback_timer_(sim, [this] { on_feedback_timer(); }),
       ewma_weight_(ewma_weight) {}
 
-void TearSink::handle_packet(net::Packet&& p) {
+void TearSink::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kTearData) return;
   note_received(p);
 
@@ -116,7 +116,7 @@ void TearAgent::on_send_timer() {
   schedule_next_send();
 }
 
-void TearAgent::handle_packet(net::Packet&& p) {
+void TearAgent::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kTearFeedback || !running_) return;
   ++stats_.acks_received;
 

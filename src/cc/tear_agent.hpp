@@ -20,7 +20,7 @@ class TearSink final : public SinkBase {
   /// roughly an 8-round memory like TFRC(8)).
   TearSink(sim::Simulator& sim, net::Node& local, double ewma_weight = 0.125);
 
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   [[nodiscard]] double emulated_cwnd() const noexcept { return cwnd_; }
   [[nodiscard]] double smoothed_cwnd() const noexcept { return cwnd_avg_; }
@@ -61,7 +61,7 @@ class TearAgent final : public Agent {
 
   void start() override;
   void stop() override;
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   [[nodiscard]] double rate_bytes_per_sec() const noexcept { return rate_; }
   [[nodiscard]] sim::Time srtt() const noexcept {

@@ -52,7 +52,7 @@ void TfrcAgent::on_send_timer() {
   schedule_next_send();
 }
 
-void TfrcAgent::handle_packet(net::Packet&& p) {
+void TfrcAgent::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kTfrcFeedback || !running_) return;
   ++stats_.acks_received;
 

@@ -39,7 +39,7 @@ class TfrcAgent final : public Agent {
 
   void start() override;
   void stop() override;
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   [[nodiscard]] double rate_bytes_per_sec() const noexcept { return rate_; }
   [[nodiscard]] double rate_bps() const noexcept { return rate_ * 8.0; }

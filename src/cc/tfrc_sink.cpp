@@ -7,7 +7,31 @@ namespace slowcc::cc {
 TfrcSink::TfrcSink(sim::Simulator& sim, net::Node& local, int history_n)
     : SinkBase(sim, local),
       history_(history_n),
-      feedback_timer_(sim, [this] { on_feedback_timer(); }) {}
+      feedback_timer_(sim, [this] { on_feedback_timer(); }) {
+  window_.resize(kWindowReserve);
+}
+
+void TfrcSink::window_push(sim::Time t, std::int64_t bytes) {
+  if (win_count_ == window_.size()) {
+    // Cold path: a 2x-RTT burst outgrew the setup-time reservation.
+    // Re-linearize into a doubled ring; amortized O(1) per packet.
+    std::vector<std::pair<sim::Time, std::int64_t>> bigger(window_.size() * 2);
+    for (std::size_t i = 0; i < win_count_; ++i) {
+      bigger[i] = window_[(win_head_ + i) % window_.size()];
+    }
+    window_ = std::move(bigger);
+    win_head_ = 0;
+  }
+  window_[(win_head_ + win_count_) % window_.size()] = {t, bytes};
+  ++win_count_;
+}
+
+void TfrcSink::window_evict_older_than(sim::Time horizon_start) {
+  while (win_count_ != 0 && window_[win_head_].first < horizon_start) {
+    win_head_ = (win_head_ + 1) % window_.size();
+    --win_count_;
+  }
+}
 
 sim::Time TfrcSink::rate_window() const {
   // Measure the receive rate over about one RTT, but never less than
@@ -16,16 +40,17 @@ sim::Time TfrcSink::rate_window() const {
 }
 
 double TfrcSink::receive_rate_bytes_per_sec() const {
-  if (window_.empty()) return 0.0;
+  if (win_count_ == 0) return 0.0;
   const sim::Time w = rate_window();
   std::int64_t bytes = 0;
-  for (const auto& [t, b] : window_) {
+  for (std::size_t i = 0; i < win_count_; ++i) {
+    const auto& [t, b] = window_[(win_head_ + i) % window_.size()];
     if (sim_.now() - t <= w) bytes += b;
   }
   return static_cast<double>(bytes) / w.as_seconds();
 }
 
-void TfrcSink::handle_packet(net::Packet&& p) {
+void TfrcSink::handle_packet(const net::Packet& p) {
   if (p.type != net::PacketType::kTfrcData) return;
   note_received(p);
 
@@ -36,11 +61,8 @@ void TfrcSink::handle_packet(net::Packet&& p) {
   sender_rtt_ = p.rtt_estimate;
   data_since_feedback_ = true;
 
-  window_.emplace_back(sim_.now(), p.size_bytes);
-  const sim::Time horizon = rate_window() * 2.0;
-  while (!window_.empty() && sim_.now() - window_.front().first > horizon) {
-    window_.pop_front();
-  }
+  window_push(sim_.now(), p.size_bytes);
+  window_evict_older_than(sim_.now() - rate_window() * 2.0);
 
   const bool new_event = history_.on_packet(p.seq, sim_.now(), p.rtt_estimate);
   if (new_event) loss_since_feedback_ = true;

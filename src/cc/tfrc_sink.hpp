@@ -1,7 +1,7 @@
 #pragma once
 
-#include <deque>
 #include <utility>
+#include <vector>
 
 #include "cc/agent.hpp"
 #include "cc/tfrc_loss_history.hpp"
@@ -21,7 +21,7 @@ class TfrcSink final : public SinkBase {
   /// `history_n` is the k of TFRC(k): loss intervals averaged.
   TfrcSink(sim::Simulator& sim, net::Node& local, int history_n);
 
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   [[nodiscard]] const TfrcLossHistory& history() const noexcept {
     return history_;
@@ -54,7 +54,16 @@ class TfrcSink final : public SinkBase {
   // measured over (roughly) the last RTT regardless of when feedback
   // fires, so expedited loss reports don't inflate X_recv by measuring
   // over a near-zero interval.
-  std::deque<std::pair<sim::Time, std::int64_t>> window_;
+  //
+  // Stored as a ring over a vector sized at flow setup: per-packet
+  // push/evict reuse slots in place and never allocate until a burst
+  // outgrows the reservation (doubled on the cold path).
+  static constexpr std::size_t kWindowReserve = 512;
+  std::vector<std::pair<sim::Time, std::int64_t>> window_;
+  std::size_t win_head_ = 0;   // index of the oldest entry
+  std::size_t win_count_ = 0;  // live entries
+  void window_push(sim::Time t, std::int64_t bytes);
+  void window_evict_older_than(sim::Time horizon_start);
   [[nodiscard]] double receive_rate_bytes_per_sec() const;
   [[nodiscard]] sim::Time rate_window() const;
 };

@@ -19,9 +19,11 @@ class LossRateMonitor final : public net::LinkObserver {
   void on_drop(const net::Packet& p, net::DropReason reason) override;
 
   [[nodiscard]] sim::Time bin_width() const noexcept { return bin_width_; }
-  [[nodiscard]] std::size_t bin_count() const noexcept {
-    return arrivals_.size();
-  }
+
+  /// Number of bins actually touched (storage may be larger: it is
+  /// pre-sized at setup and grows geometrically, so the per-packet
+  /// counting path never allocates).
+  [[nodiscard]] std::size_t bin_count() const noexcept { return used_; }
 
   /// Loss fraction in a single bin; 0 when no arrivals.
   [[nodiscard]] double loss_rate_in_bin(std::size_t i) const noexcept;
@@ -45,10 +47,13 @@ class LossRateMonitor final : public net::LinkObserver {
   }
 
  private:
+  static constexpr std::size_t kInitialBins = 1024;
+
   void ensure_bin(std::size_t i);
 
   sim::Simulator& sim_;
   sim::Time bin_width_;
+  std::size_t used_ = 0;  // logical bin count; <= arrivals_.size()
   std::vector<std::uint64_t> arrivals_;
   std::vector<std::uint64_t> drops_;
   std::uint64_t total_arrivals_ = 0;

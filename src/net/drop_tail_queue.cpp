@@ -4,28 +4,17 @@
 
 namespace slowcc::net {
 
-DropTailQueue::DropTailQueue(std::size_t limit_packets) : limit_(limit_packets) {
+DropTailQueue::DropTailQueue(std::size_t limit_packets)
+    : Queue(limit_packets) {
   if (limit_packets == 0) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "DropTailQueue",
                         "limit must be >= 1 packet");
   }
 }
 
-std::optional<DropReason> DropTailQueue::enqueue(Packet&& p) {
-  if (buffer_.size() >= limit_) return DropReason::kOverflow;
-  bytes_ += p.size_bytes;
-  note_admitted(p.size_bytes);
-  buffer_.push_back(std::move(p));
+std::optional<DropReason> DropTailQueue::admit(Packet& /*p*/) {
+  if (length_packets() >= limit_packets()) return DropReason::kOverflow;
   return std::nullopt;
-}
-
-std::optional<Packet> DropTailQueue::dequeue() {
-  if (buffer_.empty()) return std::nullopt;
-  Packet p = std::move(buffer_.front());
-  buffer_.pop_front();
-  bytes_ -= p.size_bytes;
-  note_removed(p.size_bytes);
-  return p;
 }
 
 }  // namespace slowcc::net

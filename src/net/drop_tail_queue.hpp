@@ -1,7 +1,5 @@
 #pragma once
 
-#include <deque>
-
 #include "net/queue.hpp"
 
 namespace slowcc::net {
@@ -13,21 +11,8 @@ class DropTailQueue final : public Queue {
   /// being serialized; must be >= 1.
   explicit DropTailQueue(std::size_t limit_packets);
 
-  [[nodiscard]] std::optional<DropReason> enqueue(Packet&& p) override;
-  [[nodiscard]] std::optional<Packet> dequeue() override;
-  [[nodiscard]] std::size_t length_packets() const noexcept override {
-    return buffer_.size();
-  }
-  [[nodiscard]] std::int64_t length_bytes() const noexcept override {
-    return bytes_;
-  }
-
-  [[nodiscard]] std::size_t limit_packets() const noexcept { return limit_; }
-
- private:
-  std::size_t limit_;
-  std::deque<Packet> buffer_;
-  std::int64_t bytes_ = 0;
+ protected:
+  [[nodiscard]] std::optional<DropReason> admit(Packet& p) override;
 };
 
 }  // namespace slowcc::net

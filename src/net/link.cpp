@@ -11,11 +11,13 @@ namespace slowcc::net {
 Link::Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
            sim::Time propagation_delay, std::unique_ptr<Queue> queue)
     : sim_(sim),
+      pool_(PacketPool::of(sim)),
       from_(from),
       to_(to),
       bandwidth_(bandwidth_bps),
       delay_(propagation_delay),
-      queue_(std::move(queue)) {
+      queue_(std::move(queue)),
+      path_(default_packet_path()) {
   if (bandwidth_ <= 0.0) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "Link",
                         "bandwidth must be positive");
@@ -30,6 +32,20 @@ Link::Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
   // Every link-owned queue reports occupancy to the simulation's
   // resource governor; the hooks are no-ops until a budget is armed.
   queue_->attach_governor(&sim_.governor());
+  // Buffered handles live in the simulation-wide pool so they pass from
+  // arrival through queue to delivery without a copy.
+  queue_->attach_pool(&pool_);
+  chain_.fire = &Link::drain_thunk;
+  chain_.ctx = this;
+  wire_chain_.fire = &Link::wire_thunk;
+  wire_chain_.ctx = this;
+}
+
+Link::~Link() {
+  if (chain_armed_) sim_.disarm_chain(&chain_);
+  if (wire_armed_) sim_.disarm_chain(&wire_chain_);
+  if (in_flight_h_.valid()) pool_.release(in_flight_h_);
+  while (wire_count_ != 0) pool_.release(wire_pop().h);
 }
 
 void Link::drop_packet(const Packet& p, DropReason reason) {
@@ -54,6 +70,10 @@ void Link::drop_packet(const Packet& p, DropReason reason) {
 }
 
 void Link::send(Packet&& p) {
+  if (path_ == PacketPath::kPooled) {
+    send(pool_.acquire(std::move(p)));
+    return;
+  }
   ++stats_.arrivals;
   for (auto* o : observers_) o->on_arrival(p);
 
@@ -68,11 +88,9 @@ void Link::send(Packet&& p) {
   }
 
   if (auto reason = queue_->enqueue(std::move(p))) {
-    // NOTE: `p` was moved into enqueue, but Queue implementations only
-    // consume the packet on success; on failure they return before
-    // moving. To keep the observer payload valid regardless, queues
-    // must not touch the packet when rejecting it. DropTail and RED
-    // both reject before moving.
+    // NOTE: `p` was moved into enqueue, but the queue only consumes the
+    // packet on success; on failure it rejects before moving, so the
+    // observer payload stays valid.
     drop_packet(p, *reason);
     return;
   }
@@ -80,7 +98,61 @@ void Link::send(Packet&& p) {
   if (!transmitting()) start_transmission();
 }
 
+void Link::send(PacketHandle h) {
+  if (path_ == PacketPath::kScalar) {
+    // A pooled upstream forwarding into a scalar link (mixed-mode
+    // simulations): fall back to the value path.
+    send(pool_.take(h));
+    return;
+  }
+  ++stats_.arrivals;
+  {
+    const Packet& p = pool_.get(h);
+    for (auto* o : observers_) o->on_arrival(p);
+
+    if (!up_) {
+      drop_packet(p, DropReason::kLinkDown);
+      pool_.release(h);
+      return;
+    }
+
+    if (forced_drop_ && forced_drop_(p)) {
+      drop_packet(p, DropReason::kForced);
+      pool_.release(h);
+      return;
+    }
+  }
+
+  if (auto reason = queue_->enqueue(h)) {
+    // Rejected handles stay with the caller: report the drop, then
+    // return the packet to the pool.
+    drop_packet(pool_.get(h), *reason);
+    pool_.release(h);
+    return;
+  }
+
+  if (!transmitting()) start_transmission();
+}
+
 void Link::start_transmission() {
+  if (path_ == PacketPath::kPooled) {
+    const PacketHandle h = queue_->dequeue_handle();
+    if (!h.valid()) return;
+    const sim::Time tx =
+        sim::transmission_time(pool_.get(h).size_bytes, bandwidth_);
+    in_flight_h_ = h;
+    tx_ends_ = sim_.now() + tx;
+    // The drain chain stands in for the transmit-complete event the
+    // scalar path would schedule here; minting its seq from the same
+    // engine counter keeps the executed (at, seq) stream identical.
+    chain_.at = tx_ends_;
+    chain_.seq = sim_.mint_event_seq();
+    if (!chain_armed_) {
+      sim_.arm_chain(&chain_);
+      chain_armed_ = true;
+    }
+    return;
+  }
   auto head = queue_->dequeue();
   if (!head) return;
   const sim::Time tx = sim::transmission_time(head->size_bytes, bandwidth_);
@@ -88,6 +160,125 @@ void Link::start_transmission() {
   tx_ends_ = sim_.now() + tx;
   tx_event_ = sim_.schedule_in(tx, [this] { on_transmit_complete(); });
 }
+
+void Link::depart(PacketHandle h) {
+  // `p` stays valid across the acquire below: the pool's chunked slabs
+  // never move existing slots.
+  Packet& p = pool_.get(h);
+
+  WireVerdict verdict;
+  if (wire_ != nullptr) verdict = wire_->on_wire(p);
+
+  if (verdict.drop) {
+    // Lost on the wire after occupying the transmitter: counted as a
+    // drop instead of a departure so packet conservation still holds.
+    drop_packet(p, DropReason::kImpairment);
+    pool_.release(h);
+    return;
+  }
+
+  ++stats_.departures;
+  stats_.bytes_delivered += p.size_bytes;
+  for (auto* o : observers_) o->on_depart(p);
+
+  if (verdict.extra_delay > sim::Time()) ++stats_.reordered;
+  if (verdict.duplicate) {
+    ++stats_.duplicates;
+    Packet copy = p;
+    const PacketHandle dup = pool_.acquire(std::move(copy));
+    sim_.schedule_in(delay_ + verdict.extra_delay + verdict.duplicate_delay,
+                     Deliver{this, dup});
+  }
+  schedule_delivery(h, sim_.now() + delay_ + verdict.extra_delay);
+}
+
+void Link::schedule_delivery(PacketHandle h, sim::Time at) {
+  if (wire_count_ != 0 &&
+      at < wire_ring_[(wire_head_ + wire_count_ - 1) % wire_ring_.size()].at) {
+    // Non-FIFO delivery (propagation delay shrunk mid-flight, or a
+    // wire-model extra delay shorter than an earlier one): the engine
+    // keeps the total order. The schedule mints the seq, exactly as
+    // the chain path does explicitly below.
+    sim_.schedule_in(at - sim_.now(), Deliver{this, h});
+    return;
+  }
+  // The seq is minted here — the point where the scalar path would
+  // have scheduled the delivery event — so the executed (at, seq)
+  // stream is bit-identical whichever path carries the delivery.
+  const WireEntry entry{at, sim_.mint_event_seq(), h};
+  wire_push(entry);
+  if (!wire_armed_) {
+    wire_chain_.at = entry.at;
+    wire_chain_.seq = entry.seq;
+    sim_.arm_chain(&wire_chain_);
+    wire_armed_ = true;
+  }
+  wire_chain_.pending = wire_count_;
+}
+
+void Link::wire_push(const WireEntry& entry) {
+  if (wire_count_ == wire_ring_.size()) {
+    // Warm-up growth only: double (16 floor) and re-lay from the head.
+    // slowcc-lint: allow(no-hot-path-alloc) ring growth is cold; steady state recycles slots
+    std::vector<WireEntry> grown(
+        std::max<std::size_t>(16, wire_ring_.size() * 2));
+    for (std::size_t i = 0; i < wire_count_; ++i) {
+      grown[i] = wire_ring_[(wire_head_ + i) % wire_ring_.size()];
+    }
+    wire_ring_ = std::move(grown);
+    wire_head_ = 0;
+  }
+  wire_ring_[(wire_head_ + wire_count_) % wire_ring_.size()] = entry;
+  ++wire_count_;
+}
+
+Link::WireEntry Link::wire_pop() {
+  const WireEntry entry = wire_ring_[wire_head_];
+  wire_head_ = (wire_head_ + 1) % wire_ring_.size();
+  --wire_count_;
+  return entry;
+}
+
+void Link::wire_step() {
+  // Pop and re-arm before delivering: the handler may reentrantly
+  // inject traffic, and the chain must already describe the new head
+  // (or be disarmed) when it does.
+  const WireEntry entry = wire_pop();
+  if (wire_count_ != 0) {
+    const WireEntry& head = wire_ring_[wire_head_];
+    wire_chain_.at = head.at;
+    wire_chain_.seq = head.seq;
+  } else {
+    sim_.disarm_chain(&wire_chain_);
+    wire_armed_ = false;
+  }
+  wire_chain_.pending = wire_count_;
+  deliver_pooled(entry.h);
+}
+
+void Link::drain_step() {
+  // One chained sub-event: finish the in-flight packet, then either
+  // re-arm the chain in place for the next queued packet or let it go
+  // quiet. The (at, seq) this step executed under were minted when the
+  // packet entered the transmitter, exactly where the scalar path
+  // scheduled its transmit-complete event.
+  const PacketHandle h = in_flight_h_;
+  in_flight_h_ = PacketHandle{};
+  depart(h);
+
+  // A nested set_down() (from a drop/depart observer) may have drained
+  // the queue and disarmed the chain; a nested set_up()+send may even
+  // have restarted transmission. Only continue the burst when the
+  // transmitter is genuinely free.
+  if (up_ && !transmitting() && !queue_->empty()) {
+    start_transmission();  // re-arms / re-times the chain in place
+  } else if (chain_armed_ && !transmitting()) {
+    sim_.disarm_chain(&chain_);
+    chain_armed_ = false;
+  }
+}
+
+void Link::deliver_pooled(PacketHandle h) { to_.deliver(h, pool_); }
 
 void Link::on_transmit_complete() {
   tx_event_ = sim::EventId{};
@@ -134,10 +325,17 @@ void Link::set_bandwidth(double bandwidth_bps) {
     // continue at the new rate.
     const double remaining_s = (tx_ends_ - sim_.now()).as_seconds();
     const double remaining_bits = remaining_s * bandwidth_;
-    sim_.cancel(tx_event_);
     const sim::Time rem = sim::Time::seconds(remaining_bits / bandwidth_bps);
     tx_ends_ = sim_.now() + rem;
-    tx_event_ = sim_.schedule_in(rem, [this] { on_transmit_complete(); });
+    if (path_ == PacketPath::kPooled) {
+      // Re-time the chain in place. The seq is re-minted because the
+      // scalar path cancels + reschedules here — same counter draw.
+      chain_.at = tx_ends_;
+      chain_.seq = sim_.mint_event_seq();
+    } else {
+      sim_.cancel(tx_event_);
+      tx_event_ = sim_.schedule_in(rem, [this] { on_transmit_complete(); });
+    }
   }
   bandwidth_ = bandwidth_bps;
   notify_state_change();
@@ -157,11 +355,20 @@ void Link::set_down() {
   if (!up_) return;
   up_ = false;
   if (transmitting()) {
-    sim_.cancel(tx_event_);
-    tx_event_ = sim::EventId{};
-    Packet p = std::move(*in_flight_);
-    in_flight_.reset();
-    drop_packet(p, DropReason::kLinkDown);
+    if (path_ == PacketPath::kPooled) {
+      sim_.disarm_chain(&chain_);
+      chain_armed_ = false;
+      const PacketHandle h = in_flight_h_;
+      in_flight_h_ = PacketHandle{};
+      drop_packet(pool_.get(h), DropReason::kLinkDown);
+      pool_.release(h);
+    } else {
+      sim_.cancel(tx_event_);
+      tx_event_ = sim::EventId{};
+      Packet p = std::move(*in_flight_);
+      in_flight_.reset();
+      drop_packet(p, DropReason::kLinkDown);
+    }
   }
   while (auto head = queue_->dequeue()) {
     drop_packet(*head, DropReason::kLinkDown);

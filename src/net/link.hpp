@@ -1,12 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_filter.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -89,6 +90,22 @@ struct LinkStats {
 ///    `DropReason::kLinkDown` and rejects arrivals until `set_up`.
 ///    Packets already propagating were past the failure point and
 ///    still deliver.
+///
+/// Each link runs one of two packet paths, fixed at construction from
+/// `default_packet_path()` (DESIGN.md §14):
+///  * pooled (default): packets live in the simulation's PacketPool and
+///    move as 8-byte handles; back-to-back departures on a saturated
+///    link coalesce into one batched drain chain (a sim::ChainedEvent
+///    re-armed in place per packet instead of one engine event each),
+///    and in-flight deliveries ride a per-link propagation FIFO fronted
+///    by a second chain — one armed chain emits the whole pipeline,
+///    N packets per scheduler interaction, with an engine fallback for
+///    the rare non-FIFO cases (wire extra delays, duplicates, a
+///    propagation delay shrunk mid-flight).
+///  * scalar: the pre-refactor value-semantics path, one engine event
+///    per departure — the differential-test oracle and bench baseline.
+/// Both paths mint identical (at, seq) event streams, so trace digests
+/// and golden traces are path-independent.
 class Link {
  public:
   Link(sim::Simulator& sim, Node& from, Node& to, double bandwidth_bps,
@@ -97,8 +114,17 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
+  /// Disarms the drain chain and returns the in-flight packet to the
+  /// pool (links always die before the Simulator they reference).
+  ~Link();
+
   /// Offer a packet for transmission (called by the upstream node).
   void send(Packet&& p);
+
+  /// Offer a pooled packet for transmission (the handle-based fast
+  /// path an upstream Node forwards along). Ownership of `h` passes to
+  /// the link on admission; on drop the link releases it.
+  void send(PacketHandle h);
 
   [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
   [[nodiscard]] sim::Time propagation_delay() const noexcept { return delay_; }
@@ -127,9 +153,12 @@ class Link {
 
   [[nodiscard]] bool is_up() const noexcept { return up_; }
 
+  /// Which packet path this link runs (fixed at construction).
+  [[nodiscard]] PacketPath packet_path() const noexcept { return path_; }
+
   /// True while a packet occupies the transmitter.
   [[nodiscard]] bool transmitting() const noexcept {
-    return in_flight_.has_value();
+    return in_flight_.has_value() || in_flight_h_.valid();
   }
 
   /// Install a stochastic wire impairment (nullptr clears). The model
@@ -150,35 +179,83 @@ class Link {
 
   /// Install a deterministic drop filter, used by the smoothness
   /// experiments to impose scripted loss patterns. Returning true
-  /// drops the packet before it reaches the queue.
-  void set_forced_drop_filter(std::function<bool(const Packet&)> filter) {
+  /// drops the packet before it reaches the queue. Accepts any
+  /// callable (see PacketFilter); pass {} or nullptr to clear.
+  void set_forced_drop_filter(PacketFilter filter) {
     forced_drop_ = std::move(filter);
   }
 
  private:
+  // Pooled delivery closure: 16 bytes, trivially copyable, so
+  // scheduling it never leaves std::function's inline buffer.
+  struct Deliver {
+    Link* link;
+    PacketHandle h;
+    void operator()() const { link->deliver_pooled(h); }
+  };
+
+  // One in-flight delivery in the propagation FIFO: fire time, the seq
+  // minted for it (at exactly the scalar schedule point), its handle.
+  struct WireEntry {
+    sim::Time at;
+    std::uint64_t seq = 0;
+    PacketHandle h;
+  };
+
   void start_transmission();
-  void on_transmit_complete();
+  void on_transmit_complete();  // scalar: one engine event per departure
+  void drain_step();            // pooled: one chained sub-event per packet
+  static void drain_thunk(void* ctx) {
+    static_cast<Link*>(ctx)->drain_step();
+  }
+  void wire_step();             // pooled: deliver the propagation head
+  static void wire_thunk(void* ctx) {
+    static_cast<Link*>(ctx)->wire_step();
+  }
+  void depart(PacketHandle h);  // wire verdict + delivery scheduling
+  void schedule_delivery(PacketHandle h, sim::Time at);
+  void wire_push(const WireEntry& entry);
+  [[nodiscard]] WireEntry wire_pop();
+  void deliver_pooled(PacketHandle h);
   void drop_packet(const Packet& p, DropReason reason);
   void notify_state_change();
 
   sim::Simulator& sim_;
+  PacketPool& pool_;
   Node& from_;
   Node& to_;
   double bandwidth_;
   sim::Time delay_;
   std::unique_ptr<Queue> queue_;
   std::vector<LinkObserver*> observers_;
-  std::function<bool(const Packet&)> forced_drop_;
+  PacketFilter forced_drop_;
   WireModel* wire_ = nullptr;
   LinkStats stats_;
+  const PacketPath path_;
   bool up_ = true;
 
-  // Transmitter state: the packet being serialized and its completion
-  // event, kept here (not in the event closure) so bandwidth changes
-  // and link failures can re-time or drop it.
+  // Transmitter state, kept here (not in an event closure) so
+  // bandwidth changes and link failures can re-time or drop it.
+  // Scalar path: the packet by value + its completion event. Pooled
+  // path: the packet's handle + the drain chain, armed exactly while
+  // a packet occupies the transmitter.
   std::optional<Packet> in_flight_;
+  PacketHandle in_flight_h_;
   sim::EventId tx_event_;
+  sim::ChainedEvent chain_;
+  bool chain_armed_ = false;
   sim::Time tx_ends_;
+
+  // Propagation pipeline (pooled path): a circular FIFO of in-flight
+  // deliveries fronted by one chain armed at the head's (at, seq).
+  // Kept fire-time-monotonic by construction — a delivery that would
+  // land before the current tail (propagation delay shrunk mid-flight,
+  // wire-model extra delay) falls back to an engine event instead.
+  std::vector<WireEntry> wire_ring_;
+  std::size_t wire_head_ = 0;
+  std::size_t wire_count_ = 0;
+  sim::ChainedEvent wire_chain_;
+  bool wire_armed_ = false;
 };
 
 }  // namespace slowcc::net

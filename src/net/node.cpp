@@ -26,7 +26,7 @@ void Node::deliver(Packet&& p) {
       ++undeliverable_;
       return;
     }
-    it->second->handle_packet(std::move(p));
+    it->second->handle_packet(p);
     return;
   }
   auto it = routes_.find(p.dst_node);
@@ -35,6 +35,30 @@ void Node::deliver(Packet&& p) {
     return;
   }
   it->second->send(std::move(p));
+}
+
+void Node::deliver(PacketHandle h, PacketPool& pool) {
+  const Packet& p = pool.get(h);
+  if (p.dst_node == id_) {
+    auto it = handlers_.find(p.dst_port);
+    if (it != handlers_.end()) {
+      // Zero-copy terminal dispatch: `p` aliases the pool slot, which
+      // stays put even if the handler reentrantly injects new packets
+      // (chunked pool storage never moves live slots).
+      it->second->handle_packet(p);
+    } else {
+      ++undeliverable_;
+    }
+    pool.release(h);
+    return;
+  }
+  auto it = routes_.find(p.dst_node);
+  if (it == routes_.end()) {
+    ++undeliverable_;
+    pool.release(h);
+    return;
+  }
+  it->second->send(h);
 }
 
 }  // namespace slowcc::net

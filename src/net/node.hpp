@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 
 namespace slowcc::net {
 
@@ -11,10 +12,17 @@ class Link;
 
 /// Anything that terminates packets at a node: transport agents, sinks,
 /// traffic generators' receivers.
+///
+/// Handlers receive the packet by const reference: on the pooled path
+/// it aliases the pool slot (released by the Node right after the call
+/// returns), on the scalar path the caller's value. Handlers needing
+/// the packet beyond the call copy what they keep — in practice they
+/// read a few header fields, which is why the zero-copy terminal
+/// dispatch is free.
 class PacketHandler {
  public:
   virtual ~PacketHandler() = default;
-  virtual void handle_packet(Packet&& p) = 0;
+  virtual void handle_packet(const Packet& p) = 0;
 };
 
 /// A network node: hosts local handlers (keyed by port) and forwards
@@ -50,6 +58,12 @@ class Node {
   /// local handler or no route are counted and discarded (this happens
   /// legitimately when a short web flow has already torn down).
   void deliver(Packet&& p);
+
+  /// Pooled variant: local packets dispatch by reference into the pool
+  /// slot and the handle is released; forwarded packets pass the handle
+  /// to the next link untouched. Undeliverable handles are released, so
+  /// the node never leaks pool slots.
+  void deliver(PacketHandle h, PacketPool& pool);
 
   /// Allocate a node-unique port (monotonically increasing).
   [[nodiscard]] PortId allocate_port() noexcept { return next_port_++; }

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "net/packet.hpp"
+
+namespace slowcc::net {
+
+/// Type-erased packet predicate with a devirtualized hot path.
+///
+/// `Link`'s forced-drop filter used to be a `std::function<bool(const
+/// Packet&)>` — a vtable-equivalent indirect call plus potential heap
+/// storage sitting on the per-arrival path (the site the
+/// no-std-function-hot-path lint rule flagged). This holder keeps the
+/// same call-site ergonomics (construct from any callable, including
+/// capturing lambdas; assign nullptr/{} to clear) but dispatches
+/// through one raw function pointer + context: the owning shared_ptr
+/// is touched only at setup/teardown, never per packet.
+class PacketFilter {
+ public:
+  PacketFilter() noexcept = default;
+  PacketFilter(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Wrap any `bool(const Packet&)`-callable. One allocation here, at
+  /// experiment setup; zero on the per-packet path.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, PacketFilter> &&
+                std::is_invocable_r_v<bool, std::decay_t<F>&, const Packet&>>>
+  PacketFilter(F&& f)  // NOLINT(google-explicit-constructor)
+      : owned_(std::make_shared<std::decay_t<F>>(std::forward<F>(f))),
+        thunk_([](void* ctx, const Packet& p) {
+          return static_cast<bool>(
+              (*static_cast<std::decay_t<F>*>(ctx))(p));
+        }),
+        ctx_(owned_.get()) {}
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return thunk_ != nullptr;
+  }
+
+  [[nodiscard]] bool operator()(const Packet& p) const {
+    return thunk_(ctx_, p);
+  }
+
+ private:
+  std::shared_ptr<void> owned_;  // keeps the callable alive; cold
+  bool (*thunk_)(void*, const Packet&) = nullptr;
+  void* ctx_ = nullptr;
+};
+
+}  // namespace slowcc::net

@@ -15,7 +15,10 @@ RedConfig RedConfig::for_bdp(double bdp_packets) {
 }
 
 RedQueue::RedQueue(sim::Simulator& sim, const RedConfig& config)
-    : sim_(sim), config_(config), rng_(config.seed) {
+    : Queue(config.limit_packets),
+      sim_(sim),
+      config_(config),
+      rng_(config.seed) {
   if (config_.limit_packets == 0) {
     throw sim::SimError(sim::SimErrc::kBadConfig, "RedQueue",
                         "limit must be >= 1 packet");
@@ -32,7 +35,7 @@ RedQueue::RedQueue(sim::Simulator& sim, const RedConfig& config)
 }
 
 void RedQueue::update_average() {
-  const double q = static_cast<double>(buffer_.size());
+  const double q = static_cast<double>(length_packets());
   if (idle_) {
     // The queue has been empty: decay the average as if `m` packets of
     // mean size had drained during the idle period at an assumed
@@ -65,10 +68,10 @@ double RedQueue::drop_probability() const noexcept {
   return 1.0;
 }
 
-std::optional<DropReason> RedQueue::enqueue(Packet&& p) {
+std::optional<DropReason> RedQueue::admit(Packet& p) {
   update_average();
 
-  if (buffer_.size() >= config_.limit_packets) {
+  if (length_packets() >= config_.limit_packets) {
     count_ = 0;
     return DropReason::kOverflow;
   }
@@ -99,23 +102,7 @@ std::optional<DropReason> RedQueue::enqueue(Packet&& p) {
     }
   }
 
-  bytes_ += p.size_bytes;
-  note_admitted(p.size_bytes);
-  buffer_.push_back(std::move(p));
   return std::nullopt;
-}
-
-std::optional<Packet> RedQueue::dequeue() {
-  if (buffer_.empty()) return std::nullopt;
-  Packet p = std::move(buffer_.front());
-  buffer_.pop_front();
-  bytes_ -= p.size_bytes;
-  note_removed(p.size_bytes);
-  if (buffer_.empty()) {
-    idle_ = true;
-    idle_since_ = sim_.now();
-  }
-  return p;
 }
 
 }  // namespace slowcc::net

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <deque>
-
 #include "net/queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -37,22 +35,26 @@ struct RedConfig {
 /// `p_b = max_p (avg - min)/(max - min)` spread out by the inter-drop
 /// count `p_a = p_b / (1 - count * p_b)`, the "gentle" extension above
 /// `max_thresh`, and optional ECN marking.
+///
+/// The whole algorithm lives in `admit`: the RNG stream is consumed
+/// once per enqueue in call order, so drop decisions are identical
+/// whether packets arrive through the value or the handle surface.
 class RedQueue final : public Queue {
  public:
   RedQueue(sim::Simulator& sim, const RedConfig& config);
 
-  [[nodiscard]] std::optional<DropReason> enqueue(Packet&& p) override;
-  [[nodiscard]] std::optional<Packet> dequeue() override;
-  [[nodiscard]] std::size_t length_packets() const noexcept override {
-    return buffer_.size();
-  }
-  [[nodiscard]] std::int64_t length_bytes() const noexcept override {
-    return bytes_;
-  }
-
   /// Current EWMA of the queue length in packets (for tests/monitors).
   [[nodiscard]] double average_queue() const noexcept { return avg_; }
   [[nodiscard]] const RedConfig& config() const noexcept { return config_; }
+
+ protected:
+  [[nodiscard]] std::optional<DropReason> admit(Packet& p) override;
+  void post_dequeue() override {
+    if (empty()) {
+      idle_ = true;
+      idle_since_ = sim_.now();
+    }
+  }
 
  private:
   void update_average();
@@ -61,8 +63,6 @@ class RedQueue final : public Queue {
   sim::Simulator& sim_;
   RedConfig config_;
   sim::Rng rng_;
-  std::deque<Packet> buffer_;
-  std::int64_t bytes_ = 0;
 
   double avg_ = 0.0;        // EWMA of queue length (packets)
   int count_ = -1;          // packets since last early drop

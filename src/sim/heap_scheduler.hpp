@@ -17,10 +17,25 @@ namespace slowcc::sim {
 /// popped).
 class HeapScheduler final : public Scheduler {
  public:
+  /// Reserves working capacity up front so the per-event schedule/pop
+  /// cycle only allocates when a run outgrows the reservation (growth
+  /// past it is geometric, amortized O(1) per event).
+  HeapScheduler() {
+    heap_.reserve(kInitialCapacity);
+    pending_.reserve(kInitialCapacity);
+    cancelled_.reserve(kInitialCapacity);
+  }
+
   EventId schedule(Time at, Callback cb) override;
   bool cancel(EventId id) override;
   [[nodiscard]] Time next_time() override;
   [[nodiscard]] Callback pop(PoppedEvent* out) override;
+  [[nodiscard]] PoppedEvent peek() override;
+  // Minted seqs are never inserted into pending_, so a cancel() against
+  // one is the usual stale-id no-op.
+  [[nodiscard]] std::uint64_t mint_seq() noexcept override {
+    return next_seq_++;
+  }
   [[nodiscard]] std::size_t size() const noexcept override { return live_; }
   [[nodiscard]] std::vector<Time> pending_times(
       std::size_t max_entries) const override;
@@ -28,6 +43,8 @@ class HeapScheduler final : public Scheduler {
   [[nodiscard]] const char* name() const noexcept override { return "heap"; }
 
  private:
+  static constexpr std::size_t kInitialCapacity = 1024;
+
   struct Entry {
     Time at;
     std::uint64_t seq;  // doubles as the event id

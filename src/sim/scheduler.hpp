@@ -95,6 +95,20 @@ class Scheduler {
   /// none remains. `out` (optional) receives its (at, seq).
   [[nodiscard]] virtual Callback pop(PoppedEvent* out) = 0;
 
+  /// (at, seq) of the earliest live event without popping it; throws
+  /// SimError(kBadSchedule) when none remains. The run loop uses this to
+  /// merge chained drain sub-events (see sim/simulator.hpp) into the
+  /// engine's (at, seq) total order.
+  [[nodiscard]] virtual PoppedEvent peek() = 0;
+
+  /// Consume the next FIFO sequence number WITHOUT storing an event.
+  /// Chain sources (net::Link batched drains) mint seqs at exactly the
+  /// points the unbatched path would have called schedule(), so the
+  /// executed (at, seq) stream — and every golden trace digest — is
+  /// bit-identical whether a departure runs as an engine event or as a
+  /// chained sub-event.
+  [[nodiscard]] virtual std::uint64_t mint_seq() noexcept = 0;
+
   /// Number of live (non-cancelled) events.
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
 

@@ -15,6 +15,36 @@
 
 namespace slowcc::sim {
 
+/// One pending sub-event of a batched drain chain (DESIGN.md §14). A
+/// chain source — net::Link draining a saturated queue in batched mode —
+/// keeps exactly one of these armed per in-flight transmission instead
+/// of scheduling an engine event per departure. The run loop merges the
+/// chain into the engine's (at, seq) total order: when the chain is the
+/// global minimum it advances the clock, counts the event, folds the
+/// digest, and calls `fire(ctx)` directly — no engine storage, no
+/// std::function, no heap pop. Invariants the source must keep:
+///   - `seq` comes from Simulator::mint_event_seq() at exactly the point
+///     the unbatched path would have called schedule_*() — this is what
+///     makes trace_digest() bit-identical across the two paths
+///   - `at >= now()` whenever the chain is armed; re-timing (e.g.
+///     set_bandwidth on an in-flight packet) re-mints the seq, exactly
+///     as a cancel+reschedule would
+///   - the chain is disarmed before `ctx` dies (Links disarm in ~Link;
+///     components always die before the Simulator they reference)
+struct ChainedEvent {
+  Time at;
+  std::uint64_t seq = 0;
+  void (*fire)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+  /// How many unbatched engine events this chain currently stands in
+  /// for. A transmit chain is always 1 (one pending transmit-complete);
+  /// a propagation chain fronting a FIFO of in-flight deliveries sets
+  /// it to the FIFO's occupancy, so pending_events() — and with it the
+  /// ResourceGovernor's event footprint and budget-abort points — stay
+  /// identical to the scalar schedule.
+  std::uint64_t pending = 1;
+};
+
 /// Discrete-event simulation driver.
 ///
 /// A `Simulator` owns the event queue and the simulation clock. All
@@ -47,6 +77,21 @@ class Simulator {
 
   /// Cancel a pending event; no-op if already fired or cancelled.
   void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Consume the next FIFO sequence number without storing an engine
+  /// event. Batched drain chains mint their sub-event seqs here (see
+  /// ChainedEvent above).
+  [[nodiscard]] std::uint64_t mint_event_seq() noexcept {
+    return queue_.mint_seq();
+  }
+
+  /// Register / remove a drain chain. The pointed-to event must stay
+  /// valid (and its `at`/`seq`/`fire` fields are re-read every loop
+  /// iteration, so the source may re-arm in place from inside fire()).
+  /// Arming validates at >= now(); double-arming throws SimError
+  /// (kBadSchedule). disarm_chain is a no-op when not armed.
+  void arm_chain(ChainedEvent* chain);
+  void disarm_chain(const ChainedEvent* chain) noexcept;
 
   /// Run until the queue drains.
   void run();
@@ -98,15 +143,22 @@ class Simulator {
     return event_budget_;
   }
 
+  /// Live engine events plus armed drain-chain sub-events, so the count
+  /// (and the governor's event footprint) matches the unbatched
+  /// schedule one-for-one — each chain reports how many pending events
+  /// it stands in for via ChainedEvent::pending.
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return queue_.size();
+    std::size_t n = queue_.size();
+    for (const ChainedEvent* c : chains_) {
+      n += static_cast<std::size_t>(c->pending);
+    }
+    return n;
   }
 
-  /// Timestamps of the earliest pending events (diagnostics).
+  /// Timestamps of the earliest pending events (diagnostics), merged
+  /// across the engine and any armed drain chains.
   [[nodiscard]] std::vector<Time> pending_event_times(
-      std::size_t max_entries) const {
-    return queue_.pending_times(max_entries);
-  }
+      std::size_t max_entries) const;
 
   /// Install a hook invoked after every `every_events` executed events,
   /// regardless of whether simulated time advances — this is what lets
@@ -172,6 +224,10 @@ class Simulator {
   std::uint64_t event_budget_base_ = 0;
   std::uint64_t hook_every_ = 0;
   std::function<void()> hook_;
+  // Armed drain chains — one per link mid-burst, so a handful at most;
+  // the run loop's linear min-scan is cheaper than any indexed
+  // structure at that count.
+  std::vector<ChainedEvent*> chains_;
   ResourceGovernor governor_;
   // Declared last: guards (e.g. a Watchdog holding our hook slot) are
   // destroyed first, while the members they release are still alive.

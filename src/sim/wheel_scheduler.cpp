@@ -30,6 +30,11 @@ namespace {
 WheelScheduler::WheelScheduler() {
   for (auto& level : slot_head_) level.fill(kNil);
   for (auto& level : occupied_) level.fill(0);
+  // Reserve staging capacity so the drain path (settle/place) only
+  // allocates when a run outgrows it; growth past the reservation is
+  // geometric, amortized O(1) per event.
+  due_.reserve(kInitialHeapCapacity);
+  overflow_.reserve(kInitialHeapCapacity);
 }
 
 std::uint32_t WheelScheduler::alloc_node() {
@@ -102,7 +107,7 @@ void WheelScheduler::place(std::uint32_t idx) {
     // reschedule from a callback, or a schedule below a jumped cursor):
     // stage straight into the due heap, which restores exact ordering.
     n.loc = Loc::kDue;
-    due_.push_back(HeapEntry{at_ns, n.seq, idx});
+    due_.push_back(HeapEntry{at_ns, n.seq, idx});  // slowcc-lint: allow(no-hot-path-alloc) due heap reserved at construction; growth amortized
     std::push_heap(due_.begin(), due_.end(), HeapLater{});
     return;
   }
@@ -116,7 +121,7 @@ void WheelScheduler::place(std::uint32_t idx) {
     }
   }
   n.loc = Loc::kOverflow;
-  overflow_.push_back(HeapEntry{at_ns, n.seq, idx});
+  overflow_.push_back(HeapEntry{at_ns, n.seq, idx});  // slowcc-lint: allow(no-hot-path-alloc) far-future overflow heap; reserved at construction, growth amortized
   std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
 }
 
@@ -233,7 +238,7 @@ void WheelScheduler::advance() {
       n.prev = kNil;
       n.next = kNil;
       n.loc = Loc::kDue;
-      due_.push_back(HeapEntry{n.at.as_nanos(), n.seq, idx});
+      due_.push_back(HeapEntry{n.at.as_nanos(), n.seq, idx});  // slowcc-lint: allow(no-hot-path-alloc) due heap reserved at construction; growth amortized
       std::push_heap(due_.begin(), due_.end(), HeapLater{});
       idx = next;
     }
@@ -319,6 +324,12 @@ Time WheelScheduler::next_time() {
   settle();
   if (due_.empty()) throw_empty("next_time");
   return Time::nanos(due_.front().at_ns);
+}
+
+PoppedEvent WheelScheduler::peek() {
+  settle();
+  if (due_.empty()) throw_empty("peek");
+  return PoppedEvent{Time::nanos(due_.front().at_ns), due_.front().seq};
 }
 
 Scheduler::Callback WheelScheduler::pop(PoppedEvent* out) {

@@ -44,6 +44,12 @@ class WheelScheduler final : public Scheduler {
   bool cancel(EventId id) override;
   [[nodiscard]] Time next_time() override;
   [[nodiscard]] Callback pop(PoppedEvent* out) override;
+  [[nodiscard]] PoppedEvent peek() override;
+  // Minted seqs never materialize a node, so no EventId can refer to
+  // them; the generation check already rejects any stale handle.
+  [[nodiscard]] std::uint64_t mint_seq() noexcept override {
+    return next_seq_++;
+  }
   [[nodiscard]] std::size_t size() const noexcept override { return live_; }
   [[nodiscard]] std::vector<Time> pending_times(
       std::size_t max_entries) const override;
@@ -57,6 +63,7 @@ class WheelScheduler final : public Scheduler {
   static constexpr int kBaseShift = 12;  // level-0 slot = 4096 ns
   static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint32_t kMaxNodes = (1u << 24) - 2;
+  static constexpr std::size_t kInitialHeapCapacity = 1024;
 
   enum class Loc : std::uint8_t {
     kFree,      // on the free list

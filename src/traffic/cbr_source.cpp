@@ -54,7 +54,7 @@ void CbrSource::on_send_timer() {
   schedule_next_send();
 }
 
-void CbrSource::handle_packet(net::Packet&& /*p*/) {
+void CbrSource::handle_packet(const net::Packet& /*p*/) {
   // CBR is open-loop: any packet addressed here is ignored.
 }
 

@@ -19,7 +19,7 @@ class CbrSource final : public cc::Agent {
 
   void start() override;
   void stop() override;
-  void handle_packet(net::Packet&& p) override;
+  void handle_packet(const net::Packet& p) override;
 
   /// Change the sending rate; takes effect from the next packet.
   /// A rate of 0 pauses transmission until the rate becomes positive.
@@ -42,7 +42,7 @@ class CbrSource final : public cc::Agent {
 class CbrSink final : public cc::SinkBase {
  public:
   CbrSink(sim::Simulator& sim, net::Node& local) : SinkBase(sim, local) {}
-  void handle_packet(net::Packet&& p) override {
+  void handle_packet(const net::Packet& p) override {
     if (p.type == net::PacketType::kCbr) note_received(p);
   }
 };

@@ -14,7 +14,7 @@ namespace {
 struct Capture final : PacketHandler {
   std::vector<std::pair<sim::Time, Packet>> received;
   sim::Simulator* sim = nullptr;
-  void handle_packet(Packet&& p) override {
+  void handle_packet(const Packet& p) override {
     received.emplace_back(sim->now(), std::move(p));
   }
 };

@@ -42,7 +42,7 @@ class ProbeAgent final : public cc::Agent {
 
   void start() override {}
   void stop() override {}
-  void handle_packet(net::Packet&& p) override { last = std::move(p); }
+  void handle_packet(const net::Packet& p) override { last = std::move(p); }
 
   net::Packet last;
 };

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace slowcc::net {
+namespace {
+
+Packet make_packet(std::int64_t seq, std::int64_t size = 1000) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = size;
+  return p;
+}
+
+// ====================================================================
+// Exhaustion -> growth: the pool grows by whole chunks, and — the
+// invariant the zero-copy delivery path leans on — growth never moves
+// a live slot, so Packet& references survive it.
+
+TEST(PacketPool, GrowsByChunksWhenTheFreeListRunsDry) {
+  PacketPool pool;
+  EXPECT_EQ(pool.capacity(), 0u);
+  std::vector<PacketHandle> handles;
+  for (int i = 0; i < 300; ++i) handles.push_back(pool.acquire(make_packet(i)));
+  // 300 live packets need two 256-slot chunks.
+  EXPECT_EQ(pool.capacity(), 512u);
+  EXPECT_EQ(pool.live(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(pool.get(handles[static_cast<std::size_t>(i)]).seq, i);
+  }
+}
+
+TEST(PacketPool, GrowthNeverMovesLiveSlots) {
+  PacketPool pool;
+  const PacketHandle first = pool.acquire(make_packet(42));
+  Packet* const before = &pool.get(first);
+  // Force several growth episodes past the first chunk.
+  std::vector<PacketHandle> rest;
+  for (int i = 0; i < 2000; ++i) rest.push_back(pool.acquire(make_packet(i)));
+  EXPECT_EQ(before, &pool.get(first));
+  EXPECT_EQ(before->seq, 42);
+}
+
+TEST(PacketPool, ReserveWarmsUpCapacityWithoutLivePackets) {
+  PacketPool pool;
+  pool.reserve(1000);
+  EXPECT_GE(pool.capacity(), 1000u);
+  EXPECT_EQ(pool.live(), 0u);
+  const std::size_t warm = pool.capacity();
+  // Acquires inside the reservation must not grow further.
+  std::vector<PacketHandle> handles;
+  for (int i = 0; i < 1000; ++i) handles.push_back(pool.acquire(make_packet(i)));
+  EXPECT_EQ(pool.capacity(), warm);
+}
+
+TEST(PacketPool, ReleaseRecyclesSlotsInsteadOfGrowing) {
+  PacketPool pool;
+  const PacketHandle a = pool.acquire(make_packet(1));
+  const std::size_t warm = pool.capacity();
+  pool.release(a);
+  for (int i = 0; i < 200; ++i) {
+    const PacketHandle h = pool.acquire(make_packet(i));
+    pool.release(h);
+  }
+  EXPECT_EQ(pool.capacity(), warm);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+// ====================================================================
+// Generation counters: a released slot stales every outstanding handle,
+// so ABA reuse is detected at the misuse site instead of silently
+// aliasing a different packet.
+
+TEST(PacketPool, StaleHandleDetectedAfterSlotReuse) {
+  PacketPool pool;
+  const PacketHandle old = pool.acquire(make_packet(1));
+  pool.release(old);
+  // The free list hands the same slot back; its generation moved on.
+  const PacketHandle fresh = pool.acquire(make_packet(2));
+  ASSERT_EQ(fresh.slot, old.slot);
+  EXPECT_NE(fresh.gen, old.gen);
+  EXPECT_FALSE(pool.is_live(old));
+  EXPECT_TRUE(pool.is_live(fresh));
+  EXPECT_THROW((void)pool.get(old), sim::SimError);
+  EXPECT_EQ(pool.get(fresh).seq, 2);
+}
+
+TEST(PacketPool, DoubleReleaseThrows) {
+  PacketPool pool;
+  const PacketHandle h = pool.acquire(make_packet(7));
+  pool.release(h);
+  EXPECT_THROW(pool.release(h), sim::SimError);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPool, TakeMovesThePacketOutAndStalesTheHandle) {
+  PacketPool pool;
+  const PacketHandle h = pool.acquire(make_packet(9, 1234));
+  const Packet p = pool.take(h);
+  EXPECT_EQ(p.seq, 9);
+  EXPECT_EQ(p.size_bytes, 1234);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_FALSE(pool.is_live(h));
+  EXPECT_THROW((void)pool.take(h), sim::SimError);
+}
+
+TEST(PacketPool, InvalidHandleIsNeverLive) {
+  PacketPool pool;
+  EXPECT_FALSE(pool.is_live(PacketHandle{}));
+  EXPECT_THROW((void)pool.get(PacketHandle{}), sim::SimError);
+}
+
+// ====================================================================
+// Leak balance: everything acquired through a governed queue is
+// released again by teardown — the pool's live() and the governor's
+// packet counters both return to zero, so neither model leaks.
+
+TEST(PacketPool, QueueTeardownBalancesPoolAndGovernorToZero) {
+  sim::Simulator sim;
+  PacketPool& pool = PacketPool::of(sim);
+  {
+    DropTailQueue queue(64);
+    queue.attach_pool(&pool);
+    queue.attach_governor(&sim.governor());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_FALSE(queue.enqueue(make_packet(i)).has_value());
+    }
+    EXPECT_EQ(pool.live(), 10u);
+    EXPECT_EQ(sim.governor().live_packets(), 10u);
+    // Dequeue a few by value (round-trips out of the pool)...
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.dequeue().has_value());
+    EXPECT_EQ(pool.live(), 6u);
+    EXPECT_EQ(sim.governor().live_packets(), 6u);
+    // ...and let the destructor release the residue.
+  }
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(sim.governor().live_packets(), 0u);
+  EXPECT_EQ(sim.governor().queued_bytes(), 0u);
+}
+
+TEST(PacketPool, RejectedEnqueueLeavesTheCallerOwningTheHandle) {
+  sim::Simulator sim;
+  PacketPool& pool = PacketPool::of(sim);
+  DropTailQueue queue(1);
+  queue.attach_pool(&pool);
+  ASSERT_FALSE(queue.enqueue(make_packet(0)).has_value());
+  const PacketHandle h = pool.acquire(make_packet(1));
+  const auto reason = queue.enqueue(h);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, DropReason::kOverflow);
+  // Still ours: live, readable, and releasable exactly once.
+  EXPECT_TRUE(pool.is_live(h));
+  EXPECT_EQ(pool.get(h).seq, 1);
+  pool.release(h);
+}
+
+// ====================================================================
+// Per-simulator identity: of() hands every component of one Simulator
+// the same pool and different Simulators different pools, and the pool
+// dies with its Simulator (the registry guard), so handles can never
+// cross simulations.
+
+TEST(PacketPool, OfReturnsOnePoolPerSimulator) {
+  sim::Simulator sim_a;
+  sim::Simulator sim_b;
+  PacketPool& a1 = PacketPool::of(sim_a);
+  PacketPool& a2 = PacketPool::of(sim_a);
+  PacketPool& b = PacketPool::of(sim_b);
+  EXPECT_EQ(&a1, &a2);
+  EXPECT_NE(&a1, &b);
+}
+
+TEST(PacketPool, SequentialSimulatorsGetFreshPools) {
+  // Teardown must unregister the pool: a new Simulator that happens to
+  // reuse the same stack address must not inherit the old pool's slots.
+  std::size_t first_capacity = 0;
+  {
+    sim::Simulator sim;
+    PacketPool& pool = PacketPool::of(sim);
+    const PacketHandle h = pool.acquire(make_packet(1));
+    first_capacity = pool.capacity();
+    pool.release(h);
+  }
+  {
+    sim::Simulator sim;
+    PacketPool& pool = PacketPool::of(sim);
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_LE(pool.capacity(), first_capacity);
+  }
+}
+
+}  // namespace
+}  // namespace slowcc::net

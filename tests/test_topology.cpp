@@ -8,7 +8,7 @@ namespace {
 
 struct Capture final : PacketHandler {
   std::vector<Packet> received;
-  void handle_packet(Packet&& p) override { received.push_back(std::move(p)); }
+  void handle_packet(const Packet& p) override { received.push_back(std::move(p)); }
 };
 
 TEST(Node, AttachDetachPorts) {

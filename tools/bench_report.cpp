@@ -2,22 +2,27 @@
 // micro-benchmarks.
 //
 // Generate mode runs bench/micro_engine with google-benchmark's JSON
-// output, pairs the per-engine variants (BM_X/heap vs BM_X/wheel) and
+// output, pairs the per-variant runs (BM_X/heap vs BM_X/wheel for the
+// event engines, BM_X/scalar vs BM_X/pooled for the packet paths) and
 // writes BENCH_engine.json (schema slowcc.bench_engine.v1) with
-// ns-per-op, items-per-second, the wheel:heap speedup per benchmark,
-// and the benchmark child's peak RSS (getrusage(RUSAGE_CHILDREN), so
-// a memory regression in the engines shows up next to the timing
-// numbers). Validate mode re-reads such a file and checks the schema
-// and that both engines are present for every required benchmark —
-// that is the bench_smoke ctest — and can check a minimum speedup:
-// `--require-speedup 1.5` fails validation below the floor (for a
-// dedicated quiet perf runner), while `--advise-speedup 1.5` only
-// warns (for shared/virtualized CI, where wall-clock ratios between
-// two in-process benchmarks are not stable enough to gate on):
+// ns-per-op, items-per-second, the wheel:heap and pooled:scalar
+// speedups per benchmark, and the benchmark child's peak RSS
+// (getrusage(RUSAGE_CHILDREN), so a memory regression in the engines
+// shows up next to the timing numbers). Validate mode re-reads such a
+// file and checks the schema and that both variants are present for
+// every required benchmark — that is the bench_smoke ctest — and can
+// check minimum speedups: `--require-speedup 1.5` (wheel:heap) and
+// `--require-packet-speedup 2.0` (pooled:scalar, the ROADMAP item 3
+// acceptance floor) fail validation below the floor (for a dedicated
+// quiet perf runner), while the --advise-* spellings only warn (for
+// shared/virtualized CI, where wall-clock ratios between two
+// in-process benchmarks are not stable enough to gate on):
 //
 //   bench_report --bench build/bench/micro_engine --out BENCH_engine.json
 //   bench_report --validate BENCH_engine.json [--require-speedup 1.5 |
 //                                              --advise-speedup 1.5]
+//                [--require-packet-speedup 2.0 |
+//                 --advise-packet-speedup 2.0]
 //
 // Exit codes: 0 ok, 1 validation failure, 2 usage or execution error.
 
@@ -42,6 +47,10 @@ constexpr const char* kSchema = "slowcc.bench_engine.v1";
 // The acceptance benchmarks: both engines must report for each.
 const std::vector<std::string> kRequiredBenchmarks = {
     "BM_EventQueueScheduleRun", "BM_EventQueueCancelHeavy"};
+// The packet hot-path macro-benchmarks: both packet paths (scalar and
+// pooled) must report for each, compared as pooled_speedup.
+const std::vector<std::string> kRequiredPacketBenchmarks = {
+    "BM_SaturatedDumbbell"};
 
 struct Sample {
   std::string bench;
@@ -159,7 +168,7 @@ int generate(const std::string& bench_bin, const std::string& out_path,
              const std::string& min_time, const std::string& lint_bin,
              const std::string& lint_root) {
   const std::string cmd = bench_bin +
-                          " --benchmark_filter=BM_EventQueue"
+                          " '--benchmark_filter=BM_EventQueue|BM_SaturatedDumbbell'"
                           " --benchmark_format=json"
                           " --benchmark_min_time=" +
                           min_time + " 2>/dev/null";
@@ -209,17 +218,32 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   for (const auto& [bench, engines] : by_bench) {
     const auto heap = engines.find("heap");
     const auto wheel = engines.find("wheel");
-    if (heap == engines.end() || wheel == engines.end()) continue;
-    std::ostringstream line;
-    line << "    {\"name\": \"" << bench
-         << "\", \"heap_ns_per_op\": " << heap->second.ns_per_op
-         << ", \"wheel_ns_per_op\": " << wheel->second.ns_per_op
-         << ", \"wheel_speedup\": "
-         << (wheel->second.ns_per_op > 0.0
-                 ? heap->second.ns_per_op / wheel->second.ns_per_op
-                 : 0.0)
-         << "}";
-    lines.push_back(line.str());
+    if (heap != engines.end() && wheel != engines.end()) {
+      std::ostringstream line;
+      line << "    {\"name\": \"" << bench
+           << "\", \"heap_ns_per_op\": " << heap->second.ns_per_op
+           << ", \"wheel_ns_per_op\": " << wheel->second.ns_per_op
+           << ", \"wheel_speedup\": "
+           << (wheel->second.ns_per_op > 0.0
+                   ? heap->second.ns_per_op / wheel->second.ns_per_op
+                   : 0.0)
+           << "}";
+      lines.push_back(line.str());
+    }
+    const auto scalar = engines.find("scalar");
+    const auto pooled = engines.find("pooled");
+    if (scalar != engines.end() && pooled != engines.end()) {
+      std::ostringstream line;
+      line << "    {\"name\": \"" << bench
+           << "\", \"scalar_ns_per_op\": " << scalar->second.ns_per_op
+           << ", \"pooled_ns_per_op\": " << pooled->second.ns_per_op
+           << ", \"pooled_speedup\": "
+           << (pooled->second.ns_per_op > 0.0
+                   ? scalar->second.ns_per_op / pooled->second.ns_per_op
+                   : 0.0)
+           << "}";
+      lines.push_back(line.str());
+    }
   }
   for (std::size_t i = 0; i < lines.size(); ++i) {
     out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
@@ -240,7 +264,8 @@ int generate(const std::string& bench_bin, const std::string& out_path,
   return 0;
 }
 
-int validate(const std::string& path, double floor_speedup, bool advisory) {
+int validate(const std::string& path, double floor_speedup, bool advisory,
+             double packet_floor, bool packet_advisory) {
   std::ifstream file(path);
   if (!file.good()) {
     std::cerr << "bench_report: cannot read " << path << "\n";
@@ -312,6 +337,45 @@ int validate(const std::string& path, double floor_speedup, bool advisory) {
                 << "\n";
     }
   }
+  for (const std::string& bench : kRequiredPacketBenchmarks) {
+    for (const char* engine : {"scalar", "pooled"}) {
+      const std::string needle = "{\"name\": \"" + bench +
+                                 "\", \"engine\": \"" + engine + "\"";
+      if (text.find(needle) == std::string::npos) {
+        std::cerr << "bench_report: " << path << " lacks " << bench << "/"
+                  << engine << "\n";
+        ++failures;
+      }
+    }
+    const std::size_t cmp = text.find("{\"name\": \"" + bench +
+                                      "\", \"scalar_ns_per_op\"");
+    if (cmp == std::string::npos) {
+      std::cerr << "bench_report: " << path << " lacks a comparison for "
+                << bench << "\n";
+      ++failures;
+      continue;
+    }
+    double speedup = 0.0;
+    if (!find_number(text.substr(cmp), "pooled_speedup", &speedup) ||
+        speedup <= 0.0) {
+      std::cerr << "bench_report: " << path << " has no pooled_speedup for "
+                << bench << "\n";
+      ++failures;
+    } else if (speedup < packet_floor) {
+      if (packet_advisory) {
+        std::cerr << "bench_report: WARNING: " << bench << " pooled_speedup "
+                  << speedup << " below advisory floor " << packet_floor
+                  << " (not gating; ratios are unstable on shared runners)\n";
+      } else {
+        std::cerr << "bench_report: " << bench << " pooled_speedup " << speedup
+                  << " below required " << packet_floor << "\n";
+        ++failures;
+      }
+    } else {
+      std::cout << "bench_report: " << bench << " pooled_speedup=" << speedup
+                << "\n";
+    }
+  }
   if (failures == 0) std::cout << "bench_report: " << path << " valid\n";
   return failures == 0 ? 0 : 1;
 }
@@ -327,6 +391,8 @@ int main(int argc, char** argv) {
   std::string lint_root = ".";
   double floor_speedup = 0.0;
   bool speedup_advisory = false;
+  double packet_floor = 0.0;
+  bool packet_advisory = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -354,16 +420,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--advise-speedup") {
       floor_speedup = std::strtod(next(), nullptr);
       speedup_advisory = true;
+    } else if (arg == "--require-packet-speedup") {
+      packet_floor = std::strtod(next(), nullptr);
+      packet_advisory = false;
+    } else if (arg == "--advise-packet-speedup") {
+      packet_floor = std::strtod(next(), nullptr);
+      packet_advisory = true;
     } else {
       std::cerr << "usage: bench_report --bench <micro_engine> [--out F]"
                    " [--min-time S] [--lint <slowcc_lint> [--lint-root D]]"
                    " | --validate <F>"
-                   " [--require-speedup X | --advise-speedup X]\n";
+                   " [--require-speedup X | --advise-speedup X]"
+                   " [--require-packet-speedup X | --advise-packet-speedup X]\n";
       return 2;
     }
   }
   if (!validate_path.empty()) {
-    return validate(validate_path, floor_speedup, speedup_advisory);
+    return validate(validate_path, floor_speedup, speedup_advisory,
+                    packet_floor, packet_advisory);
   }
   if (bench_bin.empty()) {
     std::cerr << "bench_report: need --bench or --validate\n";

@@ -18,13 +18,18 @@
 #      under both event engines, digests byte-compared against
 #      specs/golden/ (regen with SLOWCC_REGEN_GOLDEN=1)
 #   7. engine perf report: bench_report runs the per-engine event-queue
-#      micro-benchmarks and writes BENCH_engine.json into the build
-#      dir. The wheel >= 1.5x heap floor is advisory by default (warn
-#      only): wall-clock ratios between two in-process benchmarks are
-#      not stable on shared/virtualized runners. Set
-#      SLOWCC_ENFORCE_BENCH=1 on a dedicated quiet perf runner to make
-#      the floor a hard failure, or SLOWCC_SKIP_BENCH=1 to skip the
-#      bench step entirely.
+#      micro-benchmarks plus the BM_SaturatedDumbbell packet hot-path
+#      macro-bench and writes BENCH_engine.json into the build dir.
+#      The wheel >= 1.5x heap and pooled >= 2x scalar floors are
+#      advisory by default (warn only): wall-clock ratios between two
+#      in-process benchmarks are not stable on shared/virtualized
+#      runners. Set SLOWCC_ENFORCE_BENCH=1 on a dedicated quiet perf
+#      runner to make both floors hard failures, or SLOWCC_SKIP_BENCH=1
+#      to skip the bench step entirely.
+#   8. lint baseline must stay empty: the hot-path rules were promoted
+#      to enforced with tools/lint/baseline.txt driven to empty, and
+#      new entries may not ride in silently — shrinking a finding means
+#      fixing it, not baselining it.
 #
 # Usage: tools/ci_checks.sh [build-dir]   (default: build-ci)
 # Environment: JOBS=<n> overrides the parallelism (default: nproc).
@@ -48,8 +53,8 @@ cmake --build "$build_dir" --target lint
 step "lint SARIF artifact + baseline-delta gate"
 # Fails only on enforced findings absent from the committed baseline, so
 # a rule rollout can land before the whole tree is clean; the SARIF file
-# is the uploadable CI artifact (advisory findings ride along as
-# "note"-level results).
+# is the uploadable CI artifact. (The baseline itself must stay empty —
+# see the growth gate at the end.)
 "$build_dir/tools/slowcc_lint" --root "$repo_root" \
   --format sarif --output "$build_dir/lint.sarif" \
   --cache "$build_dir/lint-cache" \
@@ -68,21 +73,32 @@ step "spec library golden check (slowcc_spec --check specs)"
 
 if [[ "${SLOWCC_SKIP_BENCH:-0}" != "1" ]]; then
   if [[ "${SLOWCC_ENFORCE_BENCH:-0}" == "1" ]]; then
-    step "bench (BENCH_engine.json, enforcing wheel >= 1.5x heap)"
+    step "bench (BENCH_engine.json, enforcing wheel >= 1.5x heap, pooled >= 2x scalar)"
     speedup_flag="--require-speedup"
+    packet_flag="--require-packet-speedup"
   else
-    step "bench (BENCH_engine.json, wheel >= 1.5x heap advisory)"
+    step "bench (BENCH_engine.json, wheel >= 1.5x heap / pooled >= 2x scalar advisory)"
     speedup_flag="--advise-speedup"
+    packet_flag="--advise-packet-speedup"
   fi
   "$build_dir/tools/bench_report" \
     --bench "$build_dir/bench/micro_engine" \
     --out "$build_dir/BENCH_engine.json" --min-time 0.25 \
     --lint "$build_dir/tools/slowcc_lint" --lint-root "$repo_root"
   "$build_dir/tools/bench_report" \
-    --validate "$build_dir/BENCH_engine.json" "$speedup_flag" 1.5
+    --validate "$build_dir/BENCH_engine.json" "$speedup_flag" 1.5 \
+    "$packet_flag" 2.0
 else
   step "bench (skipped: SLOWCC_SKIP_BENCH=1)"
 fi
+
+step "lint baseline growth gate (tools/lint/baseline.txt must stay empty)"
+if grep -v '^#' "$repo_root/tools/lint/baseline.txt" | grep -q .; then
+  echo "ci_checks: tools/lint/baseline.txt grew — fix the findings instead" >&2
+  grep -v '^#' "$repo_root/tools/lint/baseline.txt" >&2
+  exit 1
+fi
+echo "ci_checks: baseline empty"
 
 echo
 echo "ci_checks: ALL PASS"

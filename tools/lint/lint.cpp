@@ -162,15 +162,13 @@ const std::vector<RuleInfo>& all_rules() {
        "headers must open with #pragma once, avoid using-namespace, and "
        "stay out of include cycles"},
       {"no-std-function-hot-path",
-       "advisory: std::function in src/sim/ and src/net/ engine code; pool "
-       "POD entries and keep type erasure at the Scheduler::Callback "
-       "boundary",
-       /*advisory=*/true},
+       "std::function in src/sim/ and src/net/ engine code; pool POD "
+       "entries and keep type erasure at the Scheduler::Callback "
+       "boundary"},
       {"no-hot-path-alloc",
-       "advisory: heap allocation or container growth in code reachable "
-       "from Queue::enqueue / deliver / scheduler pop (call-table walk); "
-       "pre-size or pool on the per-packet path",
-       /*advisory=*/true},
+       "heap allocation or container growth in code reachable from "
+       "Queue::enqueue / deliver / scheduler pop (call-table walk); "
+       "pre-size or pool on the per-packet path"},
       {"no-unguarded-shared-write",
        "raw ofstream/fopen/::open writes in src/exp/ shared checkpoint "
        "dirs; use write_file_atomic / write_file_exclusive / JsonlAppender"},
@@ -193,7 +191,7 @@ std::string_view rules_fingerprint() {
   // Bump the version stamp whenever lexing, facts extraction, or rule
   // semantics change: cached facts from another fingerprint are
   // discarded, so stale caches can never hide (or invent) findings.
-  return "slowcc-lint-v2.0-r13";
+  return "slowcc-lint-v2.0-r14";
 }
 
 // ---------------------------------------------------------------------------

@@ -2,8 +2,8 @@
 # Tier-1 gate for slowcc_lint (see tools/lint/): the real tree must lint
 # clean, and synthetic violations seeded into a scratch tree must fail
 # with the rule name and file:line in the output — one fixture per
-# enforced v2 rule family (determinism, resource-pairing) plus the
-# advisory hot-path family. Also sanity-checks the JSON and SARIF
+# enforced v2 rule family (determinism, resource-pairing, and the
+# hot-path family promoted alongside the pooled packet path). Also sanity-checks the JSON and SARIF
 # reporters, the baseline-delta gate, and the facts cache (a warm run
 # must produce byte-identical output).
 #
@@ -60,19 +60,20 @@ if ! grep -q '"rule": "no-raw-rand"' <<<"$json"; then
   fail "JSON reporter missing the finding: $json"
 fi
 
-# 4. Advisory findings are reported but must not fail the gate: a
-# std::function seeded into src/sim/ trips no-std-function-hot-path
-# (advisory) while the exit code stays 0.
+# 4. The hot-path dispatch rule is enforced: a std::function seeded
+# into src/sim/ trips no-std-function-hot-path and fails the gate
+# (promoted from advisory once the engine hot path went fn-pointer,
+# DESIGN.md §14).
 mkdir -p "$scratch/src/sim"
 cat > "$scratch/src/sim/hot.cpp" <<'EOF'
 std::function<void()> pending_cb;
 EOF
-if ! out="$("$lint" --root "$scratch" src/sim 2>&1)"; then
+if out="$("$lint" --root "$scratch" src/sim 2>&1)"; then
   echo "$out" >&2
-  fail "advisory-only finding changed the exit code"
+  fail "enforced no-std-function-hot-path finding kept exit code 0"
 fi
-grep -q "no-std-function-hot-path (advisory)" <<<"$out" \
-  || fail "advisory finding was not reported: $out"
+grep -q "no-std-function-hot-path" <<<"$out" \
+  || fail "hot-path std::function was not reported: $out"
 
 # 5. One synthetic violation per new enforced rule family must exit 1
 # with the rule name in the output.
@@ -111,8 +112,9 @@ void dump() {
 EOF
 expect_finding "no-iteration-order-leak" --root "$family" src
 
-# 6. The hot-path allocation family is advisory: a `new` reachable from
-# an enqueue must be reported but must not change the exit code.
+# 6. The hot-path allocation family is enforced: a `new` reachable
+# from an enqueue fails the gate (promoted from advisory once the
+# packet path went pooled, DESIGN.md §14).
 cat > "$family/src/sim/hash.cpp" <<'EOF'
 class ScratchQueue {
  public:
@@ -122,12 +124,7 @@ class ScratchQueue {
   int* slot_ = nullptr;
 };
 EOF
-if ! out="$("$lint" --root "$family" src 2>&1)"; then
-  echo "$out" >&2
-  fail "no-hot-path-alloc (advisory) changed the exit code"
-fi
-grep -q "no-hot-path-alloc (advisory)" <<<"$out" \
-  || fail "hot-path allocation was not reported: $out"
+expect_finding "no-hot-path-alloc" --root "$family" src
 
 # 7. SARIF reporter: versioned shape with ruleId + physicalLocation, so
 # the CI artifact upload stays consumable.
